@@ -1,0 +1,44 @@
+# SPERR-Go development targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench cover experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full test log, as recorded in test_output.txt.
+test-log:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+bench-log:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/sperrbench -exp all | tee experiments_output.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/climate
+	$(GO) run ./examples/turbulencedb
+	$(GO) run ./examples/compressors
+	$(GO) run ./examples/multires
+	$(GO) run ./examples/insitu
+
+clean:
+	$(GO) clean ./...

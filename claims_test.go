@@ -1,0 +1,162 @@
+package sperr
+
+// End-to-end assertions of the paper's headline claims, at the public-API
+// level (the per-figure drivers live in internal/experiments; these tests
+// pin the conclusions a release would advertise).
+
+import (
+	"math"
+	"testing"
+
+	"sperr/internal/grid"
+	"sperr/internal/metrics"
+	"sperr/internal/mgard"
+	"sperr/internal/synth"
+	"sperr/internal/sz"
+	"sperr/internal/zfp"
+)
+
+// Claim (abstract): "a compression mode that satisfies a maximum
+// point-wise error tolerance".
+func TestClaimPWEGuaranteeEndToEnd(t *testing.T) {
+	d := grid.D3(32, 32, 32)
+	for _, gen := range []func() []float64{
+		func() []float64 { return synth.MirandaPressure(d, 1).Data },
+		func() []float64 { return synth.S3DTemperature(d, 2).Data },
+		func() []float64 { return synth.NyxDarkMatterDensity(d, 3).Data },
+	} {
+		data := gen()
+		tol := metrics.ToleranceForIdx(metrics.Range(data), 20)
+		stream, _, err := CompressPWE(data, [3]int{32, 32, 32}, tol, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, _, err := Decompress(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := metrics.MaxErr(data, rec); e > tol*(1+1e-9) {
+			t.Errorf("PWE guarantee violated: %g > %g", e, tol)
+		}
+	}
+}
+
+// Claim (Section VI-C / Figure 9): "SPERR uses the least number of bits
+// to guarantee a given PWE tolerance in all but two cases". At this
+// reduced scale we assert it on a representative double-precision field
+// against all three error-bounded baselines.
+func TestClaimFewestBitsAtTolerance(t *testing.T) {
+	d := grid.D3(32, 32, 32)
+	vol := synth.MirandaViscosity(d, 5)
+	tol := metrics.ToleranceForIdx(metrics.Range(vol.Data), 20)
+
+	sperrStream, _, err := CompressPWE(vol.Data, [3]int{32, 32, 32}, tol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	szStream, err := sz.Compress(vol.Data, d, sz.Params{Tol: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zfpStream, err := zfp.Compress(vol.Data, d, zfp.Params{Mode: zfp.ModeFixedAccuracy, Tol: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgardStream, err := mgard.Compress(vol.Data, d, mgard.Params{Tol: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(sperrStream)
+	for name, other := range map[string]int{
+		"SZ3": len(szStream), "ZFP": len(zfpStream), "MGARD": len(mgardStream),
+	} {
+		if n >= other {
+			t.Errorf("SPERR (%d bytes) not smaller than %s (%d bytes) at idx 20", n, name, other)
+		}
+	}
+}
+
+// Claim (Section IV-D / Figure 3): the q = 1.5t default sits inside the
+// low-bitrate valley — moving q to either end of the sweep range must not
+// beat it by more than a sliver.
+func TestClaimQFactorSweetSpot(t *testing.T) {
+	d := [3]int{32, 32, 32}
+	vol := synth.MirandaPressure(grid.D3(32, 32, 32), 7)
+	tol := metrics.ToleranceForIdx(metrics.Range(vol.Data), 30)
+	size := func(qf float64) int {
+		stream, _, err := CompressPWE(vol.Data, d, tol, &Options{QFactor: qf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(stream)
+	}
+	mid := size(1.5)
+	lo := size(1.0)
+	hi := size(3.0)
+	if float64(mid) > 1.02*float64(lo) || float64(mid) > 1.02*float64(hi) {
+		t.Errorf("q=1.5t (%d bytes) should be within 2%% of the best of q=t (%d) and q=3t (%d)",
+			mid, lo, hi)
+	}
+}
+
+// Claim (Section III-B / VII): the bitstream is embedded — longer
+// prefixes never hurt, and the full stream restores the bound.
+func TestClaimEmbeddedStream(t *testing.T) {
+	d := [3]int{32, 32, 32}
+	vol := synth.MirandaVelocityX(grid.D3(32, 32, 32), 9)
+	tol := metrics.ToleranceForIdx(metrics.Range(vol.Data), 25)
+	stream, _, err := CompressPWE(vol.Data, d, tol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, frac := range []float64{0.02, 0.1, 0.3, 0.7, 1.0} {
+		rec, _, err := DecompressPartial(stream, frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := metrics.RMSE(vol.Data, rec)
+		if e > prev*1.02 {
+			t.Errorf("frac %g: RMSE %g worse than shorter prefix %g", frac, e, prev)
+		}
+		prev = e
+	}
+	full, _, err := DecompressPartial(stream, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := metrics.MaxErr(vol.Data, full); e > tol*(1+1e-9) {
+		t.Errorf("full prefix violates the bound: %g > %g", e, tol)
+	}
+}
+
+// Claim (Section III-D): chunked parallel compression neither changes the
+// guarantee nor the determinism of the output.
+func TestClaimChunkedParallelEquivalence(t *testing.T) {
+	d := [3]int{40, 40, 40}
+	vol := synth.S3DCH4(grid.D3(40, 40, 40), 11)
+	tol := metrics.ToleranceForIdx(metrics.Range(vol.Data), 20)
+	opts := &Options{ChunkDims: [3]int{16, 16, 16}}
+	s1, st, err := CompressPWE(vol.Data, d, tol, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumChunks != 27 {
+		t.Fatalf("NumChunks = %d", st.NumChunks)
+	}
+	opts.Workers = 3
+	s2, _, err := CompressPWE(vol.Data, d, tol, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s1) != string(s2) {
+		t.Error("worker count changed the output stream")
+	}
+	rec, _, err := Decompress(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := metrics.MaxErr(vol.Data, rec); e > tol*(1+1e-9) {
+		t.Errorf("chunked PWE violated: %g > %g", e, tol)
+	}
+}

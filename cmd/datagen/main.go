@@ -1,0 +1,75 @@
+// Command datagen writes the synthetic SDRBench stand-in fields to raw
+// binary files, for use with cmd/sperr or external tools.
+//
+// Example:
+//
+//	datagen -field miranda-pressure -n 128 -out pressure.f64
+//	datagen -field nyx-density -n 64 -f32 -out density.f32
+//
+// Fields: miranda-pressure, miranda-viscosity, miranda-velocityx,
+// miranda-density, s3d-ch4, s3d-temperature, s3d-velocityx, nyx-density,
+// nyx-velocityx, qmcpack, lighthouse (2D).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sperr/internal/grid"
+	"sperr/internal/rawio"
+	"sperr/internal/synth"
+)
+
+func main() {
+	var (
+		field = flag.String("field", "miranda-pressure", "field name")
+		n     = flag.Int("n", 64, "grid edge length")
+		seed  = flag.Int64("seed", 2023, "generator seed")
+		f32   = flag.Bool("f32", false, "write float32 instead of float64")
+		out   = flag.String("out", "", "output file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		os.Exit(1)
+	}
+	d := grid.D3(*n, *n, *n)
+	var v *grid.Volume
+	switch *field {
+	case "miranda-pressure":
+		v = synth.MirandaPressure(d, *seed)
+	case "miranda-viscosity":
+		v = synth.MirandaViscosity(d, *seed)
+	case "miranda-velocityx":
+		v = synth.MirandaVelocityX(d, *seed)
+	case "miranda-density":
+		v = synth.MirandaDensity(d, *seed)
+	case "s3d-ch4":
+		v = synth.S3DCH4(d, *seed)
+	case "s3d-temperature":
+		v = synth.S3DTemperature(d, *seed)
+	case "s3d-velocityx":
+		v = synth.S3DVelocityX(d, *seed)
+	case "nyx-density":
+		v = synth.NyxDarkMatterDensity(d, *seed)
+	case "nyx-velocityx":
+		v = synth.NyxVelocityX(d, *seed)
+	case "qmcpack":
+		v = synth.QMCPACKOrbitals(grid.D3(*n, *n, *n/2+1), 4, *seed)
+	case "lighthouse":
+		v = synth.Lighthouse(grid.D2(*n, *n), *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown field %q\n", *field)
+		os.Exit(1)
+	}
+	width := 8
+	if *f32 {
+		width = 4
+	}
+	if err := rawio.WriteFloats(*out, v.Data, width); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %v, %d points, %d bytes\n", *out, v.Dims, v.Dims.Len(), v.Dims.Len()*width)
+}

@@ -1,0 +1,231 @@
+// Command sperr is the command-line front end of the SPERR compressor:
+// it compresses raw binary float32/float64 volumes into SPERR streams and
+// back, mirroring the tool the paper's runtime comparisons invoke.
+//
+// Examples:
+//
+//	sperr -c -in field.f32 -f32 -dims 512,512,512 -tol 1e-6 -out field.sperr
+//	sperr -c -in field.f64 -dims 384,384,256 -bpp 4 -out field.sperr
+//	sperr -c -in field.f64 -dims 256,256,256 -psnr 100 -out field.sperr
+//	sperr -d -in field.sperr -out recon.f64
+//	sperr -d -in field.sperr -partial 0.1 -out preview.f64   # 10% prefix
+//	sperr -d -in field.sperr -lowres 2 -out coarse.f64       # 2 levels coarser
+//	sperr -d -in field.sperr -region 0,0,0,64,64,64 -out cut.f64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sperr"
+	"sperr/internal/rawio"
+)
+
+func main() {
+	var (
+		compress   = flag.Bool("c", false, "compress")
+		decompress = flag.Bool("d", false, "decompress")
+		info       = flag.Bool("info", false, "describe a compressed stream")
+		in         = flag.String("in", "", "input file (raw floats when compressing)")
+		out        = flag.String("out", "", "output file")
+		dimsStr    = flag.String("dims", "", "volume extent nx,ny,nz (nz=1 for 2D); required with -c")
+		tol        = flag.Float64("tol", 0, "point-wise error tolerance (PWE mode)")
+		bpp        = flag.Float64("bpp", 0, "target bits per point (size-bounded mode)")
+		rmse       = flag.Float64("rmse", 0, "target root-mean-square error (average-error mode)")
+		psnr       = flag.Float64("psnr", 0, "target PSNR in dB over the data range (average-error mode)")
+		entropy    = flag.Bool("entropy", false, "arithmetic-coded SPECK (PWE mode only)")
+		partial    = flag.Float64("partial", 0, "decompress from this fraction (0,1] of each chunk's embedded bits")
+		lowres     = flag.Int("lowres", 0, "decompress at a coarser resolution: drop this many wavelet levels")
+		region     = flag.String("region", "", "decompress only x,y,z,nx,ny,nz")
+		f32        = flag.Bool("f32", false, "input/output values are float32 (default float64)")
+		chunkStr   = flag.String("chunk", "", "chunk extent cx,cy,cz (default 256,256,256)")
+		workers    = flag.Int("workers", 0, "parallel chunk workers (default GOMAXPROCS)")
+		qfactor    = flag.Float64("q", 0, "quantization step as a multiple of tol (default 1.5)")
+		quiet      = flag.Bool("quiet", false, "suppress the stats summary")
+	)
+	flag.Parse()
+	if *info {
+		if *in == "" {
+			fatal("-in is required")
+		}
+		runInfo(*in)
+		return
+	}
+	if *compress == *decompress {
+		fatal("exactly one of -c or -d is required")
+	}
+	if *in == "" || *out == "" {
+		fatal("-in and -out are required")
+	}
+	if *compress {
+		runCompress(compressSpec{
+			in: *in, out: *out, dims: *dimsStr,
+			tol: *tol, bpp: *bpp, rmse: *rmse, psnr: *psnr,
+			f32: *f32, chunk: *chunkStr, workers: *workers,
+			qfactor: *qfactor, entropy: *entropy, quiet: *quiet,
+		})
+	} else {
+		runDecompress(*in, *out, *f32, *partial, *lowres, *region, *quiet)
+	}
+}
+
+func runInfo(in string) {
+	stream, err := os.ReadFile(in)
+	if err != nil {
+		fatal("read %s: %v", in, err)
+	}
+	fi, err := sperr.Describe(stream)
+	if err != nil {
+		fatal("describe: %v", err)
+	}
+	n := fi.Dims[0] * fi.Dims[1] * fi.Dims[2]
+	fmt.Printf("volume      %dx%dx%d (%d points)\n", fi.Dims[0], fi.Dims[1], fi.Dims[2], n)
+	fmt.Printf("chunks      %d of up to %dx%dx%d\n", fi.NumChunks,
+		fi.ChunkDims[0], fi.ChunkDims[1], fi.ChunkDims[2])
+	fmt.Printf("mode        %s", fi.Mode)
+	if fi.Mode == "pwe" {
+		fmt.Printf(" (tolerance %.6g)", fi.Tolerance)
+	}
+	if fi.Entropy {
+		fmt.Printf(", arithmetic-coded")
+	}
+	fmt.Println()
+	fmt.Printf("size        %d bytes (%.3f bits/point)\n", fi.CompressedBytes,
+		float64(fi.CompressedBytes*8)/float64(n))
+	fmt.Printf("coders      SPECK %d bits, outliers %d bits (pre-lossless)\n",
+		fi.SpeckBits, fi.OutlierBits)
+}
+
+type compressSpec struct {
+	in, out, dims, chunk string
+	tol, bpp, rmse, psnr float64
+	qfactor              float64
+	workers              int
+	f32, entropy, quiet  bool
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "sperr: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseDims(s string) [3]int {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		fatal("dims must be nx,ny,nz (got %q)", s)
+	}
+	var d [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			fatal("bad dimension %q", p)
+		}
+		d[i] = v
+	}
+	return d
+}
+
+func runCompress(c compressSpec) {
+	if c.dims == "" {
+		fatal("-dims is required when compressing")
+	}
+	modes := 0
+	for _, v := range []float64{c.tol, c.bpp, c.rmse, c.psnr} {
+		if v > 0 {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fatal("exactly one of -tol, -bpp, -rmse, -psnr must be positive")
+	}
+	dims := parseDims(c.dims)
+	width := 8
+	if c.f32 {
+		width = 4
+	}
+	data, err := rawio.ReadFloats(c.in, width)
+	if err != nil {
+		fatal("read %s: %v", c.in, err)
+	}
+	n := dims[0] * dims[1] * dims[2]
+	if len(data) != n {
+		fatal("%s holds %d values; dims %v need %d", c.in, len(data), dims, n)
+	}
+	opts := &sperr.Options{Workers: c.workers, QFactor: c.qfactor, Entropy: c.entropy}
+	if c.chunk != "" {
+		opts.ChunkDims = parseDims(c.chunk)
+	}
+	var stream []byte
+	var stats *sperr.Stats
+	switch {
+	case c.tol > 0:
+		stream, stats, err = sperr.CompressPWE(data, dims, c.tol, opts)
+	case c.bpp > 0:
+		stream, stats, err = sperr.CompressBPP(data, dims, c.bpp, opts)
+	case c.rmse > 0:
+		stream, stats, err = sperr.CompressRMSE(data, dims, c.rmse, opts)
+	default:
+		stream, stats, err = sperr.CompressPSNR(data, dims, c.psnr, opts)
+	}
+	if err != nil {
+		fatal("compress: %v", err)
+	}
+	if err := os.WriteFile(c.out, stream, 0o644); err != nil {
+		fatal("write %s: %v", c.out, err)
+	}
+	if !c.quiet {
+		ratio := float64(n*width) / float64(stats.CompressedBytes)
+		fmt.Printf("compressed %d points -> %d bytes (%.3f BPP, ratio %.1fx, %d chunks, %d outliers, %v)\n",
+			stats.NumPoints, stats.CompressedBytes, stats.BPP, ratio,
+			stats.NumChunks, stats.NumOutliers, stats.WallTime.Round(1000))
+	}
+}
+
+func runDecompress(in, out string, f32 bool, partial float64, lowres int, region string, quiet bool) {
+	stream, err := os.ReadFile(in)
+	if err != nil {
+		fatal("read %s: %v", in, err)
+	}
+	var data []float64
+	var dims [3]int
+	switch {
+	case region != "":
+		parts := strings.Split(region, ",")
+		if len(parts) != 6 {
+			fatal("-region must be x,y,z,nx,ny,nz")
+		}
+		var vals [6]int
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				fatal("bad region component %q", p)
+			}
+			vals[i] = v
+		}
+		dims = [3]int{vals[3], vals[4], vals[5]}
+		data, err = sperr.DecompressRegion(stream, [3]int{vals[0], vals[1], vals[2]}, dims)
+	case lowres > 0:
+		data, dims, err = sperr.DecompressLowRes(stream, lowres)
+	case partial > 0:
+		data, dims, err = sperr.DecompressPartial(stream, partial)
+	default:
+		data, dims, err = sperr.Decompress(stream)
+	}
+	if err != nil {
+		fatal("decompress: %v", err)
+	}
+	width := 8
+	if f32 {
+		width = 4
+	}
+	if err := rawio.WriteFloats(out, data, width); err != nil {
+		fatal("write %s: %v", out, err)
+	}
+	if !quiet {
+		fmt.Printf("decompressed %dx%dx%d (%d points) -> %s\n",
+			dims[0], dims[1], dims[2], len(data), out)
+	}
+}

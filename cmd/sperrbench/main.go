@@ -1,0 +1,61 @@
+// Command sperrbench regenerates the paper's tables and figures on the
+// synthetic SDRBench stand-ins.
+//
+// Examples:
+//
+//	sperrbench -exp all            # every experiment, default scale
+//	sperrbench -exp fig8 -n 64     # rate-distortion comparison on 64^3 grids
+//	sperrbench -exp fig9 -quick    # trimmed sweep for a fast look
+//
+// Experiment ids: tab1 tab2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+// fig10 fig11 (see DESIGN.md for the per-experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sperr/internal/experiments"
+	"sperr/internal/grid"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or comma list (or 'all')")
+		n       = flag.Int("n", 48, "base grid edge length")
+		seed    = flag.Int64("seed", 2023, "synthetic data seed")
+		workers = flag.Int("workers", 0, "parallel workers (default GOMAXPROCS)")
+		quick   = flag.Bool("quick", false, "trim sweeps for a fast run")
+		plots   = flag.Bool("plot", false, "render figures as ASCII charts after the tables")
+	)
+	flag.Parse()
+	cfg := experiments.Config{
+		Dims:    grid.D3(*n, *n, *n),
+		Seed:    *seed,
+		Workers: *workers,
+		Quick:   *quick,
+	}
+	show := func(r *experiments.Result) {
+		r.Print(os.Stdout)
+		if *plots {
+			r.PrintCharts(os.Stdout)
+		}
+	}
+	if *exp == "all" {
+		for _, r := range experiments.All(cfg) {
+			show(r)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		id = strings.TrimSpace(id)
+		drv := experiments.ByID(id)
+		if drv == nil {
+			fmt.Fprintf(os.Stderr, "sperrbench: unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+		show(drv(cfg))
+	}
+}

@@ -1,0 +1,74 @@
+// Climate-archive scenario: the paper motivates SPERR with large
+// community data sets — written once, read by thousands of researchers
+// for years (NCAR CESM LENS, ~500 TB) — where achieved compression rate
+// trumps compression speed.
+//
+// This example compresses an ensemble of turbulence-like "climate" fields
+// at archive-grade tolerances (Table I's idx levels), reports the storage
+// the archive saves at each level, and verifies the PWE guarantee that
+// makes the archive trustworthy for quantitative reanalysis.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sperr"
+	"sperr/internal/grid"
+	"sperr/internal/metrics"
+	"sperr/internal/synth"
+)
+
+func main() {
+	const n = 64
+	d := grid.D3(n, n, n)
+	dims := [3]int{n, n, n}
+
+	// A small "ensemble" of member fields, as LENS stores per member.
+	members := []struct {
+		name string
+		vol  *grid.Volume
+	}{
+		{"pressure (member 01)", synth.MirandaPressure(d, 1)},
+		{"pressure (member 02)", synth.MirandaPressure(d, 2)},
+		{"velocity-x (member 01)", synth.MirandaVelocityX(d, 1)},
+	}
+
+	fmt.Println("archive compression at Table I tolerance levels")
+	fmt.Println("idx  meaning                      field                    BPP     ratio   maxErr/t")
+	for _, idx := range []int{10, 20, 30} {
+		meaning := map[int]string{
+			10: "1/1000 of data range",
+			20: "1/1e6 of data range ",
+			30: "1/1e9 of data range ",
+		}[idx]
+		for _, m := range members {
+			rng := metrics.Range(m.vol.Data)
+			tol := metrics.ToleranceForIdx(rng, idx)
+			stream, stats, err := sperr.CompressPWE(m.vol.Data, dims, tol, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			recon, _, err := sperr.Decompress(stream)
+			if err != nil {
+				log.Fatal(err)
+			}
+			maxErr := 0.0
+			for i := range recon {
+				if e := math.Abs(recon[i] - m.vol.Data[i]); e > maxErr {
+					maxErr = e
+				}
+			}
+			ratio := float64(8*len(m.vol.Data)) / float64(stats.CompressedBytes)
+			fmt.Printf("%-3d  %s  %-22s  %6.3f  %5.1fx  %.3f\n",
+				idx, meaning, m.name, stats.BPP, ratio, maxErr/tol)
+			if maxErr > tol {
+				log.Fatalf("tolerance violated for %s at idx %d", m.name, idx)
+			}
+		}
+	}
+	fmt.Println("\nevery member satisfies its point-wise error bound; at idx=10")
+	fmt.Println("(visualization grade) the archive shrinks by more than an order of")
+	fmt.Println("magnitude, exactly the trade the paper's motivating archives make.")
+}

@@ -1,0 +1,105 @@
+// Compressor shoot-out: run the five compressors of the paper's
+// evaluation (SPERR, SZ3-, ZFP-, MGARD-, and TTHRESH-like) on one field
+// at one tolerance and print the Figure 8/9-style comparison — a compact,
+// runnable version of Section VI.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sperr"
+	"sperr/internal/grid"
+	"sperr/internal/metrics"
+	"sperr/internal/mgard"
+	"sperr/internal/synth"
+	"sperr/internal/sz"
+	"sperr/internal/tthresh"
+	"sperr/internal/zfp"
+)
+
+func main() {
+	const n = 48
+	d := grid.D3(n, n, n)
+	vol := synth.MirandaViscosity(d, 7)
+	idx := 20
+	tol := metrics.ToleranceForIdx(metrics.Range(vol.Data), idx)
+	fmt.Printf("field: Miranda Viscosity %v, tolerance idx=%d (t=%.3g)\n\n", d, idx, tol)
+	fmt.Println("compressor   BPP      PSNR dB   gain    maxErr/t   PWE bounded?")
+
+	report := func(name string, stream []byte, recon []float64, guaranteed bool) {
+		bpp := metrics.BPP(len(stream), d.Len())
+		maxe := metrics.MaxErr(vol.Data, recon)
+		bounded := "yes"
+		if !guaranteed {
+			bounded = "no (by design)"
+		} else if maxe > tol*(1+1e-9) {
+			bounded = "VIOLATED"
+		}
+		fmt.Printf("%-10s %7.3f  %8.2f  %6.2f  %9.3f   %s\n",
+			name, bpp, metrics.PSNR(vol.Data, recon),
+			metrics.AccuracyGain(vol.Data, recon, bpp), maxe/tol, bounded)
+	}
+
+	// SPERR (this library).
+	stream, _, err := sperr.CompressPWE(vol.Data, [3]int{n, n, n}, tol, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recon, _, err := sperr.Decompress(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("SPERR", stream, recon, true)
+
+	// SZ3-like interpolation predictor.
+	szStream, err := sz.Compress(vol.Data, d, sz.Params{Tol: tol})
+	if err != nil {
+		log.Fatal(err)
+	}
+	szRecon, _, err := sz.Decompress(szStream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("SZ3", szStream, szRecon, true)
+
+	// ZFP-like fixed-accuracy mode.
+	zfpStream, err := zfp.Compress(vol.Data, d, zfp.Params{Mode: zfp.ModeFixedAccuracy, Tol: tol})
+	if err != nil {
+		log.Fatal(err)
+	}
+	zfpRecon, _, err := zfp.Decompress(zfpStream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("ZFP", zfpStream, zfpRecon, true)
+
+	// MGARD-like multilevel compressor.
+	mgardStream, err := mgard.Compress(vol.Data, d, mgard.Params{Tol: tol})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgardRecon, _, err := mgard.Decompress(mgardStream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("MGARD", mgardStream, mgardRecon, true)
+
+	// TTHRESH-like Tucker compressor: average-error target only, per the
+	// paper PSNR = 20*log10(2)*idx.
+	psnr := 20 * math.Log10(2) * float64(idx)
+	ttStream, err := tthresh.Compress(vol.Data, d, tthresh.Params{TargetPSNR: psnr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ttRecon, _, err := tthresh.Decompress(ttStream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("TTHRESH", ttStream, ttRecon, false)
+
+	fmt.Println("\nexpected shape (paper Figs. 8-9): SPERR needs the fewest bits to meet")
+	fmt.Println("the tolerance; SZ3 and ZFP follow; MGARD pays the most; TTHRESH meets")
+	fmt.Println("an average-error target but offers no point-wise bound.")
+}

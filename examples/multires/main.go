@@ -1,0 +1,78 @@
+// Multi-resolution exploration: wavelet hierarchies represent data as
+// self-similar coarsenings (paper Section VII), so one SPERR archive can
+// serve an interactive "overview first, zoom on demand" workflow without
+// re-compression: decode a tiny coarse level to find the feature, then a
+// finer level, then the exact data with its error bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sperr"
+	"sperr/internal/grid"
+	"sperr/internal/metrics"
+	"sperr/internal/synth"
+)
+
+func main() {
+	const n = 64
+	vol := synth.S3DTemperature(grid.D3(n, n, n), 5)
+	tol := metrics.ToleranceForIdx(metrics.Range(vol.Data), 20)
+	stream, stats, err := sperr.CompressPWE(vol.Data, [3]int{n, n, n}, tol, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("archived %d^3 combustion field once: %d bytes (%.2f BPP)\n\n",
+		n, stats.CompressedBytes, stats.BPP)
+
+	// The analysis task: locate the hottest region of the flame.
+	fmt.Println("level  dims        points  hot-spot (fine coords)   max T")
+	fullX, fullY, fullZ, _ := hotspot(vol.Data, grid.D3(n, n, n), 1)
+	for drop := 3; drop >= 0; drop-- {
+		data, dims, err := sperr.DecompressLowRes(stream, drop)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := grid.D3(dims[0], dims[1], dims[2])
+		scale := 1 << drop
+		x, y, z, maxT := hotspot(data, d, scale)
+		fmt.Printf("%5d  %-10s  %6d  (%3d, %3d, %3d)          %7.1f\n",
+			drop, d.String(), d.Len(), x, y, z, maxT)
+	}
+	fmt.Printf("\nground truth hot-spot: (%d, %d, %d)\n", fullX, fullY, fullZ)
+	fmt.Println("the coarse levels recover the flame's temperature scale and its hot")
+	fmt.Println("band from a tiny fraction of the points (512 at drop=3 vs 262144), so")
+	fmt.Println("an analyst can pick the region to decode at full precision.")
+
+	// The final zoom: full decode restores the point-wise guarantee.
+	recon, _, err := sperr.Decompress(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr := 0.0
+	for i := range recon {
+		if e := math.Abs(recon[i] - vol.Data[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("full decode max error %.3g <= tolerance %.3g\n", maxErr, tol)
+}
+
+// hotspot returns the location (in fine-grid coordinates) and value of the
+// maximum.
+func hotspot(data []float64, d grid.Dims, scale int) (x, y, z int, v float64) {
+	v = math.Inf(-1)
+	for zz := 0; zz < d.NZ; zz++ {
+		for yy := 0; yy < d.NY; yy++ {
+			for xx := 0; xx < d.NX; xx++ {
+				if t := data[d.Index(xx, yy, zz)]; t > v {
+					v = t
+					x, y, z = xx*scale, yy*scale, zz*scale
+				}
+			}
+		}
+	}
+	return
+}

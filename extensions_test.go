@@ -1,0 +1,149 @@
+package sperr
+
+// Tests for the Section VII extension features: average-error-targeted
+// compression, progressive (embedded-prefix) decoding, and
+// multi-resolution decoding.
+
+import (
+	"math"
+	"testing"
+)
+
+func rmse(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+func TestCompressRMSE(t *testing.T) {
+	dims := [3]int{32, 32, 32}
+	data := demoField(32, 32, 32, 11)
+	for _, target := range []float64{1.0, 0.05} {
+		stream, st, err := CompressRMSE(data, dims, target, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, _, err := Decompress(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rmse(data, rec); got > target {
+			t.Errorf("target RMSE %g, achieved %g", target, got)
+		}
+		if st.BPP <= 0 || st.BPP >= 64 {
+			t.Errorf("implausible BPP %g", st.BPP)
+		}
+	}
+	if _, _, err := CompressRMSE(data, dims, 0, nil); err == nil {
+		t.Error("zero target should fail")
+	}
+}
+
+func TestCompressPSNR(t *testing.T) {
+	dims := [3]int{32, 32, 32}
+	data := demoField(32, 32, 32, 13)
+	lo, hi := data[0], data[0]
+	for _, v := range data {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	for _, target := range []float64{40, 70} {
+		stream, _, err := CompressPSNR(data, dims, target, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, _, err := Decompress(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 20 * math.Log10((hi-lo)/rmse(data, rec))
+		if got < target {
+			t.Errorf("target PSNR %g dB, achieved %g dB", target, got)
+		}
+	}
+	if _, _, err := CompressPSNR(data, dims, -5, nil); err == nil {
+		t.Error("negative PSNR should fail")
+	}
+}
+
+func TestDecompressPartialPublic(t *testing.T) {
+	dims := [3]int{32, 32, 32}
+	data := demoField(32, 32, 32, 17)
+	stream, _, err := CompressPWE(data, dims, 1e-6, &Options{ChunkDims: [3]int{16, 16, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, frac := range []float64{0.1, 0.5, 1.0} {
+		rec, gotDims, err := DecompressPartial(stream, frac)
+		if err != nil {
+			t.Fatalf("frac=%g: %v", frac, err)
+		}
+		if gotDims != dims {
+			t.Fatalf("dims %v", gotDims)
+		}
+		e := rmse(data, rec)
+		if e > prev*1.02 {
+			t.Errorf("frac=%g: error %g not improving on %g", frac, e, prev)
+		}
+		prev = e
+	}
+	if _, _, err := DecompressPartial(stream, 0); err == nil {
+		t.Error("fraction 0 should fail")
+	}
+	if _, _, err := DecompressPartial(stream, 2); err == nil {
+		t.Error("fraction > 1 should fail")
+	}
+}
+
+func TestDecompressLowResPublic(t *testing.T) {
+	dims := [3]int{32, 32, 32}
+	data := demoField(32, 32, 32, 19)
+	// Two chunk layouts: single chunk, and a 2x2x2 chunk grid whose
+	// coarse tiles must reassemble seamlessly.
+	for _, cd := range [][3]int{{32, 32, 32}, {16, 16, 16}} {
+		stream, _, err := CompressPWE(data, dims, 1e-6, &Options{ChunkDims: cd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, fullDims, err := DecompressLowRes(stream, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fullDims != dims {
+			t.Fatalf("chunk %v: drop=0 dims %v", cd, fullDims)
+		}
+		if e := rmse(data, full); e > 1e-5 {
+			t.Errorf("chunk %v: drop=0 rmse %g", cd, e)
+		}
+		half, halfDims, err := DecompressLowRes(stream, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if halfDims != [3]int{16, 16, 16} {
+			t.Fatalf("chunk %v: drop=1 dims %v, want 16^3", cd, halfDims)
+		}
+		if len(half) != 16*16*16 {
+			t.Fatalf("chunk %v: drop=1 len %d", cd, len(half))
+		}
+		// Coarse values must be on the data's scale, not the raw
+		// coefficient scale (which is ~2.8x larger per level).
+		lo, hi := data[0], data[0]
+		for _, v := range data {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		clo, chi := half[0], half[0]
+		for _, v := range half {
+			clo = math.Min(clo, v)
+			chi = math.Max(chi, v)
+		}
+		if chi > hi*1.5+1 || clo < lo*1.5-1 {
+			t.Errorf("chunk %v: coarse range [%g, %g] vs data [%g, %g] — rescaling off",
+				cd, clo, chi, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sperr
+
+// Native Go fuzz targets. `go test` runs the seed corpus as regular tests;
+// `go test -fuzz=FuzzDecompress` explores further. The invariant under
+// test: no input, however malformed, may panic a decoder — it must return
+// an error or (for bit-level damage past the headers) garbage data of the
+// declared shape.
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzDecompress(f *testing.F) {
+	// Seed with a valid stream and a few mutations.
+	data := demoField(8, 8, 8, 99)
+	stream, _, err := CompressPWE(data, [3]int{8, 8, 8}, 0.1, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(stream)
+	f.Add(stream[:len(stream)/2])
+	f.Add([]byte{})
+	f.Add([]byte("SPRRGO01garbage"))
+	mutated := append([]byte(nil), stream...)
+	for i := 10; i < len(mutated); i += 17 {
+		mutated[i] ^= 0xA5
+	}
+	f.Add(mutated)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		rec, dims, err := Decompress(in)
+		if err == nil {
+			if len(rec) != dims[0]*dims[1]*dims[2] {
+				t.Fatalf("shape mismatch: %d values for %v", len(rec), dims)
+			}
+		}
+		_, _, _ = DecompressPartial(in, 0.5)
+		_, _, _ = DecompressLowRes(in, 1)
+		_, _ = Describe(in)
+	})
+}
+
+func FuzzCompressDecompress(f *testing.F) {
+	// Round-trip invariant on arbitrary (finite) inputs: the PWE bound
+	// must hold for whatever bytes the fuzzer interprets as floats.
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, side uint8) {
+		n := int(side%6) + 2 // 2..7 per axis
+		need := n * n * n
+		data := make([]float64, need)
+		for i := range data {
+			var v float64
+			if len(raw) > 0 {
+				v = float64(int8(raw[i%len(raw)])) * 0.125
+			}
+			data[i] = v
+		}
+		tol := 0.01
+		stream, _, err := CompressPWE(data, [3]int{n, n, n}, tol, nil)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		rec, dims, err := Decompress(stream)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if dims != [3]int{n, n, n} {
+			t.Fatalf("dims %v", dims)
+		}
+		for i := range data {
+			if math.Abs(rec[i]-data[i]) > tol*(1+1e-9) {
+				t.Fatalf("PWE violated at %d: %g vs %g", i, rec[i], data[i])
+			}
+		}
+	})
+}

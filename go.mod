@@ -1,0 +1,3 @@
+module sperr
+
+go 1.22

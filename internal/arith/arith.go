@@ -1,0 +1,137 @@
+// Package arith implements an adaptive binary arithmetic coder (an
+// LZMA-style binary range coder with 11-bit adaptive probabilities). It is
+// the substrate for the entropy-coded SPECK variant: the original SPECK
+// paper (Pearlman et al. 2004) reports both a raw-bit and an
+// arithmetic-coded version, and the reproduction offers the same choice as
+// an ablation on top of the paper's raw-bit default.
+package arith
+
+// ProbBits is the probability resolution; probabilities live in
+// (0, 1<<ProbBits).
+const ProbBits = 11
+
+// moveBits controls the adaptation rate (larger = slower).
+const moveBits = 5
+
+// Prob is an adaptive probability of the next bit being zero.
+// NewProb starts at one half.
+type Prob uint16
+
+// NewProb returns an unbiased probability state.
+func NewProb() Prob { return 1 << (ProbBits - 1) }
+
+const topValue = 1 << 24
+
+// Encoder is a binary range encoder. The zero value is NOT ready; use
+// NewEncoder.
+type Encoder struct {
+	low      uint64
+	rng      uint32
+	cache    byte
+	hasCache bool
+	pending  int
+	out      []byte
+}
+
+// NewEncoder returns an encoder accumulating into memory. The stream
+// starts with one leading zero byte (the initial carry cache), which the
+// decoder skips; carries propagate into it correctly.
+func NewEncoder() *Encoder {
+	return &Encoder{rng: 0xFFFFFFFF, hasCache: true}
+}
+
+// EncodeBit codes one bit under the adaptive probability p, updating p.
+func (e *Encoder) EncodeBit(p *Prob, bit bool) {
+	bound := (e.rng >> ProbBits) * uint32(*p)
+	if !bit {
+		e.rng = bound
+		*p += (1<<ProbBits - *p) >> moveBits
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> moveBits
+	}
+	for e.rng < topValue {
+		e.shiftLow()
+		e.rng <<= 8
+	}
+}
+
+func (e *Encoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || (e.low>>32) != 0 {
+		carry := byte(e.low >> 32)
+		if e.hasCache {
+			e.out = append(e.out, e.cache+carry)
+		}
+		for ; e.pending > 0; e.pending-- {
+			e.out = append(e.out, 0xFF+carry)
+		}
+		e.cache = byte(e.low >> 24)
+		e.hasCache = true
+	} else {
+		e.pending++
+	}
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+// Bytes flushes the coder and returns the complete stream. The encoder
+// must not be used afterwards.
+func (e *Encoder) Bytes() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// Len returns the current output size in bytes (an upper estimate until
+// Bytes flushes; the flush adds at most 5 bytes).
+func (e *Encoder) Len() int { return len(e.out) }
+
+// Decoder is the matching binary range decoder. Reads past the end of the
+// stream behave as zero bytes, so truncated streams decode without error
+// (producing arbitrary bits, exactly like the raw-bit reader).
+type Decoder struct {
+	code uint32
+	rng  uint32
+	in   []byte
+	pos  int
+}
+
+// NewDecoder initializes a decoder over data.
+func NewDecoder(data []byte) *Decoder {
+	d := &Decoder{rng: 0xFFFFFFFF, in: data}
+	d.next() // the first output byte of the encoder is a leading zero
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return d
+}
+
+func (d *Decoder) next() byte {
+	if d.pos >= len(d.in) {
+		return 0
+	}
+	b := d.in[d.pos]
+	d.pos++
+	return b
+}
+
+// DecodeBit decodes one bit under the adaptive probability p, updating p.
+func (d *Decoder) DecodeBit(p *Prob) bool {
+	bound := (d.rng >> ProbBits) * uint32(*p)
+	var bit bool
+	if d.code < bound {
+		d.rng = bound
+		*p += (1<<ProbBits - *p) >> moveBits
+	} else {
+		bit = true
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> moveBits
+	}
+	for d.rng < topValue {
+		d.code = d.code<<8 | uint32(d.next())
+		d.rng <<= 8
+	}
+	return bit
+}

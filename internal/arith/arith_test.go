@@ -1,0 +1,150 @@
+package arith
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, bits []bool, contexts []int, nctx int) {
+	t.Helper()
+	enc := NewEncoder()
+	probs := make([]Prob, nctx)
+	for i := range probs {
+		probs[i] = NewProb()
+	}
+	for i, b := range bits {
+		enc.EncodeBit(&probs[contexts[i]], b)
+	}
+	data := enc.Bytes()
+	dprobs := make([]Prob, nctx)
+	for i := range dprobs {
+		dprobs[i] = NewProb()
+	}
+	dec := NewDecoder(data)
+	for i, want := range bits {
+		if got := dec.DecodeBit(&dprobs[contexts[i]]); got != want {
+			t.Fatalf("bit %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 20; iter++ {
+		n := 1 + rng.Intn(5000)
+		bits := make([]bool, n)
+		ctx := make([]int, n)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 1
+			ctx[i] = rng.Intn(4)
+		}
+		roundTrip(t, bits, ctx, 4)
+	}
+}
+
+func TestRoundTripDegenerate(t *testing.T) {
+	// All-zero and all-one streams of many lengths (carry propagation
+	// edge cases live here).
+	for _, n := range []int{0, 1, 2, 7, 8, 9, 100, 4097} {
+		bits := make([]bool, n)
+		ctx := make([]int, n)
+		roundTrip(t, bits, ctx, 1)
+		for i := range bits {
+			bits[i] = true
+		}
+		roundTrip(t, bits, ctx, 1)
+	}
+}
+
+func TestCompressionOfSkewedBits(t *testing.T) {
+	// 2% ones: an adaptive coder must get well below 1 bit per symbol
+	// (entropy is ~0.14 bits).
+	rng := rand.New(rand.NewSource(2))
+	n := 100000
+	enc := NewEncoder()
+	p := NewProb()
+	ones := 0
+	for i := 0; i < n; i++ {
+		b := rng.Float64() < 0.02
+		if b {
+			ones++
+		}
+		enc.EncodeBit(&p, b)
+	}
+	data := enc.Bytes()
+	bps := float64(len(data)*8) / float64(n)
+	if bps > 0.25 {
+		t.Errorf("skewed stream cost %.3f bits/symbol, want < 0.25", bps)
+	}
+	// And it must still round trip.
+	dec := NewDecoder(data)
+	dp := NewProb()
+	rng2 := rand.New(rand.NewSource(2))
+	for i := 0; i < n; i++ {
+		want := rng2.Float64() < 0.02
+		if got := dec.DecodeBit(&dp); got != want {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+func TestRandomBitsNearOneBPS(t *testing.T) {
+	// Uniform random bits are incompressible: the coder must stay close
+	// to 1 bit per symbol (small adaptive overhead allowed).
+	rng := rand.New(rand.NewSource(3))
+	n := 50000
+	enc := NewEncoder()
+	p := NewProb()
+	for i := 0; i < n; i++ {
+		enc.EncodeBit(&p, rng.Intn(2) == 1)
+	}
+	bps := float64(len(enc.Bytes())*8) / float64(n)
+	if math.Abs(bps-1) > 0.05 {
+		t.Errorf("random stream cost %.4f bits/symbol, want ~1", bps)
+	}
+}
+
+func TestTruncatedStreamNoPanic(t *testing.T) {
+	enc := NewEncoder()
+	p := NewProb()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		enc.EncodeBit(&p, rng.Intn(2) == 1)
+	}
+	data := enc.Bytes()
+	for cut := 0; cut <= len(data); cut += 3 {
+		dec := NewDecoder(data[:cut])
+		dp := NewProb()
+		for i := 0; i < 1000; i++ {
+			dec.DecodeBit(&dp) // must not panic
+		}
+	}
+}
+
+func TestProbAdaptation(t *testing.T) {
+	p := NewProb()
+	e := NewEncoder()
+	for i := 0; i < 100; i++ {
+		e.EncodeBit(&p, false)
+	}
+	if p <= NewProb() {
+		t.Errorf("probability of zero should have grown: %d", p)
+	}
+	q := NewProb()
+	for i := 0; i < 100; i++ {
+		e.EncodeBit(&q, true)
+	}
+	if q >= NewProb() {
+		t.Errorf("probability of zero should have shrunk: %d", q)
+	}
+}
+
+func BenchmarkEncodeBit(b *testing.B) {
+	enc := NewEncoder()
+	p := NewProb()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.EncodeBit(&p, i&7 == 0)
+	}
+}

@@ -1,0 +1,104 @@
+// Package bitgroom implements bit grooming (Zender 2016, the paper's
+// reference [1]): statistically accurate precision-preserving quantization
+// that zeroes insignificant mantissa bits so a general-purpose lossless
+// coder can squeeze the result. It is the simplest member of the lossy
+// family the paper situates SPERR against — no transform, no prediction —
+// and serves as the floor baseline in the ablation experiments.
+//
+// Grooming alternates bit-shaving (AND with a mask) and bit-setting (OR
+// with the complement) across consecutive values, which cancels the
+// quantization bias that plain truncation would introduce — that is the
+// "statistically accurate" part of Zender's method.
+package bitgroom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"sperr/internal/lossless"
+)
+
+// ErrCorrupt reports an undecodable stream.
+var ErrCorrupt = errors.New("bitgroom: corrupt stream")
+
+// Params controls grooming.
+type Params struct {
+	// KeepBits is the number of explicit mantissa bits preserved
+	// (1..52). Roughly log2(10)*NSD bits for NSD significant decimal
+	// digits.
+	KeepBits int
+}
+
+// KeepBitsForNSD returns the mantissa bits needed for the given number of
+// significant decimal digits (Zender's NSD convention).
+func KeepBitsForNSD(nsd int) int {
+	if nsd < 1 {
+		nsd = 1
+	}
+	b := int(math.Ceil(float64(nsd)*math.Log2(10))) + 1
+	if b > 52 {
+		b = 52
+	}
+	return b
+}
+
+// Groom quantizes data in place: mantissa bits below KeepBits are shaved
+// (even indices) or set (odd indices). The relative error per value is
+// bounded by 2^-KeepBits.
+func Groom(data []float64, p Params) error {
+	if p.KeepBits < 1 || p.KeepBits > 52 {
+		return fmt.Errorf("bitgroom: KeepBits %d out of range [1, 52]", p.KeepBits)
+	}
+	drop := uint(52 - p.KeepBits)
+	mask := ^uint64(0) << drop
+	for i, v := range data {
+		if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		bits := math.Float64bits(v)
+		if i%2 == 0 {
+			bits &= mask // shave
+		} else {
+			bits |= ^mask // set
+		}
+		data[i] = math.Float64frombits(bits)
+	}
+	return nil
+}
+
+// Compress grooms a copy of data and wraps it in the lossless back end.
+func Compress(data []float64, p Params) ([]byte, error) {
+	groomed := append([]float64(nil), data...)
+	if err := Groom(groomed, p); err != nil {
+		return nil, err
+	}
+	raw := make([]byte, 8+len(groomed)*8)
+	binary.LittleEndian.PutUint64(raw, uint64(len(groomed)))
+	for i, v := range groomed {
+		binary.LittleEndian.PutUint64(raw[8+i*8:], math.Float64bits(v))
+	}
+	return lossless.Compress(raw), nil
+}
+
+// Decompress reverses Compress. Bit grooming is idempotent, so the
+// decoded values are exactly the groomed values.
+func Decompress(stream []byte) ([]float64, error) {
+	raw, err := lossless.Decompress(stream)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 8 {
+		return nil, fmt.Errorf("%w: short stream", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint64(raw))
+	if len(raw) != 8+n*8 {
+		return nil, fmt.Errorf("%w: %d bytes for %d values", ErrCorrupt, len(raw), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8+i*8:]))
+	}
+	return out, nil
+}

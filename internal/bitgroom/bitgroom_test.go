@@ -1,0 +1,135 @@
+package bitgroom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKeepBitsForNSD(t *testing.T) {
+	cases := []struct{ nsd, min, max int }{
+		{1, 4, 6}, {3, 10, 12}, {7, 24, 25}, {16, 52, 52}, {0, 4, 6},
+	}
+	for _, c := range cases {
+		got := KeepBitsForNSD(c.nsd)
+		if got < c.min || got > c.max {
+			t.Errorf("KeepBitsForNSD(%d) = %d, want in [%d, %d]", c.nsd, got, c.min, c.max)
+		}
+	}
+}
+
+func TestRelativeErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = rng.NormFloat64() * math.Exp(10*rng.NormFloat64())
+	}
+	orig := append([]float64(nil), data...)
+	keep := 20
+	if err := Groom(data, Params{KeepBits: keep}); err != nil {
+		t.Fatal(err)
+	}
+	bound := math.Ldexp(1, -keep+1)
+	for i := range data {
+		rel := math.Abs(data[i]-orig[i]) / math.Abs(orig[i])
+		if rel > bound {
+			t.Fatalf("idx %d: relative error %g > %g", i, rel, bound)
+		}
+	}
+}
+
+func TestBiasCancellation(t *testing.T) {
+	// Shave/set alternation should keep the mean nearly unbiased, unlike
+	// pure truncation which is systematically low in magnitude.
+	data := make([]float64, 100000)
+	for i := range data {
+		data[i] = 1.0 + float64(i%997)/997
+	}
+	var meanBefore float64
+	for _, v := range data {
+		meanBefore += v
+	}
+	meanBefore /= float64(len(data))
+	if err := Groom(data, Params{KeepBits: 8}); err != nil {
+		t.Fatal(err)
+	}
+	var meanAfter float64
+	for _, v := range data {
+		meanAfter += v
+	}
+	meanAfter /= float64(len(data))
+	// Pure truncation at 8 bits would bias by ~2^-9 ~ 2e-3 relative;
+	// grooming should be an order of magnitude better.
+	if rel := math.Abs(meanAfter-meanBefore) / meanBefore; rel > 5e-4 {
+		t.Errorf("groomed mean biased by %g relative", rel)
+	}
+}
+
+func TestSpecialValuesUntouched(t *testing.T) {
+	data := []float64{0, math.Inf(1), math.Inf(-1), math.NaN(), 1.5}
+	if err := Groom(data, Params{KeepBits: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 0 || !math.IsInf(data[1], 1) || !math.IsInf(data[2], -1) || !math.IsNaN(data[3]) {
+		t.Errorf("special values modified: %v", data)
+	}
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = math.Sin(float64(i)*0.01) + 0.001*rng.NormFloat64()
+	}
+	stream, err := Compress(data, Params{KeepBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) >= len(data)*8 {
+		t.Errorf("grooming did not compress: %d bytes", len(stream))
+	}
+	got, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("len %d", len(got))
+	}
+	bound := math.Ldexp(1, -11)
+	for i := range data {
+		if rel := math.Abs(got[i]-data[i]) / (math.Abs(data[i]) + 1e-300); rel > bound {
+			t.Fatalf("idx %d: relative error %g", i, rel)
+		}
+	}
+}
+
+func TestFewerBitsCompressMore(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 8192)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	s8, err := Compress(data, Params{KeepBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s40, err := Compress(data, Params{KeepBits: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s8) >= len(s40) {
+		t.Errorf("8 kept bits (%d) should compress better than 40 (%d)", len(s8), len(s40))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := Groom(nil, Params{KeepBits: 0}); err == nil {
+		t.Error("KeepBits 0 should fail")
+	}
+	if err := Groom(nil, Params{KeepBits: 53}); err == nil {
+		t.Error("KeepBits 53 should fail")
+	}
+	if _, err := Decompress([]byte{1, 2}); err == nil {
+		t.Error("garbage should fail")
+	}
+}

@@ -1,0 +1,161 @@
+// Package bits provides bit-granular stream I/O for embedded coders.
+//
+// SPECK and the SPERR outlier coder emit decisions one bit at a time and
+// must be able to stop mid-pass when a size budget is exhausted (the
+// "embedded" property: any prefix of the stream is decodable). Writer and
+// Reader therefore expose exact bit positions and budget-aware operations.
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is returned (or signalled via Exhausted) when a budget-limited
+// stream runs out of bits.
+var ErrBudget = errors.New("bits: budget exhausted")
+
+// Writer accumulates individual bits into a byte slice, LSB-first within
+// each byte. The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	n    uint64 // number of bits written
+	cur  byte   // partial byte being filled
+	fill uint   // bits used in cur (0..7)
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint bits.
+func NewWriter(sizeHint int) *Writer {
+	w := &Writer{}
+	if sizeHint > 0 {
+		w.buf = make([]byte, 0, (sizeHint+7)/8)
+	}
+	return w
+}
+
+// WriteBit appends one bit.
+func (w *Writer) WriteBit(b bool) {
+	if b {
+		w.cur |= 1 << w.fill
+	}
+	w.fill++
+	w.n++
+	if w.fill == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur = 0
+		w.fill = 0
+	}
+}
+
+// WriteBits appends the low n bits of v, least significant first.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	for i := uint(0); i < n; i++ {
+		w.WriteBit(v&(1<<i) != 0)
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() uint64 { return w.n }
+
+// Bytes returns the stream padded with zero bits to a whole byte.
+// The Writer remains usable; Bytes may be called repeatedly.
+func (w *Writer) Bytes() []byte {
+	out := make([]byte, len(w.buf), len(w.buf)+1)
+	copy(out, w.buf)
+	if w.fill > 0 {
+		out = append(out, w.cur)
+	}
+	return out
+}
+
+// Reset truncates the writer to empty, retaining capacity.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.n = 0
+	w.cur = 0
+	w.fill = 0
+}
+
+// Reader consumes bits from a byte slice, LSB-first within each byte.
+// A bit budget smaller than the underlying data may be imposed so that
+// truncated (embedded) streams decode cleanly: once the budget is hit,
+// ReadBit reports false and Exhausted() turns true, letting decoder loops
+// unwind without error plumbing at every call site.
+type Reader struct {
+	buf    []byte
+	pos    uint64 // next bit index
+	budget uint64 // total bits readable
+	over   bool   // attempted to read past budget
+}
+
+// NewReader returns a Reader over data with the budget set to all bits
+// present in data.
+func NewReader(data []byte) *Reader {
+	return &Reader{buf: data, budget: uint64(len(data)) * 8}
+}
+
+// NewReaderBits returns a Reader over data limited to nbits bits.
+// If nbits exceeds the data length the budget is clamped.
+func NewReaderBits(data []byte, nbits uint64) *Reader {
+	r := NewReader(data)
+	if nbits < r.budget {
+		r.budget = nbits
+	}
+	return r
+}
+
+// SetBudget lowers (or raises, up to the data size) the readable bit count.
+func (r *Reader) SetBudget(nbits uint64) {
+	max := uint64(len(r.buf)) * 8
+	if nbits > max {
+		nbits = max
+	}
+	r.budget = nbits
+}
+
+// ReadBit returns the next bit. Past the budget it returns false and marks
+// the reader exhausted.
+func (r *Reader) ReadBit() bool {
+	if r.pos >= r.budget {
+		r.over = true
+		return false
+	}
+	b := r.buf[r.pos>>3]&(1<<(r.pos&7)) != 0
+	r.pos++
+	return b
+}
+
+// ReadBits reads n bits LSB-first and returns them as a uint64.
+// If the budget runs out mid-read the reader is exhausted and the
+// already-read low bits are returned.
+func (r *Reader) ReadBits(n uint) uint64 {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		if r.ReadBit() {
+			v |= 1 << i
+		}
+		if r.over {
+			break
+		}
+	}
+	return v
+}
+
+// Exhausted reports whether a read past the budget was attempted.
+func (r *Reader) Exhausted() bool { return r.over }
+
+// Pos returns the number of bits consumed.
+func (r *Reader) Pos() uint64 { return r.pos }
+
+// Remaining returns the number of bits still readable.
+func (r *Reader) Remaining() uint64 {
+	if r.pos >= r.budget {
+		return 0
+	}
+	return r.budget - r.pos
+}
+
+// String implements fmt.Stringer for debugging.
+func (r *Reader) String() string {
+	return fmt.Sprintf("bits.Reader{pos=%d budget=%d over=%v}", r.pos, r.budget, r.over)
+}

@@ -1,0 +1,232 @@
+// Package chunk implements SPERR's embarrassingly parallel execution
+// strategy (paper Section III-D): a large volume is divided into chunks,
+// each chunk is compressed independently on its own goroutine (standing in
+// for the paper's OpenMP threads), and the per-chunk bitstreams are
+// concatenated under a container header. Chunk dimensions need not divide
+// the volume dimensions; remainder chunks are simply smaller. The achieved
+// parallelism is capped by the number of chunks, exactly as the paper
+// observes.
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sperr/internal/codec"
+	"sperr/internal/grid"
+)
+
+// magic identifies a SPERR-Go container stream.
+var magic = [8]byte{'S', 'P', 'R', 'R', 'G', 'O', '0', '1'}
+
+// DefaultChunkDim is the default chunk edge length; the paper settles on
+// 256^3 as a good balance between compression efficiency and exposed
+// parallelism (Section V-B).
+const DefaultChunkDim = 256
+
+// ErrCorrupt reports an undecodable container.
+var ErrCorrupt = errors.New("chunk: corrupt container")
+
+// Options controls a volume compression.
+type Options struct {
+	// Params is forwarded to every chunk encoder.
+	Params codec.Params
+	// ChunkDims bounds each chunk; zero components default to
+	// DefaultChunkDim. Chunks at the high boundaries may be smaller.
+	ChunkDims grid.Dims
+	// Workers is the number of concurrent chunk encoders; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) chunkDims() grid.Dims {
+	d := o.ChunkDims
+	if d.NX <= 0 {
+		d.NX = DefaultChunkDim
+	}
+	if d.NY <= 0 {
+		d.NY = DefaultChunkDim
+	}
+	if d.NZ <= 0 {
+		d.NZ = DefaultChunkDim
+	}
+	return d
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats aggregates per-chunk statistics of one volume compression.
+type Stats struct {
+	Chunks      []codec.Stats
+	WallTime    time.Duration // end-to-end wall time of Compress
+	TotalBytes  int
+	NumPoints   int
+	NumOutliers int
+	SpeckBits   uint64
+	OutlierBits uint64
+}
+
+// BPP returns the achieved container bitrate in bits per point.
+func (s *Stats) BPP() float64 {
+	if s.NumPoints == 0 {
+		return 0
+	}
+	return float64(s.TotalBytes*8) / float64(s.NumPoints)
+}
+
+// Compress compresses vol chunk-by-chunk in parallel and returns the
+// container stream.
+func Compress(vol *grid.Volume, opts Options) ([]byte, *Stats, error) {
+	if !vol.Dims.Valid() {
+		return nil, nil, fmt.Errorf("chunk: invalid volume dims %v", vol.Dims)
+	}
+	start := time.Now()
+	chunks := grid.SplitChunks(vol.Dims, opts.chunkDims())
+	streams := make([][]byte, len(chunks))
+	stats := make([]codec.Stats, len(chunks))
+	errs := make([]error, len(chunks))
+
+	workers := opts.workers()
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(chunks) {
+					return
+				}
+				c := chunks[i]
+				sub := vol.Cutout(c.X0, c.Y0, c.Z0, c.Dims)
+				stream, st, err := codec.EncodeChunk(sub.Data, c.Dims, opts.Params)
+				if err != nil {
+					errs[i] = fmt.Errorf("chunk %d %v: %w", i, c.Dims, err)
+					return
+				}
+				streams[i] = stream
+				stats[i] = *st
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Container: magic | volume dims | chunk dims | nchunks | lengths | payloads.
+	cd := opts.chunkDims()
+	head := make([]byte, 0, 8+4*7+4*len(chunks))
+	head = append(head, magic[:]...)
+	for _, v := range []int{vol.Dims.NX, vol.Dims.NY, vol.Dims.NZ, cd.NX, cd.NY, cd.NZ, len(chunks)} {
+		head = binary.LittleEndian.AppendUint32(head, uint32(v))
+	}
+	total := len(head)
+	for _, s := range streams {
+		total += 4 + len(s)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, head...)
+	for _, s := range streams {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+		out = append(out, s...)
+	}
+
+	agg := &Stats{
+		Chunks:     stats,
+		WallTime:   time.Since(start),
+		TotalBytes: len(out),
+		NumPoints:  vol.Dims.Len(),
+	}
+	for i := range stats {
+		agg.NumOutliers += stats[i].NumOutliers
+		agg.SpeckBits += stats[i].SpeckBits
+		agg.OutlierBits += stats[i].OutlierBits
+	}
+	return out, agg, nil
+}
+
+// Decompress reconstructs a volume from a container stream, decoding
+// chunks in parallel on up to workers goroutines (<= 0 means GOMAXPROCS).
+func Decompress(stream []byte, workers int) (*grid.Volume, error) {
+	c, err := parseContainer(stream)
+	if err != nil {
+		return nil, err
+	}
+	vol := grid.NewVolume(c.volDims)
+	err = forEachChunkParallel(len(c.chunks), workers, func(i int) error {
+		ch := c.chunks[i]
+		data, err := codec.DecodeChunk(c.payloads[i], ch.Dims)
+		if err != nil {
+			return fmt.Errorf("chunk %d: %w", i, err)
+		}
+		// Chunks are disjoint, so concurrent Insert calls touch disjoint
+		// regions of vol.Data.
+		vol.Insert(grid.FromSlice(ch.Dims, data), ch.X0, ch.Y0, ch.Z0)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return vol, nil
+}
+
+// forEachChunkParallel runs fn(i) for i in [0, n) on up to workers
+// goroutines (<= 0 means GOMAXPROCS) and returns the first error.
+func forEachChunkParallel(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

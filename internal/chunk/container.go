@@ -1,0 +1,59 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sperr/internal/grid"
+)
+
+// container is a parsed SPERR-Go container stream.
+type container struct {
+	volDims   grid.Dims
+	chunkDims grid.Dims
+	chunks    []grid.Chunk
+	payloads  [][]byte // one compressed stream per chunk, aliasing the input
+}
+
+// parseContainer validates and indexes a container stream without
+// decoding any chunk payloads.
+func parseContainer(stream []byte) (*container, error) {
+	const fixed = 8 + 4*7
+	if len(stream) < fixed {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	for i := range magic {
+		if stream[i] != magic[i] {
+			return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		}
+	}
+	u32 := func(off int) int { return int(binary.LittleEndian.Uint32(stream[off:])) }
+	c := &container{
+		volDims:   grid.Dims{NX: u32(8), NY: u32(12), NZ: u32(16)},
+		chunkDims: grid.Dims{NX: u32(20), NY: u32(24), NZ: u32(28)},
+	}
+	nchunks := u32(32)
+	if !c.volDims.Valid() || !c.chunkDims.Valid() {
+		return nil, fmt.Errorf("%w: invalid dims %v / %v", ErrCorrupt, c.volDims, c.chunkDims)
+	}
+	c.chunks = grid.SplitChunks(c.volDims, c.chunkDims)
+	if len(c.chunks) != nchunks {
+		return nil, fmt.Errorf("%w: chunk count %d does not match geometry (%d)",
+			ErrCorrupt, nchunks, len(c.chunks))
+	}
+	c.payloads = make([][]byte, nchunks)
+	off := fixed
+	for i := 0; i < nchunks; i++ {
+		if off+4 > len(stream) {
+			return nil, fmt.Errorf("%w: truncated at chunk %d", ErrCorrupt, i)
+		}
+		n := u32(off)
+		off += 4
+		if off+n > len(stream) {
+			return nil, fmt.Errorf("%w: chunk %d payload truncated", ErrCorrupt, i)
+		}
+		c.payloads[i] = stream[off : off+n]
+		off += n
+	}
+	return c, nil
+}

@@ -1,0 +1,52 @@
+package chunk
+
+import (
+	"sperr/internal/codec"
+	"sperr/internal/grid"
+)
+
+// Info describes a container stream without decoding any data payloads —
+// the "what is in this archive" inspection a downstream user needs before
+// committing to a decode.
+type Info struct {
+	VolumeDims grid.Dims
+	ChunkDims  grid.Dims
+	NumChunks  int
+	TotalBytes int
+	Chunks     []ChunkInfo
+}
+
+// ChunkInfo describes one chunk's coded parameters.
+type ChunkInfo struct {
+	Origin          [3]int
+	Dims            grid.Dims
+	CompressedBytes int
+	Meta            codec.StreamMeta
+}
+
+// Describe parses a container stream and each chunk's header.
+func Describe(stream []byte) (*Info, error) {
+	c, err := parseContainer(stream)
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{
+		VolumeDims: c.volDims,
+		ChunkDims:  c.chunkDims,
+		NumChunks:  len(c.chunks),
+		TotalBytes: len(stream),
+	}
+	for i, ch := range c.chunks {
+		meta, err := codec.DescribeChunk(c.payloads[i])
+		if err != nil {
+			return nil, err
+		}
+		info.Chunks = append(info.Chunks, ChunkInfo{
+			Origin:          [3]int{ch.X0, ch.Y0, ch.Z0},
+			Dims:            ch.Dims,
+			CompressedBytes: len(c.payloads[i]),
+			Meta:            *meta,
+		})
+	}
+	return info, nil
+}

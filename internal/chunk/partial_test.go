@@ -1,0 +1,121 @@
+package chunk
+
+import (
+	"math"
+	"testing"
+
+	"sperr/internal/codec"
+	"sperr/internal/grid"
+	"sperr/internal/wavelet"
+)
+
+func TestDecompressPartialChunked(t *testing.T) {
+	v := testVolume(grid.D3(32, 32, 32), 51)
+	stream, _, err := Compress(v, Options{
+		Params:    codec.Params{Mode: codec.ModePWE, Tol: 1e-5},
+		ChunkDims: grid.D3(16, 16, 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, frac := range []float64{0.1, 0.5, 1.0} {
+		got, err := DecompressPartial(stream, frac, 0)
+		if err != nil {
+			t.Fatalf("frac=%g: %v", frac, err)
+		}
+		e := maxAbsErr(v.Data, got.Data)
+		_ = e
+		var mse float64
+		for i := range v.Data {
+			d := v.Data[i] - got.Data[i]
+			mse += d * d
+		}
+		if mse > prev*1.02 {
+			t.Errorf("frac=%g: mse %g worse than smaller prefix %g", frac, mse, prev)
+		}
+		prev = mse
+	}
+	if _, err := DecompressPartial(stream, 0, 0); err == nil {
+		t.Error("fraction 0 should fail")
+	}
+}
+
+// Low-res decode across a chunk grid that includes remainder chunks with
+// fewer wavelet levels than the full chunks: coarse tiles of different
+// reduction factors must still assemble into a consistent volume.
+func TestDecompressLowResRemainderChunks(t *testing.T) {
+	// 48 with 20-chunks: tiles 20, 20, 8. Levels(20)=2, Levels(8)=1.
+	vol := testVolume(grid.D3(48, 48, 48), 77)
+	stream, _, err := Compress(vol, Options{
+		Params:    codec.Params{Mode: codec.ModePWE, Tol: 1e-4},
+		ChunkDims: grid.D3(20, 20, 20),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for drop := 0; drop <= 2; drop++ {
+		low, err := DecompressLowRes(stream, drop, 0)
+		if err != nil {
+			t.Fatalf("drop=%d: %v", drop, err)
+		}
+		// Expected coarse extent per axis: coarse(20)+coarse(20)+coarse(8).
+		want := wavelet.CoarseLen(20, drop)*2 + wavelet.CoarseLen(8, drop)
+		if low.Dims.NX != want || low.Dims.NY != want || low.Dims.NZ != want {
+			t.Fatalf("drop=%d: dims %v, want %d^3", drop, low.Dims, want)
+		}
+		for i, x := range low.Data {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("drop=%d: non-finite value at %d", drop, i)
+			}
+		}
+	}
+	// drop=0 must equal the full decode modulo outlier corrections: check
+	// against the tolerance with slack (low-res path skips corrections).
+	low0, err := DecompressLowRes(stream, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point is within a few tolerances of the original even without
+	// outlier corrections (q = 1.5t keeps SPECK error small).
+	if e := maxAbsErr(vol.Data, low0.Data); e > 1e-4*100 {
+		t.Fatalf("drop=0 low-res error %g implausibly large", e)
+	}
+	if _, err := DecompressLowRes(stream, -1, 0); err == nil {
+		t.Error("negative drop should fail")
+	}
+}
+
+func TestDescribeContainer(t *testing.T) {
+	vol := testVolume(grid.D3(24, 24, 24), 3)
+	stream, _, err := Compress(vol, Options{
+		Params:    codec.Params{Mode: codec.ModePWE, Tol: 0.01},
+		ChunkDims: grid.D3(12, 12, 12),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Describe(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumChunks != 8 || len(info.Chunks) != 8 {
+		t.Fatalf("NumChunks = %d", info.NumChunks)
+	}
+	if info.VolumeDims != grid.D3(24, 24, 24) {
+		t.Fatalf("VolumeDims = %v", info.VolumeDims)
+	}
+	var total int
+	for _, c := range info.Chunks {
+		if c.Meta.Mode != codec.ModePWE || c.Meta.Tol != 0.01 {
+			t.Fatalf("chunk meta %+v", c.Meta)
+		}
+		total += c.CompressedBytes
+	}
+	if total >= info.TotalBytes {
+		t.Fatalf("chunk payloads (%d) should be less than container (%d)", total, info.TotalBytes)
+	}
+	if _, err := Describe([]byte("bogus")); err == nil {
+		t.Error("garbage should fail")
+	}
+}

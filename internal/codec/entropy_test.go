@@ -1,0 +1,83 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"sperr/internal/grid"
+)
+
+func TestEntropyModePWEGuarantee(t *testing.T) {
+	d := grid.D3(24, 24, 24)
+	data := smoothField(d, 63)
+	for _, tol := range []float64{0.1, 1e-4} {
+		stream, st, err := EncodeChunk(data, d, Params{Mode: ModePWE, Tol: tol, Entropy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := DecodeChunk(stream, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := maxErr(data, rec); e > tol*(1+1e-9) {
+			t.Errorf("tol=%g: entropy mode max error %g", tol, e)
+		}
+		_ = st
+	}
+}
+
+func TestEntropyModeSaves(t *testing.T) {
+	d := grid.D3(32, 32, 32)
+	data := smoothField(d, 71)
+	tol := 1e-4
+	raw, _, err := EncodeChunk(data, d, Params{Mode: ModePWE, Tol: tol, DisableLossless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, _, err := EncodeChunk(data, d, Params{Mode: ModePWE, Tol: tol, DisableLossless: true, Entropy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ac) >= len(raw) {
+		t.Errorf("entropy mode did not shrink the chunk: %d vs %d bytes", len(ac), len(raw))
+	}
+}
+
+func TestEntropyModeRejectsOtherModes(t *testing.T) {
+	d := grid.D3(8, 8, 8)
+	data := make([]float64, d.Len())
+	if _, _, err := EncodeChunk(data, d, Params{Mode: ModeBPP, BitsPerPoint: 2, Entropy: true}); err == nil {
+		t.Error("entropy + BPP should fail")
+	}
+	if _, _, err := EncodeChunk(data, d, Params{Mode: ModeRMSE, TargetRMSE: 1, Entropy: true}); err == nil {
+		t.Error("entropy + RMSE should fail")
+	}
+}
+
+func TestEntropyModePartialDecodeRejected(t *testing.T) {
+	d := grid.D3(16, 16, 16)
+	data := smoothField(d, 81)
+	stream, _, err := EncodeChunk(data, d, Params{Mode: ModePWE, Tol: 0.01, Entropy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeChunkPartial(stream, d, 0.5); err == nil {
+		t.Error("partial decode of an entropy stream should fail")
+	}
+	// Full-fraction partial decode and low-res decode must still work.
+	if _, err := DecodeChunkPartial(stream, d, 1.0); err != nil {
+		t.Errorf("fraction=1: %v", err)
+	}
+	rec, low, err := DecodeChunkLowRes(stream, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low != grid.D3(8, 8, 8) || len(rec) != 512 {
+		t.Errorf("low-res decode of entropy stream wrong: %v, %d", low, len(rec))
+	}
+	for _, v := range rec {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in low-res entropy decode")
+		}
+	}
+}

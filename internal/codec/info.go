@@ -1,0 +1,53 @@
+package codec
+
+import "sperr/internal/lossless"
+
+// StreamMeta describes a coded chunk without decoding it.
+type StreamMeta struct {
+	// Mode is the termination criterion the chunk was coded with.
+	Mode Mode
+	// Tol is the point-wise tolerance (PWE mode; zero otherwise).
+	Tol float64
+	// Q is the SPECK base quantization step.
+	Q float64
+	// Planes is the number of SPECK bitplanes.
+	Planes int
+	// OutlierPasses is the number of outlier-coder threshold passes.
+	OutlierPasses int
+	// SpeckBits and OutlierBits are the embedded stream lengths.
+	SpeckBits, OutlierBits uint64
+	// Entropy reports the arithmetic-coded (SPECK-AC) bit layer.
+	Entropy bool
+}
+
+// DescribeChunk parses a chunk stream's header without reconstructing
+// data.
+func DescribeChunk(stream []byte) (*StreamMeta, error) {
+	if len(stream) < 1 {
+		return nil, ErrCorrupt
+	}
+	var payload []byte
+	if stream[0] == 0xFF {
+		payload = stream[1:]
+	} else {
+		var err error
+		payload, err = lossless.Decompress(stream)
+		if err != nil {
+			return nil, err
+		}
+	}
+	h, err := parseHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamMeta{
+		Mode:          h.mode,
+		Tol:           h.tol,
+		Q:             h.q,
+		Planes:        int(h.planes),
+		OutlierPasses: int(h.opasses),
+		SpeckBits:     h.speckBits,
+		OutlierBits:   h.outlierBits,
+		Entropy:       h.entropy,
+	}, nil
+}

@@ -1,0 +1,130 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+
+	"sperr/internal/grid"
+	"sperr/internal/lossless"
+	"sperr/internal/outlier"
+	"sperr/internal/speck"
+	"sperr/internal/wavelet"
+)
+
+// DecodeChunkPartial reconstructs a chunk from a prefix of its embedded
+// SPECK bitstream: fraction in (0, 1] selects how many of the coded bits
+// to use. This exercises the embedded property of SPECK streams the paper
+// highlights for streaming applications (Section VII): any prefix decodes
+// to a valid, coarser reconstruction.
+//
+// Outlier corrections apply only to the full-precision reconstruction, so
+// they are skipped whenever fraction < 1 (the corrections are relative to
+// the complete SPECK decode).
+func DecodeChunkPartial(stream []byte, dims grid.Dims, fraction float64) ([]float64, error) {
+	if !(fraction > 0 && fraction <= 1) {
+		return nil, fmt.Errorf("codec: fraction must be in (0, 1], got %g", fraction)
+	}
+	if len(stream) < 1 {
+		return nil, fmt.Errorf("%w: empty stream", ErrCorrupt)
+	}
+	var payload []byte
+	if stream[0] == 0xFF {
+		payload = stream[1:]
+	} else {
+		var err error
+		payload, err = lossless.Decompress(stream)
+		if err != nil {
+			return nil, err
+		}
+	}
+	h, err := parseHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	body := payload[headerSize:]
+	speckBytes := int((h.speckBits + 7) / 8)
+	if speckBytes > len(body) {
+		return nil, fmt.Errorf("%w: SPECK stream truncated", ErrCorrupt)
+	}
+	if h.entropy && fraction < 1 {
+		return nil, errors.New("codec: entropy-coded streams do not support partial decode")
+	}
+	var coeffs []float64
+	if h.entropy {
+		coeffs = speck.DecodeEntropy(body[:speckBytes], dims, h.q, int(h.planes))
+	} else {
+		useBits := uint64(float64(h.speckBits) * fraction)
+		coeffs = speck.Decode(body[:speckBytes], useBits, dims, h.q, int(h.planes))
+	}
+	plan := wavelet.NewPlan(dims)
+	plan.Inverse(coeffs)
+	if fraction == 1 && h.mode == ModePWE && h.outlierBits > 0 {
+		obytes := body[speckBytes:]
+		if int((h.outlierBits+7)/8) > len(obytes) {
+			return nil, fmt.Errorf("%w: outlier stream truncated", ErrCorrupt)
+		}
+		outs := outlier.Decode(obytes, h.outlierBits, dims.Len(), h.tol, int(h.opasses))
+		for _, o := range outs {
+			coeffs[o.Pos] += o.Corr
+		}
+	}
+	return coeffs, nil
+}
+
+// DecodeChunkLowRes reconstructs a coarsened version of a chunk by
+// leaving the finest drop wavelet levels folded: the self-similar
+// hierarchy of the wavelet decomposition makes each coarsened level
+// resemble the full-resolution data (paper Section VII, multi-level
+// reconstruction). The returned slice has the extent of the level-drop
+// approximation band, rescaled to data magnitude. drop = 0 is a full
+// decode (without outlier corrections).
+func DecodeChunkLowRes(stream []byte, dims grid.Dims, drop int) ([]float64, grid.Dims, error) {
+	if drop < 0 {
+		return nil, grid.Dims{}, fmt.Errorf("codec: negative drop %d", drop)
+	}
+	if len(stream) < 1 {
+		return nil, grid.Dims{}, fmt.Errorf("%w: empty stream", ErrCorrupt)
+	}
+	var payload []byte
+	if stream[0] == 0xFF {
+		payload = stream[1:]
+	} else {
+		var err error
+		payload, err = lossless.Decompress(stream)
+		if err != nil {
+			return nil, grid.Dims{}, err
+		}
+	}
+	h, err := parseHeader(payload)
+	if err != nil {
+		return nil, grid.Dims{}, err
+	}
+	body := payload[headerSize:]
+	speckBytes := int((h.speckBits + 7) / 8)
+	if speckBytes > len(body) {
+		return nil, grid.Dims{}, fmt.Errorf("%w: SPECK stream truncated", ErrCorrupt)
+	}
+	var coeffs []float64
+	if h.entropy {
+		coeffs = speck.DecodeEntropy(body[:speckBytes], dims, h.q, int(h.planes))
+	} else {
+		coeffs = speck.Decode(body[:speckBytes], h.speckBits, dims, h.q, int(h.planes))
+	}
+	plan := wavelet.NewPlan(dims)
+	if drop > plan.NumLevels() {
+		drop = plan.NumLevels()
+	}
+	low := plan.InverseToLevel(coeffs, drop)
+	scale := plan.LevelScale(drop)
+	out := make([]float64, low.Len())
+	for z := 0; z < low.NZ; z++ {
+		for y := 0; y < low.NY; y++ {
+			srcOff := dims.Index(0, y, z)
+			dstOff := low.Index(0, y, z)
+			for x := 0; x < low.NX; x++ {
+				out[dstOff+x] = coeffs[srcOff+x] / scale
+			}
+		}
+	}
+	return out, low, nil
+}

@@ -1,0 +1,105 @@
+// Package elias implements Elias universal codes (gamma and delta; Elias
+// 1975, the paper's reference [31]). Section II lists universal codes as
+// the classic variable-length alternative for coding outlier correction
+// values next to bitmap position coding; the ablation experiments use a
+// gap+gamma outlier scheme built on this package to quantify that
+// alternative against SPERR's unified coder.
+package elias
+
+import (
+	"errors"
+	"math/bits"
+
+	ibits "sperr/internal/bits"
+)
+
+// ErrCorrupt reports an undecodable code.
+var ErrCorrupt = errors.New("elias: corrupt stream")
+
+// WriteGamma appends the Elias gamma code of v (v >= 1): floor(log2 v)
+// zeros, then v's binary digits MSB-first.
+func WriteGamma(w *ibits.Writer, v uint64) {
+	if v == 0 {
+		panic("elias: gamma requires v >= 1")
+	}
+	n := bits.Len64(v) - 1
+	for i := 0; i < n; i++ {
+		w.WriteBit(false)
+	}
+	for i := n; i >= 0; i-- {
+		w.WriteBit(v&(1<<uint(i)) != 0)
+	}
+}
+
+// ReadGamma decodes one gamma code.
+func ReadGamma(r *ibits.Reader) (uint64, error) {
+	n := 0
+	for !r.ReadBit() {
+		if r.Exhausted() {
+			return 0, ErrCorrupt
+		}
+		n++
+		if n > 64 {
+			return 0, ErrCorrupt
+		}
+	}
+	v := uint64(1)
+	for i := 0; i < n; i++ {
+		v <<= 1
+		if r.ReadBit() {
+			v |= 1
+		}
+		if r.Exhausted() {
+			return 0, ErrCorrupt
+		}
+	}
+	return v, nil
+}
+
+// WriteDelta appends the Elias delta code of v (v >= 1): gamma code of
+// 1+floor(log2 v), then v's digits below the leading one.
+func WriteDelta(w *ibits.Writer, v uint64) {
+	if v == 0 {
+		panic("elias: delta requires v >= 1")
+	}
+	n := bits.Len64(v) - 1
+	WriteGamma(w, uint64(n)+1)
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(v&(1<<uint(i)) != 0)
+	}
+}
+
+// ReadDelta decodes one delta code.
+func ReadDelta(r *ibits.Reader) (uint64, error) {
+	np1, err := ReadGamma(r)
+	if err != nil {
+		return 0, err
+	}
+	n := int(np1) - 1
+	if n < 0 || n > 63 {
+		return 0, ErrCorrupt
+	}
+	v := uint64(1)
+	for i := 0; i < n; i++ {
+		v <<= 1
+		if r.ReadBit() {
+			v |= 1
+		}
+		if r.Exhausted() {
+			return 0, ErrCorrupt
+		}
+	}
+	return v, nil
+}
+
+// ZigZag maps a signed integer to an unsigned one >= 1 for universal
+// coding (0 -> 1, -1 -> 2, 1 -> 3, ...).
+func ZigZag(v int64) uint64 {
+	return uint64((v<<1)^(v>>63)) + 1
+}
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 {
+	u--
+	return int64(u>>1) ^ -int64(u&1)
+}

@@ -1,0 +1,114 @@
+package elias
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sperr/internal/bits"
+)
+
+func TestGammaKnownCodes(t *testing.T) {
+	// gamma(1) = "1", gamma(2) = "010", gamma(3) = "011", gamma(4) = "00100".
+	cases := []struct {
+		v    uint64
+		bits []bool
+	}{
+		{1, []bool{true}},
+		{2, []bool{false, true, false}},
+		{3, []bool{false, true, true}},
+		{4, []bool{false, false, true, false, false}},
+	}
+	for _, c := range cases {
+		w := bits.NewWriter(8)
+		WriteGamma(w, c.v)
+		if w.Len() != uint64(len(c.bits)) {
+			t.Fatalf("gamma(%d): %d bits, want %d", c.v, w.Len(), len(c.bits))
+		}
+		r := bits.NewReader(w.Bytes())
+		for i, want := range c.bits {
+			if got := r.ReadBit(); got != want {
+				t.Fatalf("gamma(%d) bit %d = %v, want %v", c.v, i, got, want)
+			}
+		}
+	}
+}
+
+func TestGammaDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var values []uint64
+	for i := 0; i < 2000; i++ {
+		values = append(values, 1+uint64(rng.Intn(1<<20)))
+	}
+	values = append(values, 1, 2, 3, 1<<40, (1<<62)+12345)
+	wg := bits.NewWriter(0)
+	wd := bits.NewWriter(0)
+	for _, v := range values {
+		WriteGamma(wg, v)
+		WriteDelta(wd, v)
+	}
+	rg := bits.NewReader(wg.Bytes())
+	rd := bits.NewReader(wd.Bytes())
+	for i, want := range values {
+		g, err := ReadGamma(rg)
+		if err != nil || g != want {
+			t.Fatalf("gamma %d: got %d err %v, want %d", i, g, err, want)
+		}
+		d, err := ReadDelta(rd)
+		if err != nil || d != want {
+			t.Fatalf("delta %d: got %d err %v, want %d", i, d, err, want)
+		}
+	}
+}
+
+func TestDeltaShorterForLarge(t *testing.T) {
+	// Delta beats gamma asymptotically.
+	w1 := bits.NewWriter(0)
+	w2 := bits.NewWriter(0)
+	WriteGamma(w1, 1<<30)
+	WriteDelta(w2, 1<<30)
+	if w2.Len() >= w1.Len() {
+		t.Errorf("delta (%d bits) should beat gamma (%d bits) at 2^30", w2.Len(), w1.Len())
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40)} {
+		u := ZigZag(v)
+		if u == 0 {
+			t.Fatalf("ZigZag(%d) = 0; must be >= 1 for universal codes", v)
+		}
+		if got := UnZigZag(u); got != v {
+			t.Fatalf("zigzag round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		w := bits.NewWriter(0)
+		for _, v := range raw {
+			WriteGamma(w, uint64(v)+1)
+		}
+		r := bits.NewReader(w.Bytes())
+		for _, v := range raw {
+			got, err := ReadGamma(r)
+			if err != nil || got != uint64(v)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptInput(t *testing.T) {
+	// A stream of all zeros never produces a gamma terminator.
+	r := bits.NewReader(make([]byte, 16))
+	r.SetBudget(64)
+	if _, err := ReadGamma(r); err == nil {
+		t.Error("all-zero stream should fail")
+	}
+}

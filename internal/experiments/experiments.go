@@ -1,0 +1,180 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sections IV-VI). Each driver returns a Result — the same
+// rows/series the paper plots — that cmd/sperrbench prints and
+// EXPERIMENTS.md records. DESIGN.md maps each experiment to the modules it
+// exercises.
+//
+// The drivers run on synthetic SDRBench stand-ins (internal/synth) at a
+// configurable grid size; absolute numbers therefore differ from the
+// paper, but the comparisons — who wins, by what factor, where the sweet
+// spots and crossovers fall — are the reproduction target.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"sperr/internal/grid"
+	"sperr/internal/metrics"
+	"sperr/internal/plot"
+	"sperr/internal/synth"
+)
+
+// Config controls experiment scale. The zero value picks defaults sized
+// for a laptop-class run.
+type Config struct {
+	// Dims is the base 3D extent for volume experiments (default 48^3).
+	Dims grid.Dims
+	// Seed drives the synthetic data generators.
+	Seed int64
+	// Workers caps parallelism where an experiment uses it.
+	Workers int
+	// Quick trims sweeps (fewer idx levels, coarser q grids) for use from
+	// testing.B benchmarks.
+	Quick bool
+}
+
+func (c Config) dims() grid.Dims {
+	if c.Dims.Valid() {
+		return c.Dims
+	}
+	return grid.D3(48, 48, 48)
+}
+
+func (c Config) seed() int64 {
+	if c.Seed != 0 {
+		return c.Seed
+	}
+	return 2023
+}
+
+// Result is one reproduced table or figure.
+type Result struct {
+	ID     string // e.g. "fig8"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+
+	// Charts optionally carry the figure as plottable data;
+	// PrintCharts renders them as ASCII plots (sperrbench -plot).
+	Lines []plot.Series
+	XLab  string
+	YLab  string
+	Bars  []BarData
+	// Rasters are pre-rendered ASCII bitmaps (e.g. Figure 1's outlier
+	// position maps).
+	Rasters []string
+}
+
+// BarData is one bar chart attached to a Result.
+type BarData struct {
+	Title  string
+	Labels []string
+	Values []float64
+}
+
+// PrintCharts renders the attached charts, if any.
+func (r *Result) PrintCharts(w io.Writer) {
+	if len(r.Lines) > 0 {
+		fmt.Fprint(w, plot.Lines(r.ID+": "+r.Title, r.XLab, r.YLab, r.Lines, 64, 16))
+		fmt.Fprintln(w)
+	}
+	for _, b := range r.Bars {
+		fmt.Fprint(w, plot.Bars(r.ID+": "+b.Title, b.Labels, b.Values, 48))
+		fmt.Fprintln(w)
+	}
+	for _, raster := range r.Rasters {
+		fmt.Fprint(w, raster)
+		fmt.Fprintln(w)
+	}
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Print writes the result as an aligned text table.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// field bundles a named synthetic data set with its range-derived
+// tolerance helper.
+type field struct {
+	name string
+	vol  *grid.Volume
+}
+
+func (f field) tol(idx int) float64 {
+	return metrics.ToleranceForIdx(metrics.Range(f.vol.Data), idx)
+}
+
+// fieldByName generates one of the Table II fields at the given extent.
+func fieldByName(name string, d grid.Dims, seed int64) field {
+	var v *grid.Volume
+	switch name {
+	case "Miranda Pressure":
+		v = synth.MirandaPressure(d, seed)
+	case "Miranda Viscosity":
+		v = synth.MirandaViscosity(d, seed)
+	case "Miranda X Velocity":
+		v = synth.MirandaVelocityX(d, seed)
+	case "Miranda Density":
+		v = synth.MirandaDensity(d, seed)
+	case "S3D CH4":
+		v = synth.S3DCH4(d, seed)
+	case "S3D Temperature":
+		v = synth.S3DTemperature(d, seed)
+	case "S3D X Velocity":
+		v = synth.S3DVelocityX(d, seed)
+	case "Nyx Dark Matter Density":
+		v = synth.NyxDarkMatterDensity(d, seed)
+	case "Nyx X Velocity":
+		v = synth.NyxVelocityX(d, seed)
+	case "QMCPACK":
+		v = synth.QMCPACKOrbitals(grid.D3(d.NX, d.NY, d.NZ/4+1), 4, seed)
+	default:
+		panic("experiments: unknown field " + name)
+	}
+	return field{name: name, vol: v}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func g3(v float64) string { return fmt.Sprintf("%.3g", v) }

@@ -1,0 +1,130 @@
+// Package fft provides a radix-2 complex fast Fourier transform (1D and
+// 3D) used by the synthetic data generators to synthesize turbulence-like
+// fields with prescribed power spectra. It is a from-scratch, stdlib-only
+// implementation: iterative Cooley-Tukey with bit-reversal permutation.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n (n >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Forward computes the in-place forward DFT of x (length must be a power
+// of two): X[k] = sum_j x[j] exp(-2*pi*i*j*k/n).
+func Forward(x []complex128) {
+	transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x including the 1/n
+// normalization, so Inverse(Forward(x)) == x.
+func Inverse(x []complex128) {
+	transform(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterfly stages.
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// Forward3D computes the forward DFT of a 3D array (row-major, x fastest)
+// with power-of-two extents, transforming along each axis in turn.
+func Forward3D(x []complex128, nx, ny, nz int) {
+	apply3D(x, nx, ny, nz, Forward)
+}
+
+// Inverse3D inverts Forward3D (normalization included).
+func Inverse3D(x []complex128, nx, ny, nz int) {
+	apply3D(x, nx, ny, nz, Inverse)
+}
+
+func apply3D(x []complex128, nx, ny, nz int, f func([]complex128)) {
+	if len(x) != nx*ny*nz {
+		panic("fft: data length does not match dims")
+	}
+	// x lines: contiguous.
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			off := (z*ny + y) * nx
+			f(x[off : off+nx])
+		}
+	}
+	// y lines.
+	line := make([]complex128, ny)
+	for z := 0; z < nz; z++ {
+		for xx := 0; xx < nx; xx++ {
+			base := z*ny*nx + xx
+			for y := 0; y < ny; y++ {
+				line[y] = x[base+y*nx]
+			}
+			f(line)
+			for y := 0; y < ny; y++ {
+				x[base+y*nx] = line[y]
+			}
+		}
+	}
+	// z lines.
+	if nz > 1 {
+		lineZ := make([]complex128, nz)
+		plane := ny * nx
+		for y := 0; y < ny; y++ {
+			for xx := 0; xx < nx; xx++ {
+				base := y*nx + xx
+				for z := 0; z < nz; z++ {
+					lineZ[z] = x[base+z*plane]
+				}
+				f(lineZ)
+				for z := 0; z < nz; z++ {
+					x[base+z*plane] = lineZ[z]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestIsPow2NextPow2(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		is   bool
+		next int
+	}{
+		{1, true, 1}, {2, true, 2}, {3, false, 4}, {4, true, 4},
+		{5, false, 8}, {255, false, 256}, {256, true, 256}, {257, false, 512},
+	} {
+		if got := IsPow2(c.n); got != c.is {
+			t.Errorf("IsPow2(%d) = %v", c.n, got)
+		}
+		if got := NextPow2(c.n); got != c.next {
+			t.Errorf("NextPow2(%d) = %d, want %d", c.n, got, c.next)
+		}
+	}
+	if IsPow2(0) || IsPow2(-4) {
+		t.Error("non-positive inputs are not powers of two")
+	}
+}
+
+func TestKnownDFT(t *testing.T) {
+	// DFT of [1, 0, 0, 0] is [1, 1, 1, 1].
+	x := []complex128{1, 0, 0, 0}
+	Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+	// DFT of a pure tone lands in a single bin.
+	n := 64
+	tone := make([]complex128, n)
+	k := 5
+	for j := range tone {
+		ang := 2 * math.Pi * float64(k*j) / float64(n)
+		tone[j] = cmplx.Exp(complex(0, ang))
+	}
+	Forward(tone)
+	for j, v := range tone {
+		want := 0.0
+		if j == k {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Errorf("tone bin %d magnitude %g, want %g", j, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestRoundTrip1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 8, 64, 1024} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		Forward(x)
+		Inverse(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+				t.Fatalf("n=%d: round trip error at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestParsevalEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 256
+	x := make([]complex128, n)
+	var timeE float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		timeE += real(x[i]) * real(x[i])
+	}
+	Forward(x)
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqE /= float64(n)
+	if math.Abs(timeE-freqE)/timeE > 1e-10 {
+		t.Fatalf("Parseval violated: %g vs %g", timeE, freqE)
+	}
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nx, ny, nz := 8, 16, 4
+	x := make([]complex128, nx*ny*nz)
+	orig := make([]complex128, len(x))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	Forward3D(x, nx, ny, nz)
+	Inverse3D(x, nx, ny, nz)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+			t.Fatalf("3D round trip error at %d", i)
+		}
+	}
+}
+
+func TestNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two length")
+		}
+	}()
+	Forward(make([]complex128, 6))
+}
+
+func BenchmarkForward1k(b *testing.B) {
+	x := make([]complex128, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(x)
+	}
+}

@@ -1,0 +1,159 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := &Matrix{Rows: 3, Cols: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("matmul[%d] = %g, want %g", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	at := Transpose(a)
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	w, _ := SymEig(a)
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("eigenvalue %d = %g, want %g", i, w[i], want[i])
+		}
+	}
+}
+
+func TestSymEigKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := &Matrix{Rows: 2, Cols: 2, Data: []float64{2, 1, 1, 2}}
+	w, v := SymEig(a)
+	if math.Abs(w[0]-3) > 1e-12 || math.Abs(w[1]-1) > 1e-12 {
+		t.Fatalf("eigenvalues %v, want [3 1]", w)
+	}
+	// Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+	r := v.At(0, 0) / v.At(1, 0)
+	if math.Abs(r-1) > 1e-9 {
+		t.Fatalf("first eigenvector ratio %g, want 1", r)
+	}
+}
+
+// Property: A V = V diag(w) and V orthogonal, on random symmetric matrices.
+func TestSymEigRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 16, 40} {
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		w, v := SymEig(a)
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if w[i] > w[i-1]+1e-12 {
+				t.Fatalf("n=%d: eigenvalues not sorted: %v", n, w)
+			}
+		}
+		// Residual ||A v_k - w_k v_k||.
+		for k := 0; k < n; k++ {
+			var res float64
+			for i := 0; i < n; i++ {
+				var av float64
+				for j := 0; j < n; j++ {
+					av += a.At(i, j) * v.At(j, k)
+				}
+				d := av - w[k]*v.At(i, k)
+				res += d * d
+			}
+			if math.Sqrt(res) > 1e-8*(1+math.Abs(w[k])) {
+				t.Fatalf("n=%d: eigenpair %d residual %g", n, k, math.Sqrt(res))
+			}
+		}
+		// Orthogonality.
+		for a1 := 0; a1 < n; a1++ {
+			for a2 := a1; a2 < n; a2++ {
+				var dot float64
+				for i := 0; i < n; i++ {
+					dot += v.At(i, a1) * v.At(i, a2)
+				}
+				want := 0.0
+				if a1 == a2 {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-9 {
+					t.Fatalf("n=%d: V^T V [%d,%d] = %g, want %g", n, a1, a2, dot, want)
+				}
+			}
+		}
+	}
+}
+
+// Gram-matrix eigenvalues are the squared singular values; verify trace
+// preservation (sum of eigenvalues equals trace).
+func TestTracePreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 20
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	var trace float64
+	for i := 0; i < n; i++ {
+		trace += a.At(i, i)
+	}
+	w, _ := SymEig(a)
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(trace-sum) > 1e-9*(1+math.Abs(trace)) {
+		t.Fatalf("trace %g != eigenvalue sum %g", trace, sum)
+	}
+}
+
+func BenchmarkSymEig64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 64
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SymEig(a)
+	}
+}

@@ -1,0 +1,79 @@
+// Package lossless provides the final lossless compression stage of the
+// SPERR pipeline. The paper uses ZSTD (Section V); this repository
+// substitutes the standard library's DEFLATE (compress/flate), which plays
+// the identical role — squeezing residual redundancy out of the
+// concatenated SPECK and outlier bitstreams — with a compression ratio a
+// few percent lower. See DESIGN.md, "Substitutions".
+//
+// Streams that do not benefit (already dense bitstreams often do not) are
+// stored verbatim; a one-byte method prefix records which path was taken.
+package lossless
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Method prefixes for the encoded container.
+const (
+	methodStore   = 0x00
+	methodDeflate = 0x01
+)
+
+// ErrCorrupt reports an undecodable lossless container.
+var ErrCorrupt = errors.New("lossless: corrupt container")
+
+// Compress returns data wrapped in a lossless container, deflated when it
+// helps and stored verbatim otherwise.
+func Compress(data []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(methodDeflate)
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		// Only reachable with an invalid level constant; fall back to store.
+		return store(data)
+	}
+	if _, err := w.Write(data); err != nil {
+		return store(data)
+	}
+	if err := w.Close(); err != nil {
+		return store(data)
+	}
+	if buf.Len() >= len(data)+1 {
+		return store(data)
+	}
+	return buf.Bytes()
+}
+
+func store(data []byte) []byte {
+	out := make([]byte, 1+len(data))
+	out[0] = methodStore
+	copy(out[1:], data)
+	return out
+}
+
+// Decompress reverses Compress.
+func Decompress(data []byte) ([]byte, error) {
+	if len(data) < 1 {
+		return nil, ErrCorrupt
+	}
+	switch data[0] {
+	case methodStore:
+		out := make([]byte, len(data)-1)
+		copy(out, data[1:])
+		return out, nil
+	case methodDeflate:
+		r := flate.NewReader(bytes.NewReader(data[1:]))
+		defer r.Close()
+		out, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("lossless: inflate: %w", err)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown method %#x", ErrCorrupt, data[0])
+	}
+}

@@ -1,0 +1,73 @@
+package lossless
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripCompressible(t *testing.T) {
+	data := bytes.Repeat([]byte("scientific data compression "), 100)
+	c := Compress(data)
+	if len(c) >= len(data) {
+		t.Errorf("compressible data did not shrink: %d -> %d", len(data), len(c))
+	}
+	got, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestRoundTripIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 4096)
+	rng.Read(data)
+	c := Compress(data)
+	if len(c) > len(data)+1 {
+		t.Errorf("incompressible data grew beyond store: %d -> %d", len(data), len(c))
+	}
+	got, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	c := Compress(nil)
+	got, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d bytes, want 0", len(got))
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	if _, err := Decompress(nil); err == nil {
+		t.Error("nil input should fail")
+	}
+	if _, err := Decompress([]byte{0x77, 1, 2, 3}); err == nil {
+		t.Error("unknown method should fail")
+	}
+	if _, err := Decompress([]byte{methodDeflate, 0xFF, 0xFF}); err == nil {
+		t.Error("garbage deflate stream should fail")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		got, err := Decompress(Compress(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

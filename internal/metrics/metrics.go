@@ -1,0 +1,200 @@
+// Package metrics implements the compression-quality measures used in the
+// paper's evaluation: RMSE, PSNR, maximum point-wise error, bitrate, the
+// accuracy gain of Equation 2 (Section V-B), and SSIM (referenced in
+// Section VI-C as a domain-specific alternative).
+package metrics
+
+import "math"
+
+// RMSE returns the root-mean-square error between orig and recon.
+func RMSE(orig, recon []float64) float64 {
+	if len(orig) != len(recon) || len(orig) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range orig {
+		d := orig[i] - recon[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(orig)))
+}
+
+// MaxErr returns the maximum absolute point-wise error.
+func MaxErr(orig, recon []float64) float64 {
+	m := 0.0
+	for i := range orig {
+		if d := math.Abs(orig[i] - recon[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(x []float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Range returns max(x) - min(x).
+func Range(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB, with the peak taken
+// as the data range of orig (the convention used for scientific data):
+// PSNR = 20*log10(range/RMSE). A perfect reconstruction returns +Inf.
+func PSNR(orig, recon []float64) float64 {
+	rmse := RMSE(orig, recon)
+	if rmse == 0 {
+		return math.Inf(1)
+	}
+	r := Range(orig)
+	if r == 0 {
+		return math.Inf(1)
+	}
+	return 20 * math.Log10(r/rmse)
+}
+
+// SNR returns the signal-to-noise ratio in dB with the signal measured by
+// the standard deviation of orig: SNR = 20*log10(sigma/RMSE).
+func SNR(orig, recon []float64) float64 {
+	rmse := RMSE(orig, recon)
+	if rmse == 0 {
+		return math.Inf(1)
+	}
+	sigma := StdDev(orig)
+	if sigma == 0 {
+		return math.Inf(1)
+	}
+	return 20 * math.Log10(sigma/rmse)
+}
+
+// AccuracyGain implements Equation 2 of the paper:
+//
+//	gain = log2(sigma/E) - R
+//
+// where sigma is the standard deviation of the original data, E the RMSE of
+// the reconstruction, and R the bitrate in bits per point. It measures the
+// information a compressor infers rather than stores, flattening the
+// 6.02 dB/bit slope of SNR plots. Lossless reconstructions (E == 0) return
+// +Inf.
+func AccuracyGain(orig, recon []float64, bpp float64) float64 {
+	e := RMSE(orig, recon)
+	if e == 0 {
+		return math.Inf(1)
+	}
+	sigma := StdDev(orig)
+	if sigma == 0 {
+		return -bpp
+	}
+	return math.Log2(sigma/e) - bpp
+}
+
+// AccuracyGainFromSNR converts an SNR (dB) and rate to accuracy gain using
+// the paper's identity gain = SNR/(20*log10 2) - R ~= SNR/6.02 - R.
+func AccuracyGainFromSNR(snrDB, bpp float64) float64 {
+	return snrDB/(20*math.Log10(2)) - bpp
+}
+
+// SSIM computes the mean structural similarity index over the flattened
+// arrays using a sliding 1D window (the volume-agnostic variant; adequate
+// for ranking reconstructions). Window size win defaults to 8 when <= 1.
+// The dynamic range is taken from orig.
+func SSIM(orig, recon []float64, win int) float64 {
+	if len(orig) != len(recon) || len(orig) == 0 {
+		return math.NaN()
+	}
+	if win <= 1 {
+		win = 8
+	}
+	if win > len(orig) {
+		win = len(orig)
+	}
+	l := Range(orig)
+	if l == 0 {
+		l = 1
+	}
+	c1 := (0.01 * l) * (0.01 * l)
+	c2 := (0.03 * l) * (0.03 * l)
+	var total float64
+	var count int
+	for start := 0; start+win <= len(orig); start += win {
+		a := orig[start : start+win]
+		b := recon[start : start+win]
+		ma, mb := Mean(a), Mean(b)
+		var va, vb, cov float64
+		for i := range a {
+			da, db := a[i]-ma, b[i]-mb
+			va += da * da
+			vb += db * db
+			cov += da * db
+		}
+		n := float64(len(a))
+		va /= n
+		vb /= n
+		cov /= n
+		s := ((2*ma*mb + c1) * (2*cov + c2)) /
+			((ma*ma + mb*mb + c1) * (va + vb + c2))
+		total += s
+		count++
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return total / float64(count)
+}
+
+// BPP returns the bitrate of a compressed representation.
+func BPP(compressedBytes, numPoints int) float64 {
+	if numPoints == 0 {
+		return 0
+	}
+	return float64(compressedBytes*8) / float64(numPoints)
+}
+
+// CompressionRatio returns originalBytes / compressedBytes.
+func CompressionRatio(originalBytes, compressedBytes int) float64 {
+	if compressedBytes == 0 {
+		return math.Inf(1)
+	}
+	return float64(originalBytes) / float64(compressedBytes)
+}
+
+// ToleranceForIdx translates the paper's idx labels into an actual PWE
+// tolerance: t = range / 2^idx (Table I).
+func ToleranceForIdx(dataRange float64, idx int) float64 {
+	return dataRange / math.Exp2(float64(idx))
+}

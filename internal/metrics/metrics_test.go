@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRMSE(t *testing.T) {
+	orig := []float64{1, 2, 3, 4}
+	same := []float64{1, 2, 3, 4}
+	if got := RMSE(orig, same); got != 0 {
+		t.Errorf("RMSE identical = %g, want 0", got)
+	}
+	off := []float64{2, 3, 4, 5} // error 1 everywhere
+	if got := RMSE(orig, off); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("RMSE = %g, want 1", got)
+	}
+	if !math.IsNaN(RMSE(orig, orig[:2])) {
+		t.Error("mismatched lengths should give NaN")
+	}
+}
+
+func TestMaxErr(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{0.5, -2, 1}
+	if got := MaxErr(a, b); got != 2 {
+		t.Errorf("MaxErr = %g, want 2", got)
+	}
+}
+
+func TestMeanStdDevRange(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(x); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := StdDev(x); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if got := Range(x); got != 7 {
+		t.Errorf("Range = %g, want 7", got)
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	orig := []float64{0, 10} // range 10
+	recon := []float64{1, 10}
+	// RMSE = sqrt(1/2), PSNR = 20*log10(10/sqrt(0.5))
+	want := 20 * math.Log10(10/math.Sqrt(0.5))
+	if got := PSNR(orig, recon); !almostEqual(got, want, 1e-9) {
+		t.Errorf("PSNR = %g, want %g", got, want)
+	}
+	if !math.IsInf(PSNR(orig, orig), 1) {
+		t.Error("perfect reconstruction should give +Inf PSNR")
+	}
+}
+
+func TestAccuracyGain(t *testing.T) {
+	// Halving the error at a cost of exactly one extra bit keeps gain flat.
+	orig := make([]float64, 1000)
+	reconA := make([]float64, 1000)
+	reconB := make([]float64, 1000)
+	for i := range orig {
+		orig[i] = math.Sin(float64(i) * 0.1)
+		reconA[i] = orig[i] + 0.01
+		reconB[i] = orig[i] + 0.005
+	}
+	gainA := AccuracyGain(orig, reconA, 2.0)
+	gainB := AccuracyGain(orig, reconB, 3.0)
+	if !almostEqual(gainA, gainB, 1e-9) {
+		t.Errorf("halving error for one bit should keep gain constant: %g vs %g", gainA, gainB)
+	}
+	if !math.IsInf(AccuracyGain(orig, orig, 1), 1) {
+		t.Error("lossless should give +Inf gain")
+	}
+}
+
+func TestAccuracyGainFromSNRConsistency(t *testing.T) {
+	orig := make([]float64, 512)
+	recon := make([]float64, 512)
+	for i := range orig {
+		orig[i] = math.Cos(float64(i) * 0.05)
+		recon[i] = orig[i] + 0.001*math.Sin(float64(i))
+	}
+	bpp := 4.0
+	direct := AccuracyGain(orig, recon, bpp)
+	viaSNR := AccuracyGainFromSNR(SNR(orig, recon), bpp)
+	if !almostEqual(direct, viaSNR, 1e-9) {
+		t.Errorf("gain definitions disagree: %g vs %g", direct, viaSNR)
+	}
+}
+
+func TestSSIM(t *testing.T) {
+	orig := make([]float64, 256)
+	for i := range orig {
+		orig[i] = math.Sin(float64(i) * 0.2)
+	}
+	if got := SSIM(orig, orig, 8); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("SSIM identical = %g, want 1", got)
+	}
+	noisy := make([]float64, 256)
+	verynoisy := make([]float64, 256)
+	for i := range orig {
+		noisy[i] = orig[i] + 0.05*math.Sin(float64(i*7))
+		verynoisy[i] = orig[i] + 0.5*math.Sin(float64(i*7))
+	}
+	s1 := SSIM(orig, noisy, 8)
+	s2 := SSIM(orig, verynoisy, 8)
+	if !(s1 > s2) {
+		t.Errorf("SSIM should rank less-noisy higher: %g vs %g", s1, s2)
+	}
+	if s1 > 1 || s2 > 1 {
+		t.Errorf("SSIM must be <= 1: %g, %g", s1, s2)
+	}
+}
+
+func TestToleranceForIdx(t *testing.T) {
+	// Table I: idx=10 -> range/2^10 ~ range*1e-3.
+	r := 100.0
+	if got := ToleranceForIdx(r, 10); !almostEqual(got, r/1024, 1e-12) {
+		t.Errorf("idx=10: %g, want %g", got, r/1024)
+	}
+	if got := ToleranceForIdx(r, 0); got != r {
+		t.Errorf("idx=0: %g, want %g", got, r)
+	}
+}
+
+func TestBPPAndRatio(t *testing.T) {
+	if got := BPP(1000, 1000); got != 8 {
+		t.Errorf("BPP = %g, want 8", got)
+	}
+	if got := CompressionRatio(8000, 1000); got != 8 {
+		t.Errorf("ratio = %g, want 8", got)
+	}
+	if !math.IsInf(CompressionRatio(1, 0), 1) {
+		t.Error("zero compressed bytes should give +Inf ratio")
+	}
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"math"
+
+	"sperr/internal/grid"
+)
+
+// SSIM2D computes the mean structural similarity index between two 2D
+// slices (NZ must be 1) with a sliding win x win window (default 8 when
+// win <= 1), the domain-specific quality metric the paper points to for
+// visualization-oriented use cases (Section VI-C, reference [39]). For 3D
+// volumes use SSIMSlices, which averages SSIM2D over z-slices.
+func SSIM2D(orig, recon *grid.Volume, win int) float64 {
+	if orig.Dims != recon.Dims || !orig.Dims.Is2D() {
+		return math.NaN()
+	}
+	if win <= 1 {
+		win = 8
+	}
+	d := orig.Dims
+	if win > d.NX {
+		win = d.NX
+	}
+	if win > d.NY {
+		win = d.NY
+	}
+	l := Range(orig.Data)
+	if l == 0 {
+		l = 1
+	}
+	c1 := (0.01 * l) * (0.01 * l)
+	c2 := (0.03 * l) * (0.03 * l)
+	var total float64
+	var count int
+	for y0 := 0; y0+win <= d.NY; y0 += win / 2 {
+		for x0 := 0; x0+win <= d.NX; x0 += win / 2 {
+			var ma, mb float64
+			n := float64(win * win)
+			for y := y0; y < y0+win; y++ {
+				for x := x0; x < x0+win; x++ {
+					ma += orig.At(x, y, 0)
+					mb += recon.At(x, y, 0)
+				}
+			}
+			ma /= n
+			mb /= n
+			var va, vb, cov float64
+			for y := y0; y < y0+win; y++ {
+				for x := x0; x < x0+win; x++ {
+					da := orig.At(x, y, 0) - ma
+					db := recon.At(x, y, 0) - mb
+					va += da * da
+					vb += db * db
+					cov += da * db
+				}
+			}
+			va /= n
+			vb /= n
+			cov /= n
+			total += ((2*ma*mb + c1) * (2*cov + c2)) /
+				((ma*ma + mb*mb + c1) * (va + vb + c2))
+			count++
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return total / float64(count)
+}
+
+// SSIMSlices averages SSIM2D over every z-slice of a 3D volume.
+func SSIMSlices(orig, recon *grid.Volume, win int) float64 {
+	if orig.Dims != recon.Dims {
+		return math.NaN()
+	}
+	d := orig.Dims
+	var total float64
+	for z := 0; z < d.NZ; z++ {
+		a := orig.Cutout(0, 0, z, grid.D3(d.NX, d.NY, 1))
+		b := recon.Cutout(0, 0, z, grid.D3(d.NX, d.NY, 1))
+		total += SSIM2D(a, b, win)
+	}
+	return total / float64(d.NZ)
+}

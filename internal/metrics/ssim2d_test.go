@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sperr/internal/grid"
+)
+
+func testImage(d grid.Dims, seed int64) *grid.Volume {
+	rng := rand.New(rand.NewSource(seed))
+	v := grid.NewVolume(d)
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			for x := 0; x < d.NX; x++ {
+				v.Set(x, y, z, 100*math.Sin(0.2*float64(x))*math.Cos(0.25*float64(y))+
+					rng.NormFloat64())
+			}
+		}
+	}
+	return v
+}
+
+func TestSSIM2DIdentity(t *testing.T) {
+	img := testImage(grid.D2(64, 48), 1)
+	if got := SSIM2D(img, img, 8); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("SSIM of identical images = %g, want 1", got)
+	}
+}
+
+func TestSSIM2DRanksDistortion(t *testing.T) {
+	img := testImage(grid.D2(64, 64), 2)
+	mild := img.Clone()
+	severe := img.Clone()
+	rng := rand.New(rand.NewSource(3))
+	for i := range mild.Data {
+		n := rng.NormFloat64()
+		mild.Data[i] += 0.5 * n
+		severe.Data[i] += 20 * n
+	}
+	s1 := SSIM2D(img, mild, 8)
+	s2 := SSIM2D(img, severe, 8)
+	if !(s1 > s2) {
+		t.Fatalf("SSIM did not rank distortions: mild %g vs severe %g", s1, s2)
+	}
+	if s1 > 1+1e-9 {
+		t.Fatalf("SSIM above 1: %g", s1)
+	}
+}
+
+func TestSSIM2DRejects3D(t *testing.T) {
+	vol := testImage(grid.D3(8, 8, 8), 4)
+	if !math.IsNaN(SSIM2D(vol, vol, 8)) {
+		t.Fatal("SSIM2D on 3D volume should be NaN")
+	}
+	a := testImage(grid.D2(8, 8), 5)
+	b := testImage(grid.D2(8, 9), 5)
+	if !math.IsNaN(SSIM2D(a, b, 8)) {
+		t.Fatal("mismatched dims should be NaN")
+	}
+}
+
+func TestSSIMSlices(t *testing.T) {
+	vol := testImage(grid.D3(32, 32, 4), 6)
+	if got := SSIMSlices(vol, vol, 8); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("slice SSIM of identical volumes = %g", got)
+	}
+	noisy := vol.Clone()
+	rng := rand.New(rand.NewSource(7))
+	for i := range noisy.Data {
+		noisy.Data[i] += 10 * rng.NormFloat64()
+	}
+	if got := SSIMSlices(vol, noisy, 8); got >= 1 {
+		t.Fatalf("noisy slice SSIM = %g, want < 1", got)
+	}
+}

@@ -1,0 +1,155 @@
+package mgard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sperr/internal/grid"
+)
+
+func smoothField(d grid.Dims, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, d.Len())
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			for x := 0; x < d.NX; x++ {
+				data[d.Index(x, y, z)] = 20*math.Sin(0.2*float64(x))*math.Cos(0.18*float64(y))*
+					math.Cos(0.12*float64(z)) + 0.05*rng.NormFloat64()
+			}
+		}
+	}
+	return data
+}
+
+func maxErr(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestErrorBound(t *testing.T) {
+	dims := []grid.Dims{
+		grid.D3(32, 32, 32),
+		grid.D3(17, 23, 9),
+		grid.D2(48, 36),
+	}
+	for _, d := range dims {
+		data := smoothField(d, int64(d.Len()))
+		for _, tol := range []float64{1, 0.01, 1e-4} {
+			stream, err := Compress(data, d, Params{Tol: tol})
+			if err != nil {
+				t.Fatalf("%v tol=%g: %v", d, tol, err)
+			}
+			rec, gotDims, err := Decompress(stream)
+			if err != nil {
+				t.Fatalf("%v tol=%g: %v", d, tol, err)
+			}
+			if gotDims != d {
+				t.Fatalf("dims %v", gotDims)
+			}
+			if e := maxErr(data, rec); e > tol*(1+1e-9) {
+				t.Errorf("%v tol=%g: max error %g", d, tol, e)
+			}
+		}
+	}
+}
+
+func TestErrorBoundOnNoise(t *testing.T) {
+	d := grid.D3(16, 16, 16)
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, d.Len())
+	for i := range data {
+		data[i] = rng.NormFloat64() * 10
+	}
+	tol := 0.05
+	stream, err := Compress(data, d, Params{Tol: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, rec); e > tol*(1+1e-9) {
+		t.Errorf("noise max error %g > tol %g", e, tol)
+	}
+}
+
+func TestTighterToleranceCostsMore(t *testing.T) {
+	d := grid.D3(24, 24, 24)
+	data := smoothField(d, 3)
+	s1, err := Compress(data, d, Params{Tol: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Compress(data, d, Params{Tol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2) <= len(s1) {
+		t.Errorf("tight tolerance (%d bytes) should cost more than loose (%d)", len(s2), len(s1))
+	}
+}
+
+func TestSmoothDataCompresses(t *testing.T) {
+	d := grid.D3(32, 32, 32)
+	data := smoothField(d, 4)
+	stream, err := Compress(data, d, Params{Tol: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpp := float64(len(stream)*8) / float64(d.Len())
+	if bpp > 24 {
+		t.Errorf("smooth field used %g BPP", bpp)
+	}
+}
+
+func TestConstantField(t *testing.T) {
+	d := grid.D3(16, 16, 16)
+	data := make([]float64, d.Len())
+	for i := range data {
+		data[i] = -7.25
+	}
+	stream, err := Compress(data, d, Params{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, rec); e > 1e-8 {
+		t.Errorf("constant field error %g", e)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d := grid.D3(4, 4, 4)
+	data := make([]float64, d.Len())
+	if _, err := Compress(data, d, Params{}); err == nil {
+		t.Error("zero tolerance should fail")
+	}
+	if _, err := Compress(data[:5], d, Params{Tol: 1}); err == nil {
+		t.Error("dims mismatch should fail")
+	}
+	if _, _, err := Decompress([]byte{9}); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func BenchmarkCompress32(b *testing.B) {
+	d := grid.D3(32, 32, 32)
+	data := smoothField(d, 1)
+	b.SetBytes(int64(d.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, d, Params{Tol: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

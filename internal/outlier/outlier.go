@@ -1,0 +1,389 @@
+// Package outlier implements SPERR's outlier coding algorithm (paper
+// Section IV, Listings 1-3): a SPECK-inspired embedded coder for sparse
+// (position, correction) tuples that lets SPERR guarantee a maximum
+// point-wise error (PWE).
+//
+// The input is conceptually a length-N 1D array that is zero everywhere
+// except at outlier positions, where it holds the correction value
+// corr = x - x~ (original minus wavelet reconstruction), with |corr| > t.
+// The coder runs sorting and refinement passes against thresholds
+// t*2^n for n = nmax .. 0; after the final pass every outlier has been
+// located exactly and its correction reconstructed to within t/2, which
+// bounds the corrected reconstruction error by the tolerance (Equation 1).
+//
+// Multi-dimensional inputs are linearized before coding: outlier positions
+// carry essentially no spatial correlation (paper Section IV-C, Figure 1),
+// so nothing is lost by flattening and the set partitioning stays binary.
+package outlier
+
+import (
+	"sort"
+
+	"sperr/internal/bits"
+)
+
+// Outlier is one (position, correction) tuple. Pos indexes the linearized
+// input array; Corr is the value to add to the wavelet reconstruction.
+type Outlier struct {
+	Pos  int
+	Corr float64
+}
+
+// Result carries the encoder output.
+type Result struct {
+	Stream    []byte
+	Bits      uint64
+	NumPasses int // threshold passes emitted; the decoder must replay as many
+}
+
+// NumPasses returns how many threshold passes encode outliers with maximum
+// magnitude maxCorr at tolerance tol: passes-1 is the largest n >= 0 with
+// tol*2^n < maxCorr (Listing 1, line 4).
+func NumPasses(maxCorr, tol float64) int {
+	if maxCorr <= tol || tol <= 0 {
+		return 0
+	}
+	n := 0
+	for tol*pow2(n+1) < maxCorr {
+		n++
+	}
+	return n + 1
+}
+
+func pow2(n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// rng is a contiguous index range [start, start+length) of the linearized
+// array, tracking which outliers (by index into the sorted outlier slice)
+// fall inside it. max caches the largest |corr| inside (encoder only).
+type rng struct {
+	start, length int32
+	lo, hi        int32 // outlier slice subrange
+	max           float64
+}
+
+// Encode codes the outliers of a length-n array at tolerance tol > 0.
+// Every |outlier.Corr| must exceed tol (that is what makes it an outlier);
+// values at or below tol are ignored. Positions must be unique and within
+// [0, n). The outliers slice is not modified.
+func Encode(n int, tol float64, outliers []Outlier) *Result {
+	if len(outliers) == 0 {
+		return &Result{}
+	}
+	e := &encoder{
+		w:   bits.NewWriter(len(outliers) * 12),
+		out: make([]Outlier, 0, len(outliers)),
+	}
+	maxCorr := 0.0
+	for _, o := range outliers {
+		c := o.Corr
+		neg := c < 0
+		if neg {
+			c = -c
+		}
+		if c <= tol {
+			continue // inlier; nothing to correct
+		}
+		e.out = append(e.out, Outlier{Pos: o.Pos, Corr: c})
+		e.neg = append(e.neg, neg)
+		if c > maxCorr {
+			maxCorr = c
+		}
+	}
+	if len(e.out) == 0 {
+		return &Result{}
+	}
+	// Sort by position so range membership is a contiguous subrange; keep
+	// the sign slice aligned.
+	idx := make([]int, len(e.out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return e.out[idx[a]].Pos < e.out[idx[b]].Pos })
+	sorted := make([]Outlier, len(e.out))
+	sortedNeg := make([]bool, len(e.out))
+	for i, j := range idx {
+		sorted[i] = e.out[j]
+		sortedNeg[i] = e.neg[j]
+	}
+	e.out, e.neg = sorted, sortedNeg
+
+	passes := NumPasses(maxCorr, tol)
+	e.run(n, tol, passes)
+	return &Result{Stream: e.w.Bytes(), Bits: e.w.Len(), NumPasses: passes}
+}
+
+type encoder struct {
+	w   *bits.Writer
+	out []Outlier // sorted by position; Corr mutates during refinement
+	neg []bool
+
+	lis    [][]rng // buckets by split depth; deeper = smaller ranges
+	lsp    []int32 // indices into out
+	lspNew []int32
+}
+
+func (e *encoder) run(n int, tol float64, passes int) {
+	root := rng{start: 0, length: int32(n), lo: 0, hi: int32(len(e.out))}
+	root.max = e.rangeMax(&root)
+	e.lis = make([][]rng, 1, 16)
+	e.lis[0] = []rng{root}
+	for p := passes - 1; p >= 0; p-- {
+		thr := tol * pow2(p)
+		e.sortingPass(thr)
+		e.refinementPass(thr)
+	}
+}
+
+func (e *encoder) rangeMax(s *rng) float64 {
+	m := 0.0
+	for i := s.lo; i < s.hi; i++ {
+		if c := e.out[i].Corr; c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// sortingPass visits LIS ranges smallest first (Listing 2, line 1); ranges
+// created by splitting land in deeper, already-visited buckets and are
+// processed immediately by recursion.
+func (e *encoder) sortingPass(thr float64) {
+	for depth := len(e.lis) - 1; depth >= 0; depth-- {
+		bucket := e.lis[depth]
+		kept := bucket[:0]
+		for i := range bucket {
+			s := bucket[i]
+			if s.max > thr { // significance is strict (Section IV-B)
+				e.processSignificant(&s, depth, thr)
+			} else {
+				e.w.WriteBit(false)
+				kept = append(kept, s)
+			}
+		}
+		e.lis[depth] = kept
+	}
+}
+
+func (e *encoder) processSignificant(s *rng, depth int, thr float64) {
+	e.w.WriteBit(true)
+	e.descend(s, depth, thr)
+}
+
+func (e *encoder) descend(s *rng, depth int, thr float64) {
+	if s.length == 1 {
+		// Single significant point: emit sign, move to LNSP (Listing 2,
+		// lines 5-7). s.lo is the outlier's index.
+		e.w.WriteBit(e.neg[s.lo])
+		e.lspNew = append(e.lspNew, s.lo)
+		return
+	}
+	e.code(s, depth, thr)
+}
+
+// code splits s into two halves at ceil(length/2) and processes both
+// immediately (Listing 2, Code(S)). When the first half tests
+// insignificant, the second half of a significant parent is implied
+// significant and its bit omitted (the Said-Pearlman saving used by the
+// reference SPERR outlier coder).
+func (e *encoder) code(s *rng, depth int, thr float64) {
+	a, b := splitRange(s)
+	// Partition the outlier subrange: outliers are sorted by position.
+	mid := s.lo
+	for mid < s.hi && int32(e.out[mid].Pos) < b.start {
+		mid++
+	}
+	a.lo, a.hi = s.lo, mid
+	b.lo, b.hi = mid, s.hi
+	a.max = e.rangeMax(&a)
+	b.max = e.rangeMax(&b)
+
+	childDepth := depth + 1
+	for len(e.lis) <= childDepth {
+		e.lis = append(e.lis, nil)
+	}
+	if a.max > thr {
+		e.processSignificant(&a, childDepth, thr)
+	} else {
+		e.w.WriteBit(false)
+		e.lis[childDepth] = append(e.lis[childDepth], a)
+		// b is implied significant: no bit.
+		e.descend(&b, childDepth, thr)
+		return
+	}
+	if b.max > thr {
+		e.processSignificant(&b, childDepth, thr)
+	} else {
+		e.w.WriteBit(false)
+		e.lis[childDepth] = append(e.lis[childDepth], b)
+	}
+}
+
+func (e *encoder) refinementPass(thr float64) {
+	// Existing significant points: one refinement bit each (Listing 3).
+	for _, i := range e.lsp {
+		o := &e.out[i]
+		if o.Corr > thr {
+			e.w.WriteBit(true)
+			o.Corr -= thr
+		} else {
+			e.w.WriteBit(false)
+		}
+	}
+	// Newly significant points: quantize with no bit emitted.
+	for _, i := range e.lspNew {
+		e.out[i].Corr -= thr
+	}
+	e.lsp = append(e.lsp, e.lspNew...)
+	e.lspNew = e.lspNew[:0]
+}
+
+// splitRange divides [start, start+length) at ceil(length/2).
+func splitRange(s *rng) (a, b rng) {
+	half := (s.length + 1) / 2
+	a = rng{start: s.start, length: half}
+	b = rng{start: s.start + half, length: s.length - half}
+	return
+}
+
+// Decode reconstructs the outlier list from a bitstream produced by Encode
+// with the same n, tol and passes (from Result.NumPasses). The returned
+// corrections satisfy |corr~ - corr| <= tol/2 and are sorted by position.
+// Truncated streams decode to a valid partial correction list.
+func Decode(stream []byte, nbits uint64, n int, tol float64, passes int) []Outlier {
+	if passes <= 0 {
+		return nil
+	}
+	d := &decoder{r: bits.NewReaderBits(stream, nbits)}
+	d.run(n, tol, passes)
+	out := make([]Outlier, len(d.pts))
+	for i, p := range d.pts {
+		c := p.val
+		if p.neg {
+			c = -c
+		}
+		out[i] = Outlier{Pos: int(p.pos), Corr: c}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Pos < out[b].Pos })
+	return out
+}
+
+type dpoint struct {
+	pos int32
+	val float64
+	neg bool
+}
+
+type decoder struct {
+	r    *bits.Reader
+	lis  [][]rng
+	pts  []dpoint // reconstructed significant points (LSP order)
+	nOld int      // pts[:nOld] existed before the current sorting pass
+}
+
+func (d *decoder) run(n int, tol float64, passes int) {
+	root := rng{start: 0, length: int32(n)}
+	d.lis = make([][]rng, 1, 16)
+	d.lis[0] = []rng{root}
+	for p := passes - 1; p >= 0; p-- {
+		thr := tol * pow2(p)
+		d.nOld = len(d.pts)
+		if !d.sortingPass(thr) {
+			return
+		}
+		if !d.refinementPass(thr) {
+			return
+		}
+	}
+}
+
+func (d *decoder) sortingPass(thr float64) bool {
+	for depth := len(d.lis) - 1; depth >= 0; depth-- {
+		bucket := d.lis[depth]
+		kept := bucket[:0]
+		for i := range bucket {
+			s := bucket[i]
+			sig := d.r.ReadBit()
+			if d.r.Exhausted() {
+				d.lis[depth] = append(kept, bucket[i:]...)
+				return false
+			}
+			if sig {
+				if !d.descend(&s, depth, thr) {
+					d.lis[depth] = append(kept, bucket[i+1:]...)
+					return false
+				}
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		d.lis[depth] = kept
+	}
+	return true
+}
+
+func (d *decoder) descend(s *rng, depth int, thr float64) bool {
+	if s.length == 1 {
+		neg := d.r.ReadBit()
+		if d.r.Exhausted() {
+			return false
+		}
+		// Newly significant point: reconstruct at 1.5*thr (Listing 3,
+		// line 12, the LNSP rule).
+		d.pts = append(d.pts, dpoint{pos: s.start, val: 1.5 * thr, neg: neg})
+		return true
+	}
+	a, b := splitRange(s)
+	childDepth := depth + 1
+	for len(d.lis) <= childDepth {
+		d.lis = append(d.lis, nil)
+	}
+	sigA := d.r.ReadBit()
+	if d.r.Exhausted() {
+		d.lis[childDepth] = append(d.lis[childDepth], a, b)
+		return false
+	}
+	if sigA {
+		if !d.descend(&a, childDepth, thr) {
+			d.lis[childDepth] = append(d.lis[childDepth], b)
+			return false
+		}
+	} else {
+		d.lis[childDepth] = append(d.lis[childDepth], a)
+		// b is implied significant: the encoder emitted no bit.
+		return d.descend(&b, childDepth, thr)
+	}
+	sigB := d.r.ReadBit()
+	if d.r.Exhausted() {
+		d.lis[childDepth] = append(d.lis[childDepth], b)
+		return false
+	}
+	if sigB {
+		return d.descend(&b, childDepth, thr)
+	}
+	d.lis[childDepth] = append(d.lis[childDepth], b)
+	return true
+}
+
+func (d *decoder) refinementPass(thr float64) bool {
+	// Only points that existed before this pass's sorting pass receive a
+	// refinement bit; points discovered this pass were initialized at
+	// 1.5*thr already (LNSP rule).
+	for i := 0; i < d.nOld; i++ {
+		b := d.r.ReadBit()
+		if d.r.Exhausted() {
+			return false
+		}
+		if b {
+			d.pts[i].val += thr / 2
+		} else {
+			d.pts[i].val -= thr / 2
+		}
+	}
+	return true
+}

@@ -1,0 +1,259 @@
+package outlier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// genOutliers produces k outliers at unique random positions in [0, n) with
+// |corr| in (tol, maxScale*tol].
+func genOutliers(rng *rand.Rand, n, k int, tol, maxScale float64) []Outlier {
+	used := make(map[int]bool, k)
+	out := make([]Outlier, 0, k)
+	for len(out) < k {
+		p := rng.Intn(n)
+		if used[p] {
+			continue
+		}
+		used[p] = true
+		mag := tol * (1 + rng.Float64()*(maxScale-1))
+		if mag <= tol {
+			mag = tol * 1.000001
+		}
+		if rng.Intn(2) == 0 {
+			mag = -mag
+		}
+		out = append(out, Outlier{Pos: p, Corr: mag})
+	}
+	return out
+}
+
+func TestNumPasses(t *testing.T) {
+	cases := []struct {
+		maxCorr, tol float64
+		want         int
+	}{
+		{0.5, 1, 0},   // not an outlier at all
+		{1, 1, 0},     // |corr| == tol: not an outlier
+		{1.5, 1, 1},   // n=0 only: 2^0*1=1 < 1.5, 2^1*1=2 !< 1.5
+		{2, 1, 1},     // 2 !< 2 (strict)
+		{2.5, 1, 2},   // 2 < 2.5
+		{100, 1, 7},   // 2^6=64 < 100, 2^7=128 !< 100
+		{4.6, 1.5, 2}, // 1.5*2=3 < 4.6, 1.5*4=6 !< 4.6
+	}
+	for _, c := range cases {
+		if got := NumPasses(c.maxCorr, c.tol); got != c.want {
+			t.Errorf("NumPasses(%g, %g) = %d, want %d", c.maxCorr, c.tol, got, c.want)
+		}
+	}
+}
+
+// Core guarantee: every outlier position is recovered exactly, and every
+// reconstructed correction is within tol/2 of the true correction.
+func TestRoundTripGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 30; iter++ {
+		n := 100 + rng.Intn(100000)
+		k := 1 + rng.Intn(200)
+		if k > n {
+			k = n
+		}
+		tol := math.Exp(rng.NormFloat64() * 3)
+		outs := genOutliers(rng, n, k, tol, 20)
+		res := Encode(n, tol, outs)
+		dec := Decode(res.Stream, res.Bits, n, tol, res.NumPasses)
+		if len(dec) != len(outs) {
+			t.Fatalf("iter %d: decoded %d outliers, want %d", iter, len(dec), len(outs))
+		}
+		byPos := make(map[int]float64, len(outs))
+		for _, o := range outs {
+			byPos[o.Pos] = o.Corr
+		}
+		for _, o := range dec {
+			want, ok := byPos[o.Pos]
+			if !ok {
+				t.Fatalf("iter %d: spurious outlier at pos %d", iter, o.Pos)
+			}
+			if err := math.Abs(o.Corr - want); err > tol/2*(1+1e-9) {
+				t.Fatalf("iter %d pos %d: corr %g vs %g, err %g > tol/2 %g",
+					iter, o.Pos, o.Corr, want, err, tol/2)
+			}
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res := Encode(1000, 0.5, nil)
+	if res.Bits != 0 || res.NumPasses != 0 {
+		t.Fatalf("empty input should produce empty result, got %+v", res)
+	}
+	if dec := Decode(res.Stream, res.Bits, 1000, 0.5, res.NumPasses); len(dec) != 0 {
+		t.Fatalf("decode of empty stream returned %d outliers", len(dec))
+	}
+}
+
+func TestInliersIgnored(t *testing.T) {
+	// Values at or below the tolerance are not outliers and must be dropped.
+	outs := []Outlier{
+		{Pos: 3, Corr: 0.4},  // inlier
+		{Pos: 7, Corr: -0.5}, // inlier (== tol)
+		{Pos: 9, Corr: 1.2},  // outlier
+	}
+	res := Encode(100, 0.5, outs)
+	dec := Decode(res.Stream, res.Bits, 100, 0.5, res.NumPasses)
+	if len(dec) != 1 || dec[0].Pos != 9 {
+		t.Fatalf("expected only outlier at pos 9, got %v", dec)
+	}
+}
+
+func TestSingleOutlierAtBoundaries(t *testing.T) {
+	for _, pos := range []int{0, 1, 999998, 999999} {
+		outs := []Outlier{{Pos: pos, Corr: 3.7}}
+		res := Encode(1000000, 1.0, outs)
+		dec := Decode(res.Stream, res.Bits, 1000000, 1.0, res.NumPasses)
+		if len(dec) != 1 || dec[0].Pos != pos {
+			t.Fatalf("pos %d: got %v", pos, dec)
+		}
+		if math.Abs(dec[0].Corr-3.7) > 0.5 {
+			t.Fatalf("pos %d: corr %g, want 3.7 +- 0.5", pos, dec[0].Corr)
+		}
+	}
+}
+
+func TestNegativeCorrections(t *testing.T) {
+	outs := []Outlier{
+		{Pos: 10, Corr: -2.5},
+		{Pos: 20, Corr: 2.5},
+	}
+	res := Encode(64, 1.0, outs)
+	dec := Decode(res.Stream, res.Bits, 64, 1.0, res.NumPasses)
+	if len(dec) != 2 {
+		t.Fatalf("got %d outliers", len(dec))
+	}
+	if dec[0].Corr >= 0 {
+		t.Errorf("pos 10 should be negative, got %g", dec[0].Corr)
+	}
+	if dec[1].Corr <= 0 {
+		t.Errorf("pos 20 should be positive, got %g", dec[1].Corr)
+	}
+}
+
+func TestDenseOutliers(t *testing.T) {
+	// Every position is an outlier: the coder must still work (degenerates
+	// to coding all values).
+	n := 256
+	rng := rand.New(rand.NewSource(4))
+	outs := make([]Outlier, n)
+	for i := range outs {
+		outs[i] = Outlier{Pos: i, Corr: 1.0 + rng.Float64()*10}
+	}
+	res := Encode(n, 1.0, outs)
+	dec := Decode(res.Stream, res.Bits, n, 1.0, res.NumPasses)
+	if len(dec) != n {
+		t.Fatalf("got %d outliers, want %d", len(dec), n)
+	}
+	for i, o := range dec {
+		if o.Pos != i {
+			t.Fatalf("outlier %d at pos %d", i, o.Pos)
+		}
+		if math.Abs(o.Corr-outs[i].Corr) > 0.5+1e-12 {
+			t.Fatalf("pos %d: err %g", i, math.Abs(o.Corr-outs[i].Corr))
+		}
+	}
+}
+
+// Paper Section V-A: the amortized coding cost should land in the single
+// digits to mid-teens of bits per outlier for sparse outlier sets.
+func TestBitsPerOutlierRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 1 << 18
+	for _, k := range []int{64, 512, 4096} {
+		outs := genOutliers(rng, n, k, 1.0, 3)
+		res := Encode(n, 1.0, outs)
+		bpo := float64(res.Bits) / float64(k)
+		if bpo < 2 || bpo > 40 {
+			t.Errorf("k=%d: %g bits/outlier outside sane range", k, bpo)
+		}
+	}
+}
+
+// Denser outlier sets amortize set-significance tests over more outliers,
+// so bits-per-outlier should decrease (paper Figure 4 trend).
+func TestAmortizationTrend(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 1 << 16
+	sparse := genOutliers(rng, n, 50, 1.0, 2.5)
+	dense := genOutliers(rng, n, 5000, 1.0, 2.5)
+	rs := Encode(n, 1.0, sparse)
+	rd := Encode(n, 1.0, dense)
+	bpoSparse := float64(rs.Bits) / 50
+	bpoDense := float64(rd.Bits) / 5000
+	if bpoDense >= bpoSparse {
+		t.Errorf("dense %g bits/outlier >= sparse %g; amortization missing",
+			bpoDense, bpoSparse)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 1 << 14
+	outs := genOutliers(rng, n, 300, 1.0, 10)
+	res := Encode(n, 1.0, outs)
+	// Any truncation must decode without panic and yield a subset with
+	// valid positions.
+	valid := make(map[int]bool, len(outs))
+	for _, o := range outs {
+		valid[o.Pos] = true
+	}
+	for _, frac := range []float64{0, 0.1, 0.33, 0.66, 0.99} {
+		nb := uint64(float64(res.Bits) * frac)
+		dec := Decode(res.Stream, nb, n, 1.0, res.NumPasses)
+		for _, o := range dec {
+			if !valid[o.Pos] {
+				t.Fatalf("frac %g: decoded spurious position %d", frac, o.Pos)
+			}
+		}
+	}
+}
+
+func TestOddLengthSplits(t *testing.T) {
+	// Prime-length arrays exercise uneven splits all the way down.
+	for _, n := range []int{7, 13, 101, 997, 65537} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		k := n / 3
+		if k == 0 {
+			k = 1
+		}
+		if k > 50 {
+			k = 50
+		}
+		outs := genOutliers(rng, n, k, 2.0, 5)
+		res := Encode(n, 2.0, outs)
+		dec := Decode(res.Stream, res.Bits, n, 2.0, res.NumPasses)
+		if len(dec) != len(outs) {
+			t.Fatalf("n=%d: decoded %d, want %d", n, len(dec), len(outs))
+		}
+	}
+}
+
+func BenchmarkEncode1kOutliers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 20
+	outs := genOutliers(rng, n, 1000, 1.0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(n, 1.0, outs)
+	}
+}
+
+func BenchmarkDecode1kOutliers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 20
+	outs := genOutliers(rng, n, 1000, 1.0, 4)
+	res := Encode(n, 1.0, outs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(res.Stream, res.Bits, n, 1.0, res.NumPasses)
+	}
+}

@@ -1,0 +1,86 @@
+package outlier
+
+// Property-based tests (testing/quick) on the outlier coder invariants.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for arbitrary outlier sets, every decoded position is exact
+// and every correction within tol/2.
+func TestQuickCoderInvariant(t *testing.T) {
+	f := func(seed int64, kRaw uint8, tolExp int8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 64 + r.Intn(1<<15)
+		k := 1 + int(kRaw)%64
+		if k > n {
+			k = n
+		}
+		tol := math.Exp2(float64(int(tolExp)%12 - 6))
+		outs := genOutliers(r, n, k, tol, 1+8*r.Float64())
+		res := Encode(n, tol, outs)
+		dec := Decode(res.Stream, res.Bits, n, tol, res.NumPasses)
+		if len(dec) != len(outs) {
+			return false
+		}
+		byPos := make(map[int]float64, len(outs))
+		for _, o := range outs {
+			byPos[o.Pos] = o.Corr
+		}
+		for _, o := range dec {
+			want, ok := byPos[o.Pos]
+			if !ok || math.Abs(o.Corr-want) > tol/2*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all three naive schemes agree with the coder about which
+// positions are outliers.
+func TestQuickSchemesAgreeOnPositions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 256 + r.Intn(4096)
+		k := 1 + r.Intn(32)
+		tol := 1.0
+		outs := genOutliers(r, n, k, tol, 4)
+		want := map[int]bool{}
+		for _, o := range outs {
+			want[o.Pos] = true
+		}
+		check := func(dec []Outlier, err error) bool {
+			if err != nil || len(dec) != k {
+				return false
+			}
+			for _, o := range dec {
+				if !want[o.Pos] {
+					return false
+				}
+			}
+			return true
+		}
+		if !check(DecodeCSR(EncodeCSR(n, tol, outs), tol)) {
+			return false
+		}
+		if !check(DecodeBitmap(EncodeBitmap(n, tol, outs), tol)) {
+			return false
+		}
+		if !check(DecodeGamma(EncodeGamma(n, tol, outs), tol)) {
+			return false
+		}
+		res := Encode(n, tol, outs)
+		dec := Decode(res.Stream, res.Bits, n, tol, res.NumPasses)
+		return check(dec, nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package plot renders small ASCII line and bar charts for the experiment
+// runner, so the reproduced figures can be eyeballed in a terminal the way
+// the paper's figures are eyeballed on the page (U-shaped cost curves,
+// rate-distortion curves, bitrate bars).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (X, Y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers distinguish up to eight series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Lines renders the series into a width x height character grid with
+// axis annotations and a legend. X values need not be sorted or shared
+// across series. Invalid sizes or empty series render a short message
+// instead of panicking.
+func Lines(title, xlabel, ylabel string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	var pts int
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) || !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			pts++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if pts == 0 {
+		return title + ": no data\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if i >= len(s.Y) || !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			c := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			r := height - 1 - int(math.Round((s.Y[i]-minY)/(maxY-minY)*float64(height-1)))
+			if c >= 0 && c < width && r >= 0 && r < height {
+				grid[r][c] = m
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%s\n", ylabel)
+	yTop := fmt.Sprintf("%.4g", maxY)
+	yBot := fmt.Sprintf("%.4g", minY)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", margin),
+		width-len(fmt.Sprintf("%.4g", maxX)), fmt.Sprintf("%.4g", minX), fmt.Sprintf("%.4g", maxX))
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", margin), xlabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// Bars renders one bar per label, scaled to the maximum value.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 40
+	}
+	if len(labels) != len(values) || len(labels) == 0 {
+		return title + ": no data\n"
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if finite(v) && v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, v := range values {
+		n := 0
+		if finite(v) {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		fmt.Fprintf(&b, "  %-*s |%s %.4g\n", maxLabel, labels[i], strings.Repeat("=", n), v)
+	}
+	return b.String()
+}
+
+// Raster renders a 2D boolean mask (row-major, nx fastest) as a character
+// bitmap of at most width x height cells, marking any cell containing at
+// least one set point. Used to eyeball outlier position maps the way the
+// paper's Figure 1 does.
+func Raster(title string, mask []bool, nx, ny, width, height int) string {
+	if nx <= 0 || ny <= 0 || len(mask) != nx*ny {
+		return title + ": no data\n"
+	}
+	if width < 8 {
+		width = 64
+	}
+	if height < 4 {
+		height = 24
+	}
+	if width > nx {
+		width = nx
+	}
+	if height > ny {
+		height = ny
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r := 0; r < height; r++ {
+		y0 := r * ny / height
+		y1 := (r + 1) * ny / height
+		row := make([]byte, width)
+		for c := 0; c < width; c++ {
+			x0 := c * nx / width
+			x1 := (c + 1) * nx / width
+			row[c] = '.'
+		cell:
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					if mask[y*nx+x] {
+						row[c] = '#'
+						break cell
+					}
+				}
+			}
+		}
+		fmt.Fprintf(&b, "  %s\n", string(row))
+	}
+	return b.String()
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,139 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	s := []Series{
+		{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	}
+	out := Lines("demo", "x", "y", s, 40, 10)
+	for _, want := range []string{"demo", "up", "down", "*", "o", "x", "y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("too few lines: %d", len(lines))
+	}
+}
+
+func TestLinesPlacesExtremes(t *testing.T) {
+	s := []Series{{Name: "v", X: []float64{0, 1}, Y: []float64{0, 10}}}
+	out := Lines("t", "x", "y", s, 20, 8)
+	rows := strings.Split(out, "\n")
+	// The max label appears on the top plot row, min on the bottom.
+	if !strings.Contains(out, "10") || !strings.Contains(out, "0") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	var topRow, botRow string
+	for _, r := range rows {
+		if strings.Contains(r, "|") {
+			if topRow == "" {
+				topRow = r
+			}
+			botRow = r
+		}
+	}
+	if !strings.Contains(topRow, "*") {
+		t.Errorf("max point not on top row:\n%s", out)
+	}
+	if !strings.Contains(botRow, "*") {
+		t.Errorf("min point not on bottom row:\n%s", out)
+	}
+}
+
+func TestLinesEmptyAndNaN(t *testing.T) {
+	if out := Lines("t", "x", "y", nil, 40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty series: %q", out)
+	}
+	s := []Series{{Name: "n", X: []float64{math.NaN()}, Y: []float64{1}}}
+	if out := Lines("t", "x", "y", s, 40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("all-NaN series should have no data: %q", out)
+	}
+	// Constant series must not divide by zero.
+	c := []Series{{Name: "c", X: []float64{1, 2}, Y: []float64{5, 5}}}
+	out := Lines("t", "x", "y", c, 40, 10)
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("sizes", []string{"a", "bb"}, []float64{1, 2}, 20)
+	for _, want := range []string{"sizes", "a ", "bb", "="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// The larger bar must be longer.
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	if len(rows) != 3 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if strings.Count(rows[2], "=") <= strings.Count(rows[1], "=") {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestRaster(t *testing.T) {
+	nx, ny := 16, 8
+	mask := make([]bool, nx*ny)
+	mask[0] = true       // top-left
+	mask[ny*nx-1] = true // bottom-right
+	mask[3*nx+8] = true  // middle
+	out := Raster("dots", mask, nx, ny, 16, 8)
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	if len(rows) != 9 { // title + 8 rows
+		t.Fatalf("rows = %d:\n%s", len(rows), out)
+	}
+	if !strings.Contains(rows[1], "#") || !strings.HasPrefix(strings.TrimSpace(rows[1]), "#") {
+		t.Errorf("top-left dot missing:\n%s", out)
+	}
+	last := rows[len(rows)-1]
+	if !strings.HasSuffix(strings.TrimSpace(last), "#") {
+		t.Errorf("bottom-right dot missing:\n%s", out)
+	}
+	if got := strings.Count(out, "#"); got != 3 {
+		t.Errorf("expected 3 marked cells, got %d:\n%s", got, out)
+	}
+}
+
+func TestRasterDownsamples(t *testing.T) {
+	nx, ny := 100, 60
+	mask := make([]bool, nx*ny)
+	for i := range mask {
+		mask[i] = true
+	}
+	out := Raster("full", mask, nx, ny, 20, 10)
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[1:] {
+		if strings.Contains(r, ".") {
+			t.Fatalf("full mask should have no empty cells:\n%s", out)
+		}
+	}
+	if out := Raster("bad", nil, 4, 4, 8, 8); !strings.Contains(out, "no data") {
+		t.Errorf("mismatched mask: %q", out)
+	}
+}
+
+func TestBarsDegenerate(t *testing.T) {
+	if out := Bars("t", nil, nil, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty bars: %q", out)
+	}
+	if out := Bars("t", []string{"a"}, []float64{0}, 10); !strings.Contains(out, "a") {
+		t.Errorf("zero bars: %q", out)
+	}
+	out := Bars("t", []string{"a"}, []float64{math.Inf(1)}, 10)
+	if strings.Contains(out, strings.Repeat("=", 100)) {
+		t.Errorf("infinite bar rendered: %q", out)
+	}
+}

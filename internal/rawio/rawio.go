@@ -1,0 +1,70 @@
+// Package rawio reads and writes the raw little-endian float arrays used
+// to exchange volumes with other tools (the format of SDRBench files and
+// of the reference SPERR CLI).
+package rawio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+)
+
+// ReadFloats loads a raw little-endian float file. width is 4 (float32)
+// or 8 (float64); the file size must be an exact multiple of width.
+func ReadFloats(path string, width int) ([]float64, error) {
+	if width != 4 && width != 8 {
+		return nil, fmt.Errorf("rawio: width must be 4 or 8, got %d", width)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFloats(raw, width)
+}
+
+// DecodeFloats converts raw little-endian bytes into float64 values.
+func DecodeFloats(raw []byte, width int) ([]float64, error) {
+	if width != 4 && width != 8 {
+		return nil, fmt.Errorf("rawio: width must be 4 or 8, got %d", width)
+	}
+	if len(raw)%width != 0 {
+		return nil, fmt.Errorf("rawio: %d bytes is not a multiple of %d", len(raw), width)
+	}
+	n := len(raw) / width
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if width == 4 {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+		} else {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	}
+	return out, nil
+}
+
+// EncodeFloats converts values to raw little-endian bytes at the given
+// width (4 narrows to float32).
+func EncodeFloats(data []float64, width int) ([]byte, error) {
+	if width != 4 && width != 8 {
+		return nil, fmt.Errorf("rawio: width must be 4 or 8, got %d", width)
+	}
+	raw := make([]byte, len(data)*width)
+	for i, v := range data {
+		if width == 4 {
+			binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(float32(v)))
+		} else {
+			binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+		}
+	}
+	return raw, nil
+}
+
+// WriteFloats writes values as a raw little-endian float file.
+func WriteFloats(path string, data []float64, width int) error {
+	raw, err := EncodeFloats(data, width)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}

@@ -1,0 +1,280 @@
+package speck
+
+import (
+	"math"
+
+	"sperr/internal/bits"
+	"sperr/internal/grid"
+	"sperr/internal/wavelet"
+)
+
+// This file implements the *classic* SPECK initialization (Pearlman et
+// al. 2004): the LIS starts with S = the coarsest approximation band and
+// I = everything else, and a significant I is partitioned into the three
+// (2D) or seven (3D) detail bands of the next level plus a smaller I.
+// SPERR — and this package's default Encode — instead start from one root
+// set covering the whole volume and rely on the octree splits landing on
+// the same subband boundaries. The S/I variant exists to quantify that
+// design choice (ablation: the two differ by a handful of set-test bits
+// at the top of the hierarchy).
+
+// iset is an insignificant I-set: the volume minus the approximation box
+// of the given level. Managed separately from the box LIS because its
+// geometry is L-shaped.
+type iset struct {
+	level int
+	max   float64 // encoder only
+}
+
+// siCoder holds the shared level geometry of the S/I variant.
+type siGeom struct {
+	dims   grid.Dims
+	levels int
+}
+
+func newSIGeom(dims grid.Dims) siGeom {
+	lx, ly, lz := wavelet.Levels(dims.NX), wavelet.Levels(dims.NY), wavelet.Levels(dims.NZ)
+	l := lx
+	if ly > l {
+		l = ly
+	}
+	if lz > l {
+		l = lz
+	}
+	return siGeom{dims: dims, levels: l}
+}
+
+// approxBox returns the approximation-band box at the given level.
+func (g siGeom) approxBox(level int) set {
+	return set{
+		nx: int32(wavelet.CoarseLen(g.dims.NX, level)),
+		ny: int32(wavelet.CoarseLen(g.dims.NY, level)),
+		nz: int32(wavelet.CoarseLen(g.dims.NZ, level)),
+	}
+}
+
+// bandBoxes returns the up-to-7 detail-band boxes of A(level-1) \ A(level):
+// every octant of A(level-1) split at A(level)'s extents except the
+// all-low corner.
+func (g siGeom) bandBoxes(level int) []set {
+	inner := g.approxBox(level)
+	outer := g.approxBox(level - 1)
+	type seg struct{ o, n int32 }
+	segsFor := func(in, out int32) []seg {
+		if out > in {
+			return []seg{{0, in}, {in, out - in}}
+		}
+		return []seg{{0, in}}
+	}
+	xs := segsFor(inner.nx, outer.nx)
+	ys := segsFor(inner.ny, outer.ny)
+	zs := segsFor(inner.nz, outer.nz)
+	var out []set
+	for zi, zseg := range zs {
+		for yi, yseg := range ys {
+			for xi, xseg := range xs {
+				if xi == 0 && yi == 0 && zi == 0 {
+					continue // the all-low corner is A(level) itself
+				}
+				out = append(out, set{
+					x: xseg.o, nx: xseg.n,
+					y: yseg.o, ny: yseg.n,
+					z: zseg.o, nz: zseg.n,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// EncodeSI is Encode with the classic S/I initialization, quality-bounded
+// mode only. Provided for the partitioning-strategy ablation.
+func EncodeSI(coeffs []float64, dims grid.Dims, q float64) *Result {
+	n := dims.Len()
+	if len(coeffs) != n {
+		panic("speck: coefficient count does not match dims")
+	}
+	e := &encoder{
+		dims:   dims,
+		mags:   make([]float64, n),
+		neg:    make([]bool, n),
+		snk:    newRawSink(n / 2),
+		budget: math.MaxUint64,
+	}
+	var maxMag float64
+	for i, c := range coeffs {
+		m := math.Abs(c)
+		e.mags[i] = m
+		e.neg[i] = math.Signbit(c)
+		if m > maxMag {
+			maxMag = m
+		}
+	}
+	planes := NumPlanes(maxMag, q)
+	if planes > 0 {
+		g := newSIGeom(dims)
+		e.runSI(g, q, planes)
+	}
+	stream, bitsUsed := e.snk.finish()
+	return &Result{Stream: stream, Bits: bitsUsed, NumPlanes: planes, MaxMag: maxMag,
+		PlaneBits: e.planeBits, PlaneErr2: e.planeErr2}
+}
+
+func (e *encoder) runSI(g siGeom, q float64, planes int) {
+	root := g.approxBox(g.levels)
+	root.max = e.boxMax(&root)
+	e.lis = make([][]set, 1, 16)
+	e.lis[0] = []set{root}
+	isets := []iset{}
+	if g.levels > 0 {
+		isets = append(isets, iset{level: g.levels, max: e.isetMax(g, g.levels)})
+	}
+	for _, v := range e.mags {
+		e.insigE2 += v * v
+	}
+	for n := planes - 1; n >= 0; n-- {
+		thr := q * math.Pow(2, float64(n))
+		e.sortingPass(thr)
+		isets = e.isetPass(g, isets, thr)
+		e.refinementPass(thr)
+		e.recordPlane(thr)
+	}
+}
+
+// isetMax scans the volume minus the approximation box at level.
+func (e *encoder) isetMax(g siGeom, level int) float64 {
+	box := g.approxBox(level)
+	d := g.dims
+	m := 0.0
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			row := e.mags[(z*d.NY+y)*d.NX : (z*d.NY+y)*d.NX+d.NX]
+			inBoxYZ := z < int(box.nz) && y < int(box.ny)
+			for x, v := range row {
+				if inBoxYZ && x < int(box.nx) {
+					continue
+				}
+				if v > m {
+					m = v
+				}
+			}
+		}
+	}
+	return m
+}
+
+// isetPass tests the pending I-set (there is at most one) and, when
+// significant, partitions it into the detail bands of its level plus a
+// smaller I, processing the bands immediately as ordinary sets.
+func (e *encoder) isetPass(g siGeom, isets []iset, thr float64) []iset {
+	for len(isets) > 0 {
+		is := isets[len(isets)-1]
+		if is.max < thr {
+			e.snk.put(sigCtx(0), false)
+			return isets
+		}
+		e.snk.put(sigCtx(0), true)
+		isets = isets[:len(isets)-1]
+		for _, b := range g.bandBoxes(is.level) {
+			if b.nx == 0 || b.ny == 0 || b.nz == 0 {
+				continue
+			}
+			bb := b
+			bb.max = e.boxMax(&bb)
+			if bb.max >= thr {
+				e.processSignificant(&bb, 0, thr)
+			} else {
+				e.snk.put(sigCtx(0), false)
+				e.lis[0] = append(e.lis[0], bb)
+			}
+		}
+		if is.level-1 > 0 {
+			isets = append(isets, iset{level: is.level - 1, max: e.isetMax(g, is.level-1)})
+		}
+	}
+	return isets
+}
+
+// DecodeSI decodes a stream produced by EncodeSI.
+func DecodeSI(stream []byte, nbits uint64, dims grid.Dims, q float64, planes int) []float64 {
+	d := &decoder{
+		dims: dims,
+		src:  &rawSource{r: bits.NewReaderBits(stream, nbits)},
+	}
+	out := make([]float64, dims.Len())
+	if planes <= 0 {
+		return out
+	}
+	g := newSIGeom(dims)
+	d.runSI(g, q, planes)
+	for _, p := range d.lsp {
+		v := p.val
+		if p.neg {
+			v = -v
+		}
+		out[p.pos] = v
+	}
+	for _, p := range d.lspNew {
+		v := p.val
+		if p.neg {
+			v = -v
+		}
+		out[p.pos] = v
+	}
+	return out
+}
+
+func (d *decoder) runSI(g siGeom, q float64, planes int) {
+	root := g.approxBox(g.levels)
+	d.lis = make([][]set, 1, 16)
+	d.lis[0] = []set{root}
+	ilevel := 0
+	if g.levels > 0 {
+		ilevel = g.levels
+	}
+	for n := planes - 1; n >= 0; n-- {
+		thr := q * math.Pow(2, float64(n))
+		if !d.sortingPass(thr) {
+			return
+		}
+		var ok bool
+		ilevel, ok = d.isetPass(g, ilevel, thr)
+		if !ok {
+			return
+		}
+		if !d.refinementPass(thr) {
+			return
+		}
+	}
+}
+
+func (d *decoder) isetPass(g siGeom, ilevel int, thr float64) (int, bool) {
+	for ilevel > 0 {
+		sig := d.src.get(sigCtx(0))
+		if d.src.exhausted() {
+			return ilevel, false
+		}
+		if !sig {
+			return ilevel, true
+		}
+		for _, b := range g.bandBoxes(ilevel) {
+			if b.nx == 0 || b.ny == 0 || b.nz == 0 {
+				continue
+			}
+			bb := b
+			bsig := d.src.get(sigCtx(0))
+			if d.src.exhausted() {
+				return 0, false
+			}
+			if bsig {
+				if !d.descend(&bb, 0, thr) {
+					return 0, false
+				}
+			} else {
+				d.lis[0] = append(d.lis[0], bb)
+			}
+		}
+		ilevel--
+	}
+	return 0, true
+}

@@ -1,0 +1,122 @@
+package speck
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sperr/internal/grid"
+)
+
+func TestSIRoundTrip(t *testing.T) {
+	for _, d := range []grid.Dims{
+		grid.D3(16, 16, 16),
+		grid.D3(32, 32, 32),
+		grid.D3(13, 7, 5), // too small for any transform level: degenerates
+		grid.D3(64, 8, 8), // anisotropic level counts
+		grid.D2(32, 32),
+	} {
+		rng := rand.New(rand.NewSource(int64(d.Len())))
+		coeffs := randCoeffs(rng, d.Len())
+		q := 0.25
+		res := EncodeSI(coeffs, d, q)
+		got := DecodeSI(res.Stream, res.Bits, d, q, res.NumPlanes)
+		for i, want := range coeffs {
+			if math.Abs(want) < q {
+				if got[i] != 0 {
+					t.Fatalf("%v idx %d: dead zone violated", d, i)
+				}
+				continue
+			}
+			if err := math.Abs(got[i] - want); err > q/2+1e-12 {
+				t.Fatalf("%v idx %d: error %g > q/2", d, i, err)
+			}
+		}
+	}
+}
+
+// On wavelet-like data (energy concentrated in the approximation corner),
+// the S/I and root-octree variants should produce nearly identical rates:
+// that is the design-choice result the ablation quantifies.
+func TestSIVsRootRate(t *testing.T) {
+	d := grid.D3(32, 32, 32)
+	coeffs := make([]float64, d.Len())
+	rng := rand.New(rand.NewSource(7))
+	// Emulate a transformed field: large values in the low corner,
+	// geometrically decaying detail bands.
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			for x := 0; x < d.NX; x++ {
+				level := 0
+				for m := 16; m >= 2; m /= 2 {
+					if x < m && y < m && z < m {
+						level++
+					}
+				}
+				scale := math.Pow(4, float64(level))
+				coeffs[d.Index(x, y, z)] = rng.NormFloat64() * scale
+			}
+		}
+	}
+	q := 1.0
+	root := Encode(coeffs, d, q, 0)
+	si := EncodeSI(coeffs, d, q)
+	ratio := float64(si.Bits) / float64(root.Bits)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("S/I vs root-octree rate ratio %.3f; expected near-identical", ratio)
+	}
+	// Both must reconstruct identically up to quantization.
+	a := Decode(root.Stream, root.Bits, d, q, root.NumPlanes)
+	b := DecodeSI(si.Stream, si.Bits, d, q, si.NumPlanes)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > q+1e-12 {
+			t.Fatalf("idx %d: reconstructions diverge: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSIZeroInput(t *testing.T) {
+	d := grid.D3(16, 16, 16)
+	res := EncodeSI(make([]float64, d.Len()), d, 1)
+	if res.NumPlanes != 0 || res.Bits != 0 {
+		t.Fatalf("zero input: %+v", res)
+	}
+	got := DecodeSI(res.Stream, res.Bits, d, 1, res.NumPlanes)
+	for _, v := range got {
+		if v != 0 {
+			t.Fatal("nonzero output for zero input")
+		}
+	}
+}
+
+func TestBandBoxesCoverage(t *testing.T) {
+	g := newSIGeom(grid.D3(32, 32, 32))
+	// The approximation box at each level plus all band boxes of levels
+	// below must tile the volume exactly.
+	covered := make([]int, 32*32*32)
+	d := grid.D3(32, 32, 32)
+	a := g.approxBox(g.levels)
+	for z := int32(0); z < a.nz; z++ {
+		for y := int32(0); y < a.ny; y++ {
+			for x := int32(0); x < a.nx; x++ {
+				covered[d.Index(int(x), int(y), int(z))]++
+			}
+		}
+	}
+	for l := g.levels; l >= 1; l-- {
+		for _, b := range g.bandBoxes(l) {
+			for z := b.z; z < b.z+b.nz; z++ {
+				for y := b.y; y < b.y+b.ny; y++ {
+					for x := b.x; x < b.x+b.nx; x++ {
+						covered[d.Index(int(x), int(y), int(z))]++
+					}
+				}
+			}
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}

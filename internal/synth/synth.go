@@ -1,0 +1,307 @@
+// Package synth generates deterministic synthetic stand-ins for the
+// SDRBench data sets used in the paper's evaluation (Section VI-B):
+// Miranda (hydrodynamics turbulence), S3D (combustion), Nyx (cosmology)
+// and QMCPACK (ab initio quantum Monte Carlo), plus the Kodak Lighthouse
+// image used in Figure 1.
+//
+// The generators are spectral/procedural: Gaussian random fields with
+// prescribed power-law spectra (synthesized through the internal FFT on a
+// power-of-two grid and cropped), optionally sharpened or exponentiated to
+// match the qualitative character of each data set — smooth pressure
+// fields, sharp material interfaces, log-normal cosmological densities,
+// oscillatory decaying orbitals. Compressor behaviour is governed by this
+// spectral content and dynamic range rather than by the physics, which is
+// what makes the substitution sound (see DESIGN.md).
+//
+// All generators are deterministic in (dims, seed).
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"sperr/internal/fft"
+	"sperr/internal/grid"
+)
+
+// GaussianRandomField synthesizes a zero-mean, unit-variance random field
+// whose isotropic power spectrum falls off as k^(-slope). Typical slopes:
+// 5.0/3 for Kolmogorov velocity, 7.0/3 for pressure. Larger slopes give
+// smoother fields.
+func GaussianRandomField(d grid.Dims, slope float64, seed int64) *grid.Volume {
+	nx, ny, nz := fft.NextPow2(d.NX), fft.NextPow2(d.NY), fft.NextPow2(d.NZ)
+	rng := rand.New(rand.NewSource(seed))
+	spec := make([]complex128, nx*ny*nz)
+	for z := 0; z < nz; z++ {
+		kz := wrapFreq(z, nz)
+		for y := 0; y < ny; y++ {
+			ky := wrapFreq(y, ny)
+			for x := 0; x < nx; x++ {
+				kx := wrapFreq(x, nx)
+				k2 := kx*kx + ky*ky + kz*kz
+				if k2 == 0 {
+					continue
+				}
+				// Energy spectrum E(k) ~ k^-slope spread over a shell of
+				// area ~ k^2 (3D): amplitude ~ k^(-(slope+2)/2).
+				amp := math.Pow(k2, -(slope+2)/4)
+				ph := 2 * math.Pi * rng.Float64()
+				g := rng.NormFloat64()
+				spec[(z*ny+y)*nx+x] = complex(amp*g*math.Cos(ph), amp*g*math.Sin(ph))
+			}
+		}
+	}
+	fft.Inverse3D(spec, nx, ny, nz)
+	out := grid.NewVolume(d)
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			for x := 0; x < d.NX; x++ {
+				out.Set(x, y, z, real(spec[(z*ny+y)*nx+x]))
+			}
+		}
+	}
+	normalize(out.Data)
+	return out
+}
+
+// wrapFreq maps a DFT bin index to its signed frequency.
+func wrapFreq(i, n int) float64 {
+	if i <= n/2 {
+		return float64(i)
+	}
+	return float64(i - n)
+}
+
+// normalize rescales data in place to zero mean and unit variance.
+func normalize(data []float64) {
+	var mean float64
+	for _, v := range data {
+		mean += v
+	}
+	mean /= float64(len(data))
+	var varsum float64
+	for _, v := range data {
+		d := v - mean
+		varsum += d * d
+	}
+	sd := math.Sqrt(varsum / float64(len(data)))
+	if sd == 0 {
+		sd = 1
+	}
+	for i := range data {
+		data[i] = (data[i] - mean) / sd
+	}
+}
+
+// --- Miranda (hydrodynamics turbulence; double precision in the paper) ---
+
+// MirandaDensity mimics the Miranda density field: turbulent mixing with
+// sharp material interfaces, produced by soft-thresholding a random field.
+func MirandaDensity(d grid.Dims, seed int64) *grid.Volume {
+	v := GaussianRandomField(d, 5.0/3, seed)
+	for i, x := range v.Data {
+		// Two-fluid mixing: densities ~1 and ~3 with a sharp transition.
+		v.Data[i] = 2 + math.Tanh(4*x)
+	}
+	return v
+}
+
+// MirandaPressure mimics the Miranda pressure field: smoother than the
+// velocity (pressure spectra fall off faster), small dynamic range.
+func MirandaPressure(d grid.Dims, seed int64) *grid.Volume {
+	v := GaussianRandomField(d, 7.0/3, seed+1)
+	for i, x := range v.Data {
+		v.Data[i] = 1.0e0 + 0.1*x
+	}
+	return v
+}
+
+// MirandaViscosity mimics the Miranda viscosity field: positive, smooth,
+// composition-dependent (a monotone map of the mixing field).
+func MirandaViscosity(d grid.Dims, seed int64) *grid.Volume {
+	v := GaussianRandomField(d, 2.0, seed+2)
+	for i, x := range v.Data {
+		v.Data[i] = 1e-4 * math.Exp(0.8*math.Tanh(2*x))
+	}
+	return v
+}
+
+// MirandaVelocityX mimics a Miranda velocity component: Kolmogorov
+// turbulence, signed, near-Gaussian single-point statistics.
+func MirandaVelocityX(d grid.Dims, seed int64) *grid.Volume {
+	return GaussianRandomField(d, 5.0/3, seed+3)
+}
+
+// --- S3D (combustion; double precision in the paper) ---
+
+// s3dFront builds a wrinkled flame-front indicator in [0, 1]: a planar
+// front displaced by large-scale turbulence, with a thin reaction zone.
+func s3dFront(d grid.Dims, seed int64) *grid.Volume {
+	w := GaussianRandomField(d, 3.0, seed)
+	out := grid.NewVolume(d)
+	thick := float64(d.NX) * 0.02
+	if thick < 1 {
+		thick = 1
+	}
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			for x := 0; x < d.NX; x++ {
+				pos := float64(x) - 0.5*float64(d.NX) -
+					0.1*float64(d.NX)*w.At(x, y, z)
+				out.Set(x, y, z, 0.5*(1+math.Tanh(pos/thick)))
+			}
+		}
+	}
+	return out
+}
+
+// S3DTemperature mimics the S3D temperature field: cold reactants, hot
+// products, a thin wrinkled flame front between them.
+func S3DTemperature(d grid.Dims, seed int64) *grid.Volume {
+	front := s3dFront(d, seed+10)
+	turb := GaussianRandomField(d, 5.0/3, seed+11)
+	for i := range front.Data {
+		front.Data[i] = 800 + 1400*front.Data[i] + 20*turb.Data[i]
+	}
+	return front
+}
+
+// S3DCH4 mimics the S3D CH4 mass-fraction field: fuel ahead of the front,
+// consumed behind it, bounded to [0, ~0.06].
+func S3DCH4(d grid.Dims, seed int64) *grid.Volume {
+	front := s3dFront(d, seed+10) // same front as temperature, as in S3D
+	turb := GaussianRandomField(d, 5.0/3, seed+12)
+	for i := range front.Data {
+		v := 0.055*(1-front.Data[i]) + 0.002*turb.Data[i]*(1-front.Data[i])
+		if v < 0 {
+			v = 0
+		}
+		front.Data[i] = v
+	}
+	return front
+}
+
+// S3DVelocityX mimics an S3D velocity component: turbulence plus the flow
+// acceleration through the flame front.
+func S3DVelocityX(d grid.Dims, seed int64) *grid.Volume {
+	front := s3dFront(d, seed+10)
+	turb := GaussianRandomField(d, 5.0/3, seed+13)
+	for i := range front.Data {
+		front.Data[i] = 50*turb.Data[i] + 300*front.Data[i]
+	}
+	return front
+}
+
+// --- Nyx (cosmology; single precision in the paper) ---
+
+// NyxDarkMatterDensity mimics the Nyx dark matter density: log-normal with
+// an enormous dynamic range (many orders of magnitude), the hardest case
+// for absolute error bounds.
+func NyxDarkMatterDensity(d grid.Dims, seed int64) *grid.Volume {
+	v := GaussianRandomField(d, 1.0, seed+20)
+	for i, x := range v.Data {
+		v.Data[i] = 1e9 * math.Exp(2.5*x)
+	}
+	return v
+}
+
+// NyxVelocityX mimics a Nyx velocity component (cm/s scale).
+func NyxVelocityX(d grid.Dims, seed int64) *grid.Volume {
+	v := GaussianRandomField(d, 5.0/3, seed+21)
+	for i := range v.Data {
+		v.Data[i] *= 1e7
+	}
+	return v
+}
+
+// --- QMCPACK (single precision in the paper) ---
+
+// QMCPACKOrbitals mimics the QMCPACK data set: a stack of norb 3D orbital
+// volumes of extent base, concatenated along z exactly like the
+// 69x69x33120 layout of SDRBench. Each orbital is an oscillatory function
+// with orbital-dependent frequency under a Gaussian envelope.
+func QMCPACKOrbitals(base grid.Dims, norb int, seed int64) *grid.Volume {
+	full := grid.D3(base.NX, base.NY, base.NZ*norb)
+	out := grid.NewVolume(full)
+	rng := rand.New(rand.NewSource(seed + 30))
+	cx, cy, cz := float64(base.NX)/2, float64(base.NY)/2, float64(base.NZ)/2
+	sigma2 := (cx*cx + cy*cy + cz*cz) / 3
+	for o := 0; o < norb; o++ {
+		fx := 0.1 + 0.05*float64(o%7) + 0.02*rng.Float64()
+		fy := 0.1 + 0.04*float64(o%5) + 0.02*rng.Float64()
+		fz := 0.1 + 0.03*float64(o%3) + 0.02*rng.Float64()
+		phase := 2 * math.Pi * rng.Float64()
+		for z := 0; z < base.NZ; z++ {
+			for y := 0; y < base.NY; y++ {
+				for x := 0; x < base.NX; x++ {
+					dx, dy, dz := float64(x)-cx, float64(y)-cy, float64(z)-cz
+					env := math.Exp(-(dx*dx + dy*dy + dz*dz) / (2 * sigma2))
+					val := env * math.Sin(fx*dx+phase) * math.Cos(fy*dy) * math.Sin(fz*dz+0.5*phase)
+					out.Set(x, y, o*base.NZ+z, val)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// --- Kodak Lighthouse stand-in (Figure 1) ---
+
+// Lighthouse generates a 2D image-like field with the structural elements
+// that matter for outlier statistics: smooth sky gradient, a hard-edged
+// tower, periodic picket-fence stripes, and grass texture.
+func Lighthouse(d grid.Dims, seed int64) *grid.Volume {
+	rng := rand.New(rand.NewSource(seed + 40))
+	out := grid.NewVolume(grid.D2(d.NX, d.NY))
+	horizon := int(0.55 * float64(d.NY))
+	towerLo, towerHi := int(0.42*float64(d.NX)), int(0.5*float64(d.NX))
+	for y := 0; y < d.NY; y++ {
+		for x := 0; x < d.NX; x++ {
+			var v float64
+			switch {
+			case x >= towerLo && x < towerHi && y > int(0.1*float64(d.NY)):
+				// Tower: bright with horizontal bands.
+				v = 200
+				if (y/8)%2 == 0 {
+					v = 90
+				}
+			case y < horizon:
+				// Sky: smooth vertical gradient.
+				v = 180 - 60*float64(y)/float64(horizon)
+			case y < horizon+int(0.1*float64(d.NY)):
+				// Picket fence: high-frequency vertical stripes.
+				v = 120 + 80*math.Sin(float64(x)*0.9)
+			default:
+				// Grass: textured noise.
+				v = 70 + 25*rng.NormFloat64()
+			}
+			out.Set(x, y, 0, v+2*rng.NormFloat64())
+		}
+	}
+	return out
+}
+
+// Field couples a named volume with its source precision, for experiment
+// tables.
+type Field struct {
+	Name   string
+	Vol    *grid.Volume
+	Single bool // true when the paper's original is single precision
+}
+
+// StandardFields generates the nine fields used across Figures 8-11
+// (Table II) at the given 3D extent (QMCPACK uses a stack of d.NZ-deep
+// orbitals; the Lighthouse image is not included — it is 2D-only).
+func StandardFields(d grid.Dims, seed int64) []Field {
+	return []Field{
+		{Name: "S3D CH4", Vol: S3DCH4(d, seed)},
+		{Name: "S3D Temperature", Vol: S3DTemperature(d, seed)},
+		{Name: "S3D X Velocity", Vol: S3DVelocityX(d, seed)},
+		{Name: "Miranda Pressure", Vol: MirandaPressure(d, seed)},
+		{Name: "Miranda Viscosity", Vol: MirandaViscosity(d, seed)},
+		{Name: "Miranda X Velocity", Vol: MirandaVelocityX(d, seed)},
+		{Name: "QMCPACK", Vol: QMCPACKOrbitals(grid.D3(d.NX, d.NY, d.NZ/4+1), 4, seed), Single: true},
+		{Name: "Nyx Dark Matter Density", Vol: NyxDarkMatterDensity(d, seed), Single: true},
+		{Name: "Nyx X Velocity", Vol: NyxVelocityX(d, seed), Single: true},
+	}
+}

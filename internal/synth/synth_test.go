@@ -1,0 +1,182 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"sperr/internal/grid"
+	"sperr/internal/metrics"
+)
+
+func TestGaussianRandomFieldStats(t *testing.T) {
+	d := grid.D3(32, 32, 32)
+	v := GaussianRandomField(d, 5.0/3, 1)
+	if len(v.Data) != d.Len() {
+		t.Fatalf("len = %d", len(v.Data))
+	}
+	if m := metrics.Mean(v.Data); math.Abs(m) > 1e-9 {
+		t.Errorf("mean = %g, want ~0", m)
+	}
+	if sd := metrics.StdDev(v.Data); math.Abs(sd-1) > 1e-9 {
+		t.Errorf("stddev = %g, want 1", sd)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d := grid.D3(16, 16, 16)
+	a := GaussianRandomField(d, 2, 7)
+	b := GaussianRandomField(d, 2, 7)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed must give identical fields")
+		}
+	}
+	c := GaussianRandomField(d, 2, 8)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+// Steeper spectral slopes must yield smoother fields (smaller mean squared
+// gradient).
+func TestSlopeControlsSmoothness(t *testing.T) {
+	d := grid.D3(32, 32, 32)
+	rough := GaussianRandomField(d, 1.0, 3)
+	smooth := GaussianRandomField(d, 4.0, 3)
+	grad := func(v *grid.Volume) float64 {
+		var s float64
+		for z := 0; z < d.NZ; z++ {
+			for y := 0; y < d.NY; y++ {
+				for x := 0; x < d.NX-1; x++ {
+					g := v.At(x+1, y, z) - v.At(x, y, z)
+					s += g * g
+				}
+			}
+		}
+		return s
+	}
+	if !(grad(smooth) < grad(rough)) {
+		t.Errorf("slope 4 field rougher than slope 1 field: %g vs %g",
+			grad(smooth), grad(rough))
+	}
+}
+
+func TestMirandaFields(t *testing.T) {
+	d := grid.D3(24, 24, 24)
+	den := MirandaDensity(d, 1)
+	lo, hi := den.Range()
+	if lo < 0.9 || hi > 3.1 {
+		t.Errorf("density range [%g, %g] outside two-fluid bounds", lo, hi)
+	}
+	vis := MirandaViscosity(d, 1)
+	lo, _ = vis.Range()
+	if lo <= 0 {
+		t.Errorf("viscosity must be positive, min %g", lo)
+	}
+	pre := MirandaPressure(d, 1)
+	if r := metrics.Range(pre.Data); r <= 0 || r > 2 {
+		t.Errorf("pressure range %g implausible", r)
+	}
+}
+
+func TestS3DFields(t *testing.T) {
+	d := grid.D3(32, 16, 16)
+	temp := S3DTemperature(d, 1)
+	lo, hi := temp.Range()
+	if lo < 600 || hi > 2600 {
+		t.Errorf("temperature range [%g, %g] outside combustion bounds", lo, hi)
+	}
+	// Left side should be cold (reactants), right side hot (products).
+	var left, right float64
+	for y := 0; y < d.NY; y++ {
+		left += temp.At(1, y, 8)
+		right += temp.At(d.NX-2, y, 8)
+	}
+	if !(left < right) {
+		t.Errorf("flame front orientation wrong: left %g, right %g", left, right)
+	}
+	ch4 := S3DCH4(d, 1)
+	lo, hi = ch4.Range()
+	if lo < 0 || hi > 0.08 {
+		t.Errorf("CH4 range [%g, %g] outside mass-fraction bounds", lo, hi)
+	}
+}
+
+func TestNyxDynamicRange(t *testing.T) {
+	d := grid.D3(24, 24, 24)
+	den := NyxDarkMatterDensity(d, 1)
+	lo, hi := den.Range()
+	if lo <= 0 {
+		t.Fatalf("density must be positive, min %g", lo)
+	}
+	if hi/lo < 100 {
+		t.Errorf("dynamic range %g too small for a cosmology density", hi/lo)
+	}
+}
+
+func TestQMCPACKLayout(t *testing.T) {
+	base := grid.D3(12, 12, 10)
+	norb := 5
+	v := QMCPACKOrbitals(base, norb, 1)
+	want := grid.D3(12, 12, 50)
+	if v.Dims != want {
+		t.Fatalf("dims %v, want %v", v.Dims, want)
+	}
+	// Different orbitals must differ.
+	o0 := v.Cutout(0, 0, 0, base)
+	o1 := v.Cutout(0, 0, base.NZ, base)
+	same := true
+	for i := range o0.Data {
+		if o0.Data[i] != o1.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("orbitals 0 and 1 are identical")
+	}
+}
+
+func TestLighthouse(t *testing.T) {
+	d := grid.D2(96, 64)
+	img := Lighthouse(d, 1)
+	if img.Dims != grid.D2(96, 64) {
+		t.Fatalf("dims %v", img.Dims)
+	}
+	lo, hi := img.Range()
+	if hi-lo < 50 {
+		t.Errorf("image contrast %g too small", hi-lo)
+	}
+}
+
+func TestStandardFields(t *testing.T) {
+	fields := StandardFields(grid.D3(16, 16, 16), 1)
+	if len(fields) != 9 {
+		t.Fatalf("got %d fields, want 9 (Table II)", len(fields))
+	}
+	names := map[string]bool{}
+	for _, f := range fields {
+		if f.Vol == nil || len(f.Vol.Data) == 0 {
+			t.Errorf("field %q has no data", f.Name)
+		}
+		if names[f.Name] {
+			t.Errorf("duplicate field name %q", f.Name)
+		}
+		names[f.Name] = true
+	}
+}
+
+func BenchmarkGRF32(b *testing.B) {
+	d := grid.D3(32, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GaussianRandomField(d, 5.0/3, int64(i))
+	}
+}

@@ -1,0 +1,53 @@
+package sz
+
+import (
+	"sperr/internal/huffman"
+	"sperr/internal/lossless"
+	"sperr/internal/outlier"
+)
+
+// CompressQuantBins implements the SZ outlier-coding scheme the paper
+// benchmarks in Figure 11 (the compressQuantBins tool of SZ's QCAT
+// package): one quantization bin per data point — zero for inliers,
+// nonzero integers for outlier corrections quantized to multiples of 2t —
+// Huffman coded and then passed through the lossless back end.
+func CompressQuantBins(bins []int64) []byte {
+	return lossless.Compress(huffman.Encode(bins))
+}
+
+// DecompressQuantBins reverses CompressQuantBins.
+func DecompressQuantBins(stream []byte) ([]int64, error) {
+	raw, err := lossless.Decompress(stream)
+	if err != nil {
+		return nil, err
+	}
+	return huffman.Decode(raw)
+}
+
+// QuantizeOutliers converts a SPERR outlier list into SZ-style per-point
+// quantization bins over a length-n array: bin = round(corr / (2t)),
+// zero everywhere else (paper Section VI-E: "we first quantize the SPERR
+// outlier correction values as multiples of the PWE tolerance; SZ encodes
+// a correction value for every data point").
+func QuantizeOutliers(n int, tol float64, outs []outlier.Outlier) []int64 {
+	bins := make([]int64, n)
+	for _, o := range outs {
+		b := int64(0)
+		if o.Corr >= 0 {
+			b = int64(o.Corr/(2*tol) + 0.5)
+		} else {
+			b = -int64(-o.Corr/(2*tol) + 0.5)
+		}
+		if b == 0 {
+			// An outlier always needs a nonzero correction to land back
+			// inside the tolerance.
+			if o.Corr >= 0 {
+				b = 1
+			} else {
+				b = -1
+			}
+		}
+		bins[o.Pos] = b
+	}
+	return bins
+}

@@ -1,0 +1,44 @@
+package sz
+
+// Property-based tests (testing/quick) on the SZ baseline's error bound.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sperr/internal/grid"
+)
+
+// Property: both predictors bound the point-wise error on arbitrary
+// finite inputs and shapes.
+func TestQuickErrorBound(t *testing.T) {
+	f := func(seed int64, predRaw, tolExp uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := grid.D3(2+r.Intn(12), 2+r.Intn(12), 2+r.Intn(12))
+		data := make([]float64, d.Len())
+		for i := range data {
+			data[i] = r.NormFloat64() * math.Exp(float64(r.Intn(6)))
+		}
+		pred := Predictor(predRaw % 2)
+		tol := math.Exp2(float64(int(tolExp)%16 - 8))
+		stream, err := Compress(data, d, Params{Tol: tol, Predictor: pred})
+		if err != nil {
+			return false
+		}
+		rec, gotDims, err := Decompress(stream)
+		if err != nil || gotDims != d {
+			return false
+		}
+		for i := range data {
+			if math.Abs(rec[i]-data[i]) > tol*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

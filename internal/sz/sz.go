@@ -1,0 +1,342 @@
+// Package sz implements an SZ-family error-bounded lossy compressor as the
+// prediction-based baseline of the paper's evaluation (Sections II and VI).
+//
+// Two predictors are provided, mirroring the two SZ generations the paper
+// references:
+//
+//   - PredictorInterpolation (default, SZ3-style): multi-level interpolation
+//     prediction — anchors on a coarse lattice, then level-by-level cubic
+//     (falling back to linear) spline interpolation along each dimension,
+//     as in "Optimizing error-bounded lossy compression for scientific data
+//     by dynamic spline interpolation" (ICDE'21).
+//   - PredictorLorenzo (SZ2-style): the classic 3D Lorenzo predictor.
+//
+// Prediction errors are quantized to integer multiples of 2t (t = the
+// point-wise tolerance) and Huffman-coded together with zero-valued
+// inliers; the Huffman output is then passed through the lossless back end
+// (DEFLATE standing in for ZSTD), exactly the SZ pipeline described in
+// Section VI-E. Values whose quantization bin overflows the bin range are
+// stored verbatim ("unpredictable" literals). The decompressor re-runs the
+// same prediction on reconstructed data, so the point-wise error is bounded
+// by t by construction.
+package sz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"sperr/internal/grid"
+	"sperr/internal/huffman"
+	"sperr/internal/lossless"
+)
+
+// Predictor selects the prediction scheme.
+type Predictor uint8
+
+const (
+	// PredictorInterpolation is the SZ3-style multi-level spline predictor.
+	PredictorInterpolation Predictor = iota
+	// PredictorLorenzo is the SZ2-style 3D Lorenzo predictor.
+	PredictorLorenzo
+)
+
+// binRadius bounds quantization bins; SZ's default capacity is 65536 bins.
+const binRadius = 32768
+
+// literalBin marks unpredictable values stored verbatim.
+const literalBin = binRadius + 1
+
+// ErrCorrupt reports an undecodable stream.
+var ErrCorrupt = errors.New("sz: corrupt stream")
+
+// Params controls compression.
+type Params struct {
+	// Tol is the absolute point-wise error bound (> 0).
+	Tol float64
+	// Predictor selects the prediction scheme.
+	Predictor Predictor
+}
+
+// quantizer carries shared state between compression and decompression:
+// both sides run the identical traversal, the encoder quantizing
+// prediction errors and the decoder consuming bins.
+type quantizer struct {
+	tol      float64
+	orig     []float64 // encoder only
+	dec      []float64 // reconstruction (both sides)
+	bins     []int64   // encoder: appended; decoder: consumed
+	literals []float64
+	pos      int // decoder cursors
+	litPos   int
+	encoding bool
+}
+
+// visit processes one point: on the encoder side it quantizes
+// orig[idx]-pred, on the decoder side it reconstructs dec[idx].
+func (qz *quantizer) visit(idx int, pred float64) {
+	if qz.encoding {
+		err := qz.orig[idx] - pred
+		bin := int64(math.Round(err / (2 * qz.tol)))
+		rec := pred + float64(bin)*2*qz.tol
+		if bin < -binRadius || bin > binRadius ||
+			math.Abs(rec-qz.orig[idx]) > qz.tol || math.IsNaN(rec) || math.IsInf(rec, 0) {
+			qz.bins = append(qz.bins, literalBin)
+			qz.literals = append(qz.literals, qz.orig[idx])
+			qz.dec[idx] = qz.orig[idx]
+			return
+		}
+		qz.bins = append(qz.bins, bin)
+		qz.dec[idx] = rec
+		return
+	}
+	bin := qz.bins[qz.pos]
+	qz.pos++
+	if bin == literalBin {
+		qz.dec[idx] = qz.literals[qz.litPos]
+		qz.litPos++
+		return
+	}
+	qz.dec[idx] = pred + float64(bin)*2*qz.tol
+}
+
+// Compress compresses data (row-major, extent dims) with the given params.
+func Compress(data []float64, dims grid.Dims, p Params) ([]byte, error) {
+	if !(p.Tol > 0) {
+		return nil, errors.New("sz: tolerance must be positive")
+	}
+	if len(data) != dims.Len() {
+		return nil, fmt.Errorf("sz: %d values for %v", len(data), dims)
+	}
+	qz := &quantizer{
+		tol:      p.Tol,
+		orig:     data,
+		dec:      make([]float64, len(data)),
+		encoding: true,
+	}
+	switch p.Predictor {
+	case PredictorInterpolation:
+		traverseInterpolation(qz, dims)
+	case PredictorLorenzo:
+		traverseLorenzo(qz, dims)
+	default:
+		return nil, fmt.Errorf("sz: unknown predictor %d", p.Predictor)
+	}
+
+	// Container: header | huffman(bins) | literals.
+	var buf []byte
+	buf = append(buf, byte(p.Predictor))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Tol))
+	for _, v := range []int{dims.NX, dims.NY, dims.NZ} {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	hb := huffman.Encode(qz.bins)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(hb)))
+	buf = append(buf, hb...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(qz.literals)))
+	for _, v := range qz.literals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return lossless.Compress(buf), nil
+}
+
+// Decompress reverses Compress.
+func Decompress(stream []byte) ([]float64, grid.Dims, error) {
+	var dims grid.Dims
+	buf, err := lossless.Decompress(stream)
+	if err != nil {
+		return nil, dims, err
+	}
+	const fixed = 1 + 8 + 12 + 8
+	if len(buf) < fixed {
+		return nil, dims, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	pred := Predictor(buf[0])
+	tol := math.Float64frombits(binary.LittleEndian.Uint64(buf[1:]))
+	dims = grid.Dims{
+		NX: int(binary.LittleEndian.Uint32(buf[9:])),
+		NY: int(binary.LittleEndian.Uint32(buf[13:])),
+		NZ: int(binary.LittleEndian.Uint32(buf[17:])),
+	}
+	if !dims.Valid() || !(tol > 0) {
+		return nil, dims, fmt.Errorf("%w: invalid header", ErrCorrupt)
+	}
+	hlen := int(binary.LittleEndian.Uint64(buf[21:]))
+	off := fixed - 8 + 8
+	if off+hlen > len(buf) {
+		return nil, dims, fmt.Errorf("%w: bins truncated", ErrCorrupt)
+	}
+	bins, err := huffman.Decode(buf[off : off+hlen])
+	if err != nil {
+		return nil, dims, err
+	}
+	off += hlen
+	if off+8 > len(buf) {
+		return nil, dims, fmt.Errorf("%w: literal count missing", ErrCorrupt)
+	}
+	nlit := int(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	if off+8*nlit > len(buf) {
+		return nil, dims, fmt.Errorf("%w: literals truncated", ErrCorrupt)
+	}
+	literals := make([]float64, nlit)
+	for i := range literals {
+		literals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8*i:]))
+	}
+	if len(bins) != dims.Len() {
+		return nil, dims, fmt.Errorf("%w: %d bins for %d points", ErrCorrupt, len(bins), dims.Len())
+	}
+	qz := &quantizer{
+		tol:      tol,
+		dec:      make([]float64, dims.Len()),
+		bins:     bins,
+		literals: literals,
+	}
+	switch pred {
+	case PredictorInterpolation:
+		traverseInterpolation(qz, dims)
+	case PredictorLorenzo:
+		traverseLorenzo(qz, dims)
+	default:
+		return nil, dims, fmt.Errorf("%w: unknown predictor %d", ErrCorrupt, pred)
+	}
+	if qz.litPos != len(literals) {
+		return nil, dims, fmt.Errorf("%w: %d unused literals", ErrCorrupt, len(literals)-qz.litPos)
+	}
+	return qz.dec, dims, nil
+}
+
+// --- Lorenzo traversal -------------------------------------------------
+
+// traverseLorenzo visits points in raw order predicting each from its
+// already-processed neighbors with the 3D Lorenzo stencil.
+func traverseLorenzo(qz *quantizer, d grid.Dims) {
+	at := func(x, y, z int) float64 {
+		if x < 0 || y < 0 || z < 0 {
+			return 0
+		}
+		return qz.dec[d.Index(x, y, z)]
+	}
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			for x := 0; x < d.NX; x++ {
+				pred := at(x-1, y, z) + at(x, y-1, z) + at(x, y, z-1) -
+					at(x-1, y-1, z) - at(x-1, y, z-1) - at(x, y-1, z-1) +
+					at(x-1, y-1, z-1)
+				qz.visit(d.Index(x, y, z), pred)
+			}
+		}
+	}
+}
+
+// --- Interpolation traversal -------------------------------------------
+
+// traverseInterpolation performs SZ3-style multi-level interpolation:
+// anchors on the coarsest lattice are Lorenzo-predicted, then each level
+// fills midpoints along x, y, z in turn with cubic (or linear) spline
+// interpolation from the already-reconstructed lattice.
+func traverseInterpolation(qz *quantizer, d grid.Dims) {
+	maxDim := d.NX
+	if d.NY > maxDim {
+		maxDim = d.NY
+	}
+	if d.NZ > maxDim {
+		maxDim = d.NZ
+	}
+	s0 := 1
+	for s0*2 < maxDim {
+		s0 *= 2
+	}
+	// Anchors: lattice with stride s0, Lorenzo-predicted on the lattice.
+	at := func(x, y, z int) float64 {
+		if x < 0 || y < 0 || z < 0 {
+			return 0
+		}
+		return qz.dec[d.Index(x, y, z)]
+	}
+	for z := 0; z < d.NZ; z += s0 {
+		for y := 0; y < d.NY; y += s0 {
+			for x := 0; x < d.NX; x += s0 {
+				pred := at(x-s0, y, z) + at(x, y-s0, z) + at(x, y, z-s0) -
+					at(x-s0, y-s0, z) - at(x-s0, y, z-s0) - at(x, y-s0, z-s0) +
+					at(x-s0, y-s0, z-s0)
+				qz.visit(d.Index(x, y, z), pred)
+			}
+		}
+	}
+	// Levels: refine stride 2s -> s.
+	for s := s0 / 2; s >= 1; s /= 2 {
+		fillAxis(qz, d, s, 0)
+		fillAxis(qz, d, s, 1)
+		fillAxis(qz, d, s, 2)
+	}
+}
+
+// fillAxis fills, at level stride s, the points whose coordinate along
+// axis is an odd multiple of s while the other coordinates sit on the
+// already-known lattice (2s on axes not yet refined this level, s on axes
+// already refined).
+func fillAxis(qz *quantizer, d grid.Dims, s, axis int) {
+	// Strides of the known lattice for each axis at this sub-step.
+	sx, sy, sz := 2*s, 2*s, 2*s
+	switch axis {
+	case 0:
+		// refining x; y, z still on 2s lattice
+	case 1:
+		sx = s // x already refined
+	case 2:
+		sx, sy = s, s // x, y already refined
+	}
+	n := [3]int{d.NX, d.NY, d.NZ}
+	step := [3]int{sx, sy, sz}
+	step[axis] = 2 * s // iterate base points along the axis at 2s, fill base+s
+	for z := 0; z < n[2]; z += step[2] {
+		for y := 0; y < n[1]; y += step[1] {
+			for x := 0; x < n[0]; x += step[0] {
+				var c [3]int
+				c[0], c[1], c[2] = x, y, z
+				t := c[axis] + s
+				if t >= n[axis] {
+					continue
+				}
+				c2 := c
+				c2[axis] = t
+				pred := interpAlong(qz, d, c2, axis, s)
+				qz.visit(d.Index(c2[0], c2[1], c2[2]), pred)
+			}
+		}
+	}
+}
+
+// interpAlong predicts the value at point c (odd multiple of s on axis)
+// from lattice neighbors along axis: cubic spline through -3s, -s, +s, +3s
+// when all four exist, otherwise linear, otherwise nearest.
+func interpAlong(qz *quantizer, d grid.Dims, c [3]int, axis, s int) float64 {
+	n := [3]int{d.NX, d.NY, d.NZ}
+	get := func(off int) (float64, bool) {
+		p := c
+		p[axis] += off
+		if p[axis] < 0 || p[axis] >= n[axis] {
+			return 0, false
+		}
+		return qz.dec[d.Index(p[0], p[1], p[2])], true
+	}
+	m1, okM1 := get(-s)
+	p1, okP1 := get(s)
+	m3, okM3 := get(-3 * s)
+	p3, okP3 := get(3 * s)
+	switch {
+	case okM1 && okP1 && okM3 && okP3:
+		// Cubic through the four lattice neighbors (Catmull-Rom midpoint).
+		return (-m3 + 9*m1 + 9*p1 - p3) / 16
+	case okM1 && okP1:
+		return (m1 + p1) / 2
+	case okM1:
+		return m1
+	case okP1:
+		return p1
+	default:
+		return 0
+	}
+}

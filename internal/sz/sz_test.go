@@ -1,0 +1,256 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sperr/internal/grid"
+	"sperr/internal/outlier"
+)
+
+func smoothField(d grid.Dims, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, d.Len())
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			for x := 0; x < d.NX; x++ {
+				data[d.Index(x, y, z)] = 40*math.Sin(0.2*float64(x))*math.Cos(0.17*float64(y))*
+					math.Cos(0.13*float64(z)) + 0.1*rng.NormFloat64()
+			}
+		}
+	}
+	return data
+}
+
+func maxErr(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestErrorBoundBothPredictors(t *testing.T) {
+	dims := []grid.Dims{
+		grid.D3(32, 32, 32),
+		grid.D3(17, 23, 9),
+		grid.D2(64, 48),
+		grid.D3(8, 8, 100),
+	}
+	for _, pred := range []Predictor{PredictorInterpolation, PredictorLorenzo} {
+		for _, d := range dims {
+			data := smoothField(d, int64(d.Len()))
+			for _, tol := range []float64{1, 0.01, 1e-5} {
+				stream, err := Compress(data, d, Params{Tol: tol, Predictor: pred})
+				if err != nil {
+					t.Fatalf("pred=%d %v tol=%g: %v", pred, d, tol, err)
+				}
+				rec, gotDims, err := Decompress(stream)
+				if err != nil {
+					t.Fatalf("pred=%d %v tol=%g: decode: %v", pred, d, tol, err)
+				}
+				if gotDims != d {
+					t.Fatalf("dims %v, want %v", gotDims, d)
+				}
+				if e := maxErr(data, rec); e > tol*(1+1e-9) {
+					t.Errorf("pred=%d %v tol=%g: max error %g", pred, d, tol, e)
+				}
+			}
+		}
+	}
+}
+
+func TestErrorBoundOnNoise(t *testing.T) {
+	d := grid.D3(16, 16, 16)
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, d.Len())
+	for i := range data {
+		data[i] = rng.NormFloat64() * math.Exp(3*rng.NormFloat64())
+	}
+	for _, pred := range []Predictor{PredictorInterpolation, PredictorLorenzo} {
+		tol := 0.01
+		stream, err := Compress(data, d, Params{Tol: tol, Predictor: pred})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, _, err := Decompress(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := maxErr(data, rec); e > tol*(1+1e-9) {
+			t.Errorf("pred=%d: noise max error %g", pred, e)
+		}
+	}
+}
+
+func TestSmoothDataCompressesWell(t *testing.T) {
+	d := grid.D3(32, 32, 32)
+	data := smoothField(d, 7)
+	stream, err := Compress(data, d, Params{Tol: 0.01, Predictor: PredictorInterpolation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpp := float64(len(stream)*8) / float64(d.Len())
+	if bpp > 16 {
+		t.Errorf("smooth field used %g BPP; interpolation predictor ineffective", bpp)
+	}
+}
+
+// The interpolation predictor should beat Lorenzo on smooth data at tight
+// tolerances (the SZ3-over-SZ2 improvement the paper cites).
+func TestInterpolationBeatsLorenzoOnSmooth(t *testing.T) {
+	d := grid.D3(32, 32, 32)
+	data := make([]float64, d.Len())
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			for x := 0; x < d.NX; x++ {
+				data[d.Index(x, y, z)] = 100 * math.Sin(0.1*float64(x)) *
+					math.Cos(0.08*float64(y)) * math.Cos(0.06*float64(z))
+			}
+		}
+	}
+	tol := 1e-4
+	si, err := Compress(data, d, Params{Tol: tol, Predictor: PredictorInterpolation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := Compress(data, d, Params{Tol: tol, Predictor: PredictorLorenzo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(si) >= len(sl) {
+		t.Errorf("interpolation %d bytes >= Lorenzo %d bytes on smooth data", len(si), len(sl))
+	}
+}
+
+func TestConstantField(t *testing.T) {
+	d := grid.D3(16, 16, 16)
+	data := make([]float64, d.Len())
+	for i := range data {
+		data[i] = 3.14
+	}
+	stream, err := Compress(data, d, Params{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) > 2048 {
+		t.Errorf("constant field used %d bytes", len(stream))
+	}
+	rec, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, rec); e > 1e-9 {
+		t.Errorf("constant field error %g", e)
+	}
+}
+
+func TestLiteralFallback(t *testing.T) {
+	// Huge dynamic range forces bins out of range -> literals.
+	d := grid.D2(16, 16)
+	data := make([]float64, d.Len())
+	rng := rand.New(rand.NewSource(5))
+	for i := range data {
+		data[i] = math.Exp(20 * rng.NormFloat64())
+	}
+	tol := 1e-10
+	stream, err := Compress(data, d, Params{Tol: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, rec); e > tol {
+		t.Errorf("literal fallback failed: max error %g", e)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d := grid.D3(4, 4, 4)
+	data := make([]float64, d.Len())
+	if _, err := Compress(data, d, Params{Tol: 0}); err == nil {
+		t.Error("zero tolerance should fail")
+	}
+	if _, err := Compress(data[:3], d, Params{Tol: 1}); err == nil {
+		t.Error("dims mismatch should fail")
+	}
+	if _, _, err := Decompress([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestQuantBinsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	bins := make([]int64, 10000)
+	for i := range bins {
+		if rng.Float64() < 0.03 {
+			bins[i] = int64(rng.Intn(9) - 4)
+		}
+	}
+	stream := CompressQuantBins(bins)
+	got, err := DecompressQuantBins(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(bins) {
+		t.Fatalf("len %d, want %d", len(got), len(bins))
+	}
+	for i := range bins {
+		if got[i] != bins[i] {
+			t.Fatalf("bin %d: %d != %d", i, got[i], bins[i])
+		}
+	}
+}
+
+func TestQuantizeOutliers(t *testing.T) {
+	outs := []outlier.Outlier{
+		{Pos: 2, Corr: 2.6},  // round(2.6/2) = 1
+		{Pos: 5, Corr: -3.1}, // round(-3.1/2) = -2
+		{Pos: 9, Corr: 1.01}, // rounds to 1 (never 0 for an outlier)
+	}
+	bins := QuantizeOutliers(12, 1.0, outs)
+	if bins[2] != 1 || bins[5] != -2 || bins[9] != 1 {
+		t.Fatalf("bins = %v", bins)
+	}
+	for i, b := range bins {
+		if i != 2 && i != 5 && i != 9 && b != 0 {
+			t.Fatalf("inlier bin %d = %d", i, b)
+		}
+	}
+	// Bin-corrected value must land within tolerance.
+	for _, o := range outs {
+		rec := float64(bins[o.Pos]) * 2 * 1.0
+		if math.Abs(rec-o.Corr) > 1.0 {
+			t.Errorf("pos %d: bin correction %g vs %g exceeds tol", o.Pos, rec, o.Corr)
+		}
+	}
+}
+
+func BenchmarkCompressInterp32(b *testing.B) {
+	d := grid.D3(32, 32, 32)
+	data := smoothField(d, 1)
+	b.SetBytes(int64(d.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, d, Params{Tol: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressLorenzo32(b *testing.B) {
+	d := grid.D3(32, 32, 32)
+	data := smoothField(d, 1)
+	b.SetBytes(int64(d.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, d, Params{Tol: 0.01, Predictor: PredictorLorenzo}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

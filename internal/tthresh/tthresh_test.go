@@ -1,0 +1,166 @@
+package tthresh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sperr/internal/grid"
+	"sperr/internal/metrics"
+)
+
+func smoothField(d grid.Dims, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, d.Len())
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			for x := 0; x < d.NX; x++ {
+				data[d.Index(x, y, z)] = 30*math.Sin(0.25*float64(x))*math.Cos(0.2*float64(y))*
+					math.Cos(0.15*float64(z)) + 0.02*rng.NormFloat64()
+			}
+		}
+	}
+	return data
+}
+
+func TestPSNRTargetMet(t *testing.T) {
+	d := grid.D3(16, 16, 16)
+	data := smoothField(d, 1)
+	for _, psnr := range []float64{40, 60, 80} {
+		stream, err := Compress(data, d, Params{TargetPSNR: psnr})
+		if err != nil {
+			t.Fatalf("psnr=%g: %v", psnr, err)
+		}
+		rec, gotDims, err := Decompress(stream)
+		if err != nil {
+			t.Fatalf("psnr=%g: %v", psnr, err)
+		}
+		if gotDims != d {
+			t.Fatalf("dims %v", gotDims)
+		}
+		got := metrics.PSNR(data, rec)
+		if got < psnr-0.5 {
+			t.Errorf("target %g dB, achieved %g dB", psnr, got)
+		}
+	}
+}
+
+func TestHigherPSNRCostsMore(t *testing.T) {
+	d := grid.D3(16, 16, 16)
+	data := smoothField(d, 2)
+	s40, err := Compress(data, d, Params{TargetPSNR: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s100, err := Compress(data, d, Params{TargetPSNR: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s100) <= len(s40) {
+		t.Errorf("100 dB (%d bytes) should cost more than 40 dB (%d bytes)",
+			len(s100), len(s40))
+	}
+}
+
+// TTHRESH shines on smooth, low-rank data at visualization-grade quality:
+// it should beat 64-bit raw storage by a large factor at 50 dB.
+func TestLowRankCompression(t *testing.T) {
+	d := grid.D3(24, 24, 24)
+	data := make([]float64, d.Len())
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			for x := 0; x < d.NX; x++ {
+				// Rank-2 separable field.
+				data[d.Index(x, y, z)] = math.Sin(0.3*float64(x))*math.Cos(0.2*float64(y))*float64(z) +
+					2*math.Cos(0.1*float64(x))
+			}
+		}
+	}
+	stream, err := Compress(data, d, Params{TargetPSNR: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpp := float64(len(stream)*8) / float64(d.Len())
+	if bpp > 8 {
+		t.Errorf("low-rank field used %g BPP at 50 dB", bpp)
+	}
+}
+
+func TestAnisotropicDims(t *testing.T) {
+	d := grid.D3(20, 12, 8)
+	data := smoothField(d, 3)
+	stream, err := Compress(data, d, Params{TargetPSNR: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.PSNR(data, rec); got < 59.5 {
+		t.Errorf("achieved %g dB, want >= 60", got)
+	}
+}
+
+func Test2DSlice(t *testing.T) {
+	d := grid.D2(32, 32)
+	data := smoothField(d, 4)
+	stream, err := Compress(data, d, Params{TargetPSNR: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.PSNR(data, rec); got < 54.5 {
+		t.Errorf("2D achieved %g dB", got)
+	}
+}
+
+func TestConstantField(t *testing.T) {
+	d := grid.D3(8, 8, 8)
+	data := make([]float64, d.Len())
+	for i := range data {
+		data[i] = 5.5
+	}
+	stream, err := Compress(data, d, Params{TargetPSNR: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rec {
+		if math.Abs(rec[i]-5.5) > 1e-3 {
+			t.Fatalf("constant field error %g at %d", math.Abs(rec[i]-5.5), i)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d := grid.D3(4, 4, 4)
+	data := make([]float64, d.Len())
+	if _, err := Compress(data, d, Params{}); err == nil {
+		t.Error("zero PSNR should fail")
+	}
+	if _, err := Compress(data[:7], d, Params{TargetPSNR: 50}); err == nil {
+		t.Error("dims mismatch should fail")
+	}
+	if _, _, err := Decompress([]byte{3, 1}); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func BenchmarkCompress16(b *testing.B) {
+	d := grid.D3(16, 16, 16)
+	data := smoothField(d, 1)
+	b.SetBytes(int64(d.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, d, Params{TargetPSNR: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

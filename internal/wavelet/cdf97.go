@@ -1,0 +1,234 @@
+// Package wavelet implements the CDF 9/7 biorthogonal discrete wavelet
+// transform used by SPERR (paper Section III-A).
+//
+// The transform is computed with the lifting scheme of Daubechies and
+// Sweldens, using symmetric (whole-sample) boundary extension and basis
+// functions scaled to approximately unit norm, following the QccPack
+// implementation the paper borrows from. Because the scaled CDF 9/7 basis is
+// near-orthogonal, the L2 error introduced in the coefficient domain is
+// approximately the L2 error of the reconstruction, which SPERR's design
+// relies on.
+//
+// Multi-dimensional transforms are separable: each level transforms every
+// line of the current approximation box along each active axis, then the
+// approximation box shrinks by half (rounding up) along those axes. The
+// number of levels per axis of length N is min(6, floor(log2 N) - 2), as in
+// the paper.
+package wavelet
+
+import "math"
+
+// Lifting constants for the CDF 9/7 filter bank (Daubechies–Sweldens
+// factorization at full float64 precision; epsilon normalizes the basis to
+// approximately unit norm as in QccPack).
+const (
+	alpha   = -1.5861343420599235
+	beta    = -0.0529801185729614
+	gamma   = 0.8829110755309333
+	delta   = 0.4435068520439711
+	epsilon = 1.1496043988602418
+)
+
+// MaxLevels caps the recursion depth of the dyadic decomposition; deeper
+// recursion yields diminishing compaction benefit (Section III-A).
+const MaxLevels = 6
+
+// Levels returns the number of transform passes applied to a length-n axis:
+// min(6, floor(log2 n) - 2), clamped at zero. Axes shorter than 8 samples
+// are not transformed.
+func Levels(n int) int {
+	if n < 8 {
+		return 0
+	}
+	l := int(math.Floor(math.Log2(float64(n)))) - 2
+	if l > MaxLevels {
+		l = MaxLevels
+	}
+	if l < 0 {
+		l = 0
+	}
+	return l
+}
+
+// forwardEven runs the in-place CDF 9/7 analysis lifting on an even-length
+// signal with symmetric extension. Afterwards even indices hold scaled
+// low-pass samples and odd indices hold high-pass samples.
+func forwardEven(s []float64) {
+	n := len(s)
+	for i := 1; i < n-2; i += 2 {
+		s[i] += alpha * (s[i-1] + s[i+1])
+	}
+	s[n-1] += 2 * alpha * s[n-2]
+
+	s[0] += 2 * beta * s[1]
+	for i := 2; i < n; i += 2 {
+		s[i] += beta * (s[i+1] + s[i-1])
+	}
+
+	for i := 1; i < n-2; i += 2 {
+		s[i] += gamma * (s[i-1] + s[i+1])
+	}
+	s[n-1] += 2 * gamma * s[n-2]
+
+	s[0] = epsilon * (s[0] + 2*delta*s[1])
+	for i := 2; i < n; i += 2 {
+		s[i] = epsilon * (s[i] + delta*(s[i+1]+s[i-1]))
+	}
+
+	for i := 1; i < n; i += 2 {
+		s[i] /= -epsilon
+	}
+}
+
+// inverseEven inverts forwardEven.
+func inverseEven(s []float64) {
+	n := len(s)
+	for i := 1; i < n; i += 2 {
+		s[i] *= -epsilon
+	}
+
+	s[0] = s[0]/epsilon - 2*delta*s[1]
+	for i := 2; i < n; i += 2 {
+		s[i] = s[i]/epsilon - delta*(s[i+1]+s[i-1])
+	}
+
+	for i := 1; i < n-2; i += 2 {
+		s[i] -= gamma * (s[i-1] + s[i+1])
+	}
+	s[n-1] -= 2 * gamma * s[n-2]
+
+	s[0] -= 2 * beta * s[1]
+	for i := 2; i < n; i += 2 {
+		s[i] -= beta * (s[i+1] + s[i-1])
+	}
+
+	for i := 1; i < n-2; i += 2 {
+		s[i] -= alpha * (s[i-1] + s[i+1])
+	}
+	s[n-1] -= 2 * alpha * s[n-2]
+}
+
+// forwardOdd runs the analysis lifting on an odd-length signal. Both
+// endpoints are even (low-pass) samples under whole-sample symmetry.
+func forwardOdd(s []float64) {
+	n := len(s)
+	for i := 1; i < n-1; i += 2 {
+		s[i] += alpha * (s[i-1] + s[i+1])
+	}
+
+	s[0] += 2 * beta * s[1]
+	for i := 2; i < n-2; i += 2 {
+		s[i] += beta * (s[i+1] + s[i-1])
+	}
+	s[n-1] += 2 * beta * s[n-2]
+
+	for i := 1; i < n-1; i += 2 {
+		s[i] += gamma * (s[i-1] + s[i+1])
+	}
+
+	s[0] = epsilon * (s[0] + 2*delta*s[1])
+	for i := 2; i < n-2; i += 2 {
+		s[i] = epsilon * (s[i] + delta*(s[i+1]+s[i-1]))
+	}
+	s[n-1] = epsilon * (s[n-1] + 2*delta*s[n-2])
+
+	for i := 1; i < n-1; i += 2 {
+		s[i] /= -epsilon
+	}
+}
+
+// inverseOdd inverts forwardOdd.
+func inverseOdd(s []float64) {
+	n := len(s)
+	for i := 1; i < n-1; i += 2 {
+		s[i] *= -epsilon
+	}
+
+	s[0] = s[0]/epsilon - 2*delta*s[1]
+	for i := 2; i < n-2; i += 2 {
+		s[i] = s[i]/epsilon - delta*(s[i+1]+s[i-1])
+	}
+	s[n-1] = s[n-1]/epsilon - 2*delta*s[n-2]
+
+	for i := 1; i < n-1; i += 2 {
+		s[i] -= gamma * (s[i-1] + s[i+1])
+	}
+
+	s[0] -= 2 * beta * s[1]
+	for i := 2; i < n-2; i += 2 {
+		s[i] -= beta * (s[i+1] + s[i-1])
+	}
+	s[n-1] -= 2 * beta * s[n-2]
+
+	for i := 1; i < n-1; i += 2 {
+		s[i] -= alpha * (s[i-1] + s[i+1])
+	}
+}
+
+// Forward1D applies one level of the CDF 9/7 analysis transform to s in
+// place and deinterleaves the result: the first ceil(n/2) entries are
+// low-pass (approximation) coefficients, the rest high-pass (detail).
+// scratch must have capacity >= len(s); pass nil to allocate internally.
+// Signals shorter than 4 samples are left untouched.
+func Forward1D(s, scratch []float64) {
+	n := len(s)
+	if n < 4 {
+		return
+	}
+	if n%2 == 0 {
+		forwardEven(s)
+	} else {
+		forwardOdd(s)
+	}
+	deinterleave(s, scratch)
+}
+
+// Inverse1D inverts one level of Forward1D: it interleaves the subbands and
+// runs the synthesis lifting.
+func Inverse1D(s, scratch []float64) {
+	n := len(s)
+	if n < 4 {
+		return
+	}
+	interleave(s, scratch)
+	if n%2 == 0 {
+		inverseEven(s)
+	} else {
+		inverseOdd(s)
+	}
+}
+
+// deinterleave gathers even-index samples to the front and odd-index
+// samples to the back of s.
+func deinterleave(s, scratch []float64) {
+	n := len(s)
+	if scratch == nil || cap(scratch) < n {
+		scratch = make([]float64, n)
+	}
+	scratch = scratch[:n]
+	low := (n + 1) / 2
+	for i := 0; i < low; i++ {
+		scratch[i] = s[2*i]
+	}
+	for i := 0; i < n/2; i++ {
+		scratch[low+i] = s[2*i+1]
+	}
+	copy(s, scratch)
+}
+
+// interleave inverts deinterleave.
+func interleave(s, scratch []float64) {
+	n := len(s)
+	if scratch == nil || cap(scratch) < n {
+		scratch = make([]float64, n)
+	}
+	scratch = scratch[:n]
+	low := (n + 1) / 2
+	for i := 0; i < low; i++ {
+		scratch[2*i] = s[i]
+	}
+	for i := 0; i < n/2; i++ {
+		scratch[2*i+1] = s[low+i]
+	}
+	copy(s, scratch)
+}

@@ -1,0 +1,127 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sperr/internal/grid"
+)
+
+func TestCoarseLen(t *testing.T) {
+	cases := []struct{ n, drop, want int }{
+		{64, 0, 64},
+		{64, 1, 32},
+		{64, 2, 16},
+		{64, 4, 4},
+		{64, 10, 4}, // Levels(64)=4: clamps
+		{20, 1, 10}, // Levels(20)=2
+		{20, 2, 5},
+		{20, 5, 5},
+		{8, 1, 4}, // Levels(8)=1
+		{8, 3, 4},
+		{7, 5, 7}, // too short to transform at all
+		{33, 1, 17},
+	}
+	for _, c := range cases {
+		if got := CoarseLen(c.n, c.drop); got != c.want {
+			t.Errorf("CoarseLen(%d, %d) = %d, want %d", c.n, c.drop, got, c.want)
+		}
+	}
+}
+
+func TestLevelDimsAndScale(t *testing.T) {
+	p := NewPlan(grid.D3(64, 64, 64))
+	if d := p.LevelDims(0); d != grid.D3(64, 64, 64) {
+		t.Fatalf("LevelDims(0) = %v", d)
+	}
+	if d := p.LevelDims(2); d != grid.D3(16, 16, 16) {
+		t.Fatalf("LevelDims(2) = %v", d)
+	}
+	if s := p.LevelScale(0); s != 1 {
+		t.Fatalf("LevelScale(0) = %g", s)
+	}
+	// One 3D level: sqrt(2)^3.
+	want := math.Pow(math.Sqrt2, 3)
+	if s := p.LevelScale(1); math.Abs(s-want) > 1e-12 {
+		t.Fatalf("LevelScale(1) = %g, want %g", s, want)
+	}
+	// Clamps at the per-axis level count: 4 levels per axis max for 64.
+	wantMax := math.Pow(math.Sqrt2, 12)
+	if s := p.LevelScale(99); math.Abs(s-wantMax) > 1e-9 {
+		t.Fatalf("LevelScale(99) = %g, want %g", s, wantMax)
+	}
+}
+
+// InverseToLevel(0) must equal Inverse.
+func TestInverseToLevelZeroIsFullInverse(t *testing.T) {
+	d := grid.D3(32, 16, 8)
+	rng := rand.New(rand.NewSource(1))
+	orig := randSlice(rng, d.Len())
+	a := append([]float64(nil), orig...)
+	b := append([]float64(nil), orig...)
+	p := NewPlan(d)
+	p.Forward(a)
+	p.Forward(b)
+	p.Inverse(a)
+	p.InverseToLevel(b, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("idx %d: %g != %g", i, a[i], b[i])
+		}
+	}
+}
+
+// A constant field's approximation band must be the constant times the DC
+// gain at every level.
+func TestInverseToLevelConstantScale(t *testing.T) {
+	d := grid.D3(32, 32, 32)
+	const c = 7.5
+	data := make([]float64, d.Len())
+	for i := range data {
+		data[i] = c
+	}
+	p := NewPlan(d)
+	p.Forward(data)
+	for drop := 1; drop <= p.NumLevels(); drop++ {
+		work := append([]float64(nil), data...)
+		// Forward was already applied; only invert down to `drop`.
+		low := p.InverseToLevel(work, drop)
+		scale := p.LevelScale(drop)
+		for z := 0; z < low.NZ; z++ {
+			for y := 0; y < low.NY; y++ {
+				for x := 0; x < low.NX; x++ {
+					got := work[d.Index(x, y, z)] / scale
+					if math.Abs(got-c) > 1e-9 {
+						t.Fatalf("drop=%d at (%d,%d,%d): %g, want %g", drop, x, y, z, got, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The partially inverted representation preserves energy to within the
+// near-orthogonal transform's slack: InverseToLevel leaves a valid
+// intermediate state of the synthesis cascade.
+func TestInverseToLevelEnergy(t *testing.T) {
+	d := grid.D3(24, 24, 24)
+	rng := rand.New(rand.NewSource(2))
+	orig := randSlice(rng, d.Len())
+	full := append([]float64(nil), orig...)
+	p := NewPlan(d)
+	p.Forward(full)
+	split := append([]float64(nil), full...)
+	p.Inverse(full)
+	p.InverseToLevel(split, 1)
+	var eFull, eSplit float64
+	for i := range full {
+		eFull += full[i] * full[i]
+	}
+	for i := range split {
+		eSplit += split[i] * split[i]
+	}
+	if eSplit < eFull*0.5 || eSplit > eFull*2 {
+		t.Fatalf("partial inverse energy %g wildly off full %g", eSplit, eFull)
+	}
+}

@@ -1,0 +1,230 @@
+package wavelet
+
+import (
+	"math"
+
+	"sperr/internal/grid"
+)
+
+// step is one level of the dyadic decomposition: the extent of the current
+// approximation box and which axes are transformed at this level.
+type step struct {
+	nx, ny, nz int
+	ax, ay, az bool
+}
+
+// Plan precomputes the level schedule of a multi-dimensional transform for
+// a given volume extent, so that forward and inverse transforms replay the
+// identical sequence of 1D passes. Plans are immutable and safe for
+// concurrent use; per-call scratch space is allocated by the worker.
+type Plan struct {
+	dims  grid.Dims
+	steps []step
+}
+
+// NewPlan builds the transform schedule for dims. Axes of different length
+// receive different numbers of passes: an axis is active at level i while
+// i < Levels(axis length).
+func NewPlan(dims grid.Dims) *Plan {
+	lx, ly, lz := Levels(dims.NX), Levels(dims.NY), Levels(dims.NZ)
+	total := lx
+	if ly > total {
+		total = ly
+	}
+	if lz > total {
+		total = lz
+	}
+	p := &Plan{dims: dims}
+	cx, cy, cz := dims.NX, dims.NY, dims.NZ
+	for i := 0; i < total; i++ {
+		st := step{nx: cx, ny: cy, nz: cz, ax: i < lx, ay: i < ly, az: i < lz}
+		p.steps = append(p.steps, st)
+		if st.ax {
+			cx = (cx + 1) / 2
+		}
+		if st.ay {
+			cy = (cy + 1) / 2
+		}
+		if st.az {
+			cz = (cz + 1) / 2
+		}
+	}
+	return p
+}
+
+// Dims returns the extent the plan was built for.
+func (p *Plan) Dims() grid.Dims { return p.dims }
+
+// NumLevels returns the total number of decomposition levels.
+func (p *Plan) NumLevels() int { return len(p.steps) }
+
+// Forward applies the full multi-level analysis transform to data in place.
+// data is row-major with extent p.Dims().
+func (p *Plan) Forward(data []float64) {
+	n := maxLine(p.dims)
+	line := make([]float64, n)
+	scratch := make([]float64, n)
+	for _, st := range p.steps {
+		if st.ax && st.nx >= 4 {
+			p.passX(data, st, true, scratch)
+		}
+		if st.ay && st.ny >= 4 {
+			p.passY(data, st, true, line, scratch)
+		}
+		if st.az && st.nz >= 4 {
+			p.passZ(data, st, true, line, scratch)
+		}
+	}
+}
+
+// Inverse applies the full synthesis transform to data in place, exactly
+// undoing Forward.
+func (p *Plan) Inverse(data []float64) {
+	p.InverseToLevel(data, 0)
+}
+
+// InverseToLevel undoes the transform only down to decomposition level
+// drop (0 <= drop <= NumLevels): the finest drop levels stay folded, and
+// data afterwards holds the level-drop approximation band in the sub-box
+// returned by LevelDims(drop). Wavelet hierarchies represent data as
+// self-similar coarsenings, which is what enables the multi-resolution
+// reconstruction the paper's Section VII describes; drop = 0 is the full
+// inverse. The approximation carries the low-pass DC gain of the skipped
+// levels: divide by LevelScale(drop) to bring it to data scale.
+func (p *Plan) InverseToLevel(data []float64, drop int) grid.Dims {
+	if drop < 0 {
+		drop = 0
+	}
+	if drop > len(p.steps) {
+		drop = len(p.steps)
+	}
+	n := maxLine(p.dims)
+	line := make([]float64, n)
+	scratch := make([]float64, n)
+	for i := len(p.steps) - 1; i >= drop; i-- {
+		st := p.steps[i]
+		if st.az && st.nz >= 4 {
+			p.passZ(data, st, false, line, scratch)
+		}
+		if st.ay && st.ny >= 4 {
+			p.passY(data, st, false, line, scratch)
+		}
+		if st.ax && st.nx >= 4 {
+			p.passX(data, st, false, scratch)
+		}
+	}
+	return p.LevelDims(drop)
+}
+
+// LevelDims returns the extent of the approximation band after drop
+// decomposition levels: each axis is ceil-halved once per level in which
+// it is active.
+func (p *Plan) LevelDims(drop int) grid.Dims {
+	return grid.Dims{
+		NX: CoarseLen(p.dims.NX, drop),
+		NY: CoarseLen(p.dims.NY, drop),
+		NZ: CoarseLen(p.dims.NZ, drop),
+	}
+}
+
+// LevelScale returns the low-pass DC gain carried by the level-drop
+// approximation band: sqrt(2) per applied transform per axis (the scaled
+// CDF 9/7 low-pass filter has unit norm and sqrt(2) DC gain).
+func (p *Plan) LevelScale(drop int) float64 {
+	count := 0
+	for _, n := range []int{p.dims.NX, p.dims.NY, p.dims.NZ} {
+		l := Levels(n)
+		if drop < l {
+			count += drop
+		} else {
+			count += l
+		}
+	}
+	return math.Pow(math.Sqrt2, float64(count))
+}
+
+// CoarseLen returns the length of a length-n axis after drop levels of
+// decomposition (ceil-halved once per level the axis is active in).
+func CoarseLen(n, drop int) int {
+	k := Levels(n)
+	if drop < k {
+		k = drop
+	}
+	for i := 0; i < k; i++ {
+		n = (n + 1) / 2
+	}
+	return n
+}
+
+func maxLine(d grid.Dims) int {
+	n := d.NX
+	if d.NY > n {
+		n = d.NY
+	}
+	if d.NZ > n {
+		n = d.NZ
+	}
+	return n
+}
+
+// passX transforms every x-line of the approximation box; lines are
+// contiguous in memory.
+func (p *Plan) passX(data []float64, st step, fwd bool, scratch []float64) {
+	nx, stride := st.nx, p.dims.NX
+	for z := 0; z < st.nz; z++ {
+		for y := 0; y < st.ny; y++ {
+			off := (z*p.dims.NY + y) * stride
+			s := data[off : off+nx]
+			if fwd {
+				Forward1D(s, scratch)
+			} else {
+				Inverse1D(s, scratch)
+			}
+		}
+	}
+}
+
+// passY transforms every y-line of the approximation box via gather/scatter.
+func (p *Plan) passY(data []float64, st step, fwd bool, line, scratch []float64) {
+	ny := st.ny
+	s := line[:ny]
+	for z := 0; z < st.nz; z++ {
+		base := z * p.dims.NY * p.dims.NX
+		for x := 0; x < st.nx; x++ {
+			for y := 0; y < ny; y++ {
+				s[y] = data[base+y*p.dims.NX+x]
+			}
+			if fwd {
+				Forward1D(s, scratch)
+			} else {
+				Inverse1D(s, scratch)
+			}
+			for y := 0; y < ny; y++ {
+				data[base+y*p.dims.NX+x] = s[y]
+			}
+		}
+	}
+}
+
+// passZ transforms every z-line of the approximation box via gather/scatter.
+func (p *Plan) passZ(data []float64, st step, fwd bool, line, scratch []float64) {
+	nz := st.nz
+	plane := p.dims.NY * p.dims.NX
+	s := line[:nz]
+	for y := 0; y < st.ny; y++ {
+		for x := 0; x < st.nx; x++ {
+			off := y*p.dims.NX + x
+			for z := 0; z < nz; z++ {
+				s[z] = data[off+z*plane]
+			}
+			if fwd {
+				Forward1D(s, scratch)
+			} else {
+				Inverse1D(s, scratch)
+			}
+			for z := 0; z < nz; z++ {
+				data[off+z*plane] = s[z]
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package zfp
+
+// Property-based tests (testing/quick) on the ZFP baseline.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sperr/internal/grid"
+)
+
+// Property: fixed-accuracy mode bounds the point-wise error on arbitrary
+// finite inputs and shapes (including partial blocks).
+func TestQuickAccuracyBound(t *testing.T) {
+	f := func(seed int64, tolExp uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := grid.D3(1+r.Intn(14), 1+r.Intn(14), 1+r.Intn(14))
+		data := make([]float64, d.Len())
+		for i := range data {
+			data[i] = r.NormFloat64() * math.Exp(float64(r.Intn(8)))
+		}
+		tol := math.Exp2(float64(int(tolExp)%16 - 8))
+		stream, err := Compress(data, d, Params{Mode: ModeFixedAccuracy, Tol: tol})
+		if err != nil {
+			return false
+		}
+		rec, gotDims, err := Decompress(stream)
+		if err != nil || gotDims != d {
+			return false
+		}
+		for i := range data {
+			if math.Abs(rec[i]-data[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fixed-rate mode meets its budget on arbitrary inputs.
+func TestQuickRateBudget(t *testing.T) {
+	f := func(seed int64, rateRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := grid.D3(4+r.Intn(12), 4+r.Intn(12), 4+r.Intn(12))
+		data := make([]float64, d.Len())
+		for i := range data {
+			data[i] = r.NormFloat64()
+		}
+		rate := 1 + float64(rateRaw%24)
+		stream, err := Compress(data, d, Params{Mode: ModeFixedRate, Rate: rate})
+		if err != nil {
+			return false
+		}
+		// Partial blocks pad to full 4^3 blocks, so account by block count.
+		blocks := ((d.NX + 3) / 4) * ((d.NY + 3) / 4) * ((d.NZ + 3) / 4)
+		budgetBits := float64(blocks)*math.Max(rate*64, 18) + 29*8
+		return float64(len(stream)*8) <= budgetBits+64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sperr/internal/grid"
+)
+
+func smoothField(d grid.Dims, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, d.Len())
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			for x := 0; x < d.NX; x++ {
+				data[d.Index(x, y, z)] = 25*math.Sin(0.2*float64(x))*math.Cos(0.15*float64(y))*
+					math.Cos(0.11*float64(z)) + 0.05*rng.NormFloat64()
+			}
+		}
+	}
+	return data
+}
+
+func maxErr(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestNegabinary(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1000, -1000, 1 << 40, -(1 << 40)} {
+		if got := nb2int(int2nb(v)); got != v {
+			t.Errorf("negabinary round trip %d -> %d", v, got)
+		}
+	}
+	// Negabinary magnitude ordering: small values use low bits.
+	if int2nb(0) != 0 {
+		t.Error("nb(0) should be 0")
+	}
+}
+
+func TestLiftRoundTripApprox(t *testing.T) {
+	// ZFP's transform rounds low bits; values scaled by 2^20 must round
+	// trip to within a few units.
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 100; iter++ {
+		orig := make([]int64, 4)
+		p := make([]int64, 4)
+		for i := range p {
+			orig[i] = int64(rng.Intn(1<<30) - 1<<29)
+			p[i] = orig[i]
+		}
+		fwdLift(p, 1)
+		invLift(p, 1)
+		for i := range p {
+			if d := p[i] - orig[i]; d > 4 || d < -4 {
+				t.Fatalf("iter %d: lift round trip off by %d", iter, d)
+			}
+		}
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	if len(perm3) != 64 || len(perm2) != 16 {
+		t.Fatalf("perm lengths %d, %d", len(perm3), len(perm2))
+	}
+	seen := map[int]bool{}
+	for _, v := range perm3 {
+		if seen[v] || v < 0 || v >= 64 {
+			t.Fatalf("perm3 invalid entry %d", v)
+		}
+		seen[v] = true
+	}
+	// First entry must be the DC coefficient (0,0,0).
+	if perm3[0] != 0 || perm2[0] != 0 {
+		t.Error("sequency order must start at DC")
+	}
+}
+
+func TestFixedAccuracyBound(t *testing.T) {
+	dims := []grid.Dims{
+		grid.D3(32, 32, 32),
+		grid.D3(17, 23, 9), // partial blocks
+		grid.D2(64, 48),
+		grid.D2(13, 7),
+	}
+	for _, d := range dims {
+		data := smoothField(d, int64(d.Len()))
+		for _, tol := range []float64{1, 0.01, 1e-5} {
+			stream, err := Compress(data, d, Params{Mode: ModeFixedAccuracy, Tol: tol})
+			if err != nil {
+				t.Fatalf("%v tol=%g: %v", d, tol, err)
+			}
+			rec, gotDims, err := Decompress(stream)
+			if err != nil {
+				t.Fatalf("%v tol=%g: %v", d, tol, err)
+			}
+			if gotDims != d {
+				t.Fatalf("dims %v, want %v", gotDims, d)
+			}
+			if e := maxErr(data, rec); e > tol {
+				t.Errorf("%v tol=%g: max error %g", d, tol, e)
+			}
+		}
+	}
+}
+
+func TestFixedAccuracyOnNoise(t *testing.T) {
+	d := grid.D3(16, 16, 16)
+	rng := rand.New(rand.NewSource(9))
+	data := make([]float64, d.Len())
+	for i := range data {
+		data[i] = rng.NormFloat64() * math.Exp(2*rng.NormFloat64())
+	}
+	tol := 1e-3
+	stream, err := Compress(data, d, Params{Mode: ModeFixedAccuracy, Tol: tol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, rec); e > tol {
+		t.Errorf("noise max error %g > tol %g", e, tol)
+	}
+}
+
+func TestFixedRateBudget(t *testing.T) {
+	d := grid.D3(32, 32, 32)
+	data := smoothField(d, 4)
+	for _, rate := range []float64{1, 2, 4, 8, 16} {
+		stream, err := Compress(data, d, Params{Mode: ModeFixedRate, Rate: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bpp := float64(len(stream)*8) / float64(d.Len())
+		if bpp > rate+1 { // container header allowance
+			t.Errorf("rate %g: achieved %g BPP", rate, bpp)
+		}
+		if _, _, err := Decompress(stream); err != nil {
+			t.Fatalf("rate %g: %v", rate, err)
+		}
+	}
+}
+
+func TestFixedRateMonotoneQuality(t *testing.T) {
+	d := grid.D3(32, 32, 32)
+	data := smoothField(d, 6)
+	prev := math.Inf(1)
+	for _, rate := range []float64{1, 2, 4, 8, 16, 32} {
+		stream, err := Compress(data, d, Params{Mode: ModeFixedRate, Rate: rate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, _, err := Decompress(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mse float64
+		for i := range data {
+			e := data[i] - rec[i]
+			mse += e * e
+		}
+		if mse > prev*1.001 {
+			t.Errorf("rate %g: mse %g not better than lower rate %g", rate, mse, prev)
+		}
+		prev = mse
+	}
+}
+
+func TestZeroField(t *testing.T) {
+	d := grid.D3(8, 8, 8)
+	data := make([]float64, d.Len())
+	stream, err := Compress(data, d, Params{Mode: ModeFixedAccuracy, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-zero blocks cost one bit each: 8 blocks + container header.
+	if len(stream) > 64 {
+		t.Errorf("zero field used %d bytes", len(stream))
+	}
+	rec, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rec {
+		if v != 0 {
+			t.Fatalf("idx %d: %g", i, v)
+		}
+	}
+}
+
+func TestBelowToleranceField(t *testing.T) {
+	// Every value below tol: blocks should collapse to zero blocks.
+	d := grid.D3(8, 8, 8)
+	data := make([]float64, d.Len())
+	for i := range data {
+		data[i] = 1e-9 * math.Sin(float64(i))
+	}
+	stream, err := Compress(data, d, Params{Mode: ModeFixedAccuracy, Tol: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, rec); e > 0.1 {
+		t.Fatalf("max error %g", e)
+	}
+	if len(stream) > 64 {
+		t.Errorf("sub-tolerance field used %d bytes", len(stream))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d := grid.D3(4, 4, 4)
+	data := make([]float64, d.Len())
+	if _, err := Compress(data, d, Params{Mode: ModeFixedRate}); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := Compress(data, d, Params{Mode: ModeFixedAccuracy}); err == nil {
+		t.Error("zero tol should fail")
+	}
+	if _, err := Compress(data[:5], d, Params{Mode: ModeFixedRate, Rate: 8}); err == nil {
+		t.Error("dims mismatch should fail")
+	}
+	if _, _, err := Decompress([]byte{1, 2}); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func BenchmarkCompressAccuracy32(b *testing.B) {
+	d := grid.D3(32, 32, 32)
+	data := smoothField(d, 1)
+	b.SetBytes(int64(d.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, d, Params{Mode: ModeFixedAccuracy, Tol: 1e-4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressAccuracy32(b *testing.B) {
+	d := grid.D3(32, 32, 32)
+	data := smoothField(d, 1)
+	stream, err := Compress(data, d, Params{Mode: ModeFixedAccuracy, Tol: 1e-4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(d.Len() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decompress(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

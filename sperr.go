@@ -1,0 +1,338 @@
+// Package sperr is a pure-Go implementation of SPERR (SPEck with ERRor
+// bounding), the lossy compressor for structured scientific data described
+// in "Lossy Scientific Data Compression With SPERR" (Li, Lindstrom, Clyne;
+// IPDPS 2023).
+//
+// SPERR transforms a 2D slice or 3D volume with the CDF 9/7 biorthogonal
+// wavelet, codes the coefficients with an improved SPECK algorithm, and —
+// in error-bounded mode — explicitly corrects every point whose
+// reconstruction error exceeds a user-prescribed point-wise tolerance,
+// using a SPECK-inspired outlier coder. Large volumes are split into
+// chunks compressed in parallel.
+//
+// Two compression modes are offered:
+//
+//   - CompressPWE bounds the maximum point-wise error: every value of the
+//     decompressed data is within Tol of the original.
+//   - CompressBPP bounds the output size at a target bitrate in bits per
+//     point; the embedded SPECK bitstream is truncated at the budget.
+//
+// Basic usage:
+//
+//	stream, stats, err := sperr.CompressPWE(data, [3]int{nx, ny, nz}, 1e-6, nil)
+//	...
+//	recon, dims, err := sperr.Decompress(stream)
+package sperr
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"sperr/internal/chunk"
+	"sperr/internal/codec"
+	"sperr/internal/grid"
+)
+
+// DefaultChunkDim is the default chunk edge length (the paper's preferred
+// 256; see Section V-B for the efficiency/parallelism trade-off).
+const DefaultChunkDim = chunk.DefaultChunkDim
+
+// DefaultQFactor is the default coefficient-coding quantization step in
+// units of the error tolerance (q = 1.5t, Section IV-D).
+const DefaultQFactor = codec.DefaultQFactor
+
+// Options tunes compression. The zero value (or a nil pointer) selects the
+// paper's defaults.
+type Options struct {
+	// ChunkDims bounds the chunk extent along x, y, z. Zero components
+	// default to DefaultChunkDim. Chunk dims need not divide the volume
+	// dims.
+	ChunkDims [3]int
+	// Workers caps the number of concurrently compressed chunks;
+	// <= 0 means GOMAXPROCS.
+	Workers int
+	// QFactor sets the SPECK quantization step to QFactor*Tol in PWE mode;
+	// zero means DefaultQFactor. Larger values shift storage from
+	// coefficient coding to outlier coding (paper Section IV-D).
+	QFactor float64
+	// DisableLossless skips the final lossless (DEFLATE) stage.
+	DisableLossless bool
+	// Entropy enables the arithmetic-coded SPECK variant (SPECK-AC) for
+	// the coefficient stream, typically saving a few percent of rate in
+	// exchange for slower coding and the loss of progressive (partial)
+	// decoding. PWE mode only. The paper's SPERR uses the raw-bit layer,
+	// which remains the default.
+	Entropy bool
+}
+
+func (o *Options) chunkOpts(p codec.Params) chunk.Options {
+	co := chunk.Options{Params: p}
+	if o != nil {
+		co.ChunkDims = grid.Dims{NX: o.ChunkDims[0], NY: o.ChunkDims[1], NZ: o.ChunkDims[2]}
+		co.Workers = o.Workers
+		co.Params.QFactor = o.QFactor
+		co.Params.DisableLossless = o.DisableLossless
+		co.Params.Entropy = o.Entropy
+	}
+	return co
+}
+
+// Stats summarizes one compression.
+type Stats struct {
+	// CompressedBytes is the total container size.
+	CompressedBytes int
+	// NumPoints is the number of data values compressed.
+	NumPoints int
+	// BPP is the achieved bitrate in bits per point.
+	BPP float64
+	// NumChunks is how many independently coded chunks the volume used.
+	NumChunks int
+	// NumOutliers counts points corrected by the outlier coder (PWE mode).
+	NumOutliers int
+	// SpeckBits and OutlierBits split the pre-lossless coding cost between
+	// the two coders (paper Figure 2).
+	SpeckBits, OutlierBits uint64
+	// WallTime is the end-to-end compression time.
+	WallTime time.Duration
+}
+
+func statsFrom(cs *chunk.Stats) *Stats {
+	return &Stats{
+		CompressedBytes: cs.TotalBytes,
+		NumPoints:       cs.NumPoints,
+		BPP:             cs.BPP(),
+		NumChunks:       len(cs.Chunks),
+		NumOutliers:     cs.NumOutliers,
+		SpeckBits:       cs.SpeckBits,
+		OutlierBits:     cs.OutlierBits,
+		WallTime:        cs.WallTime,
+	}
+}
+
+var errDims = errors.New("sperr: dims must be positive and match data length (use nz = 1 for 2D)")
+
+func makeVolume(data []float64, dims [3]int) (*grid.Volume, error) {
+	d := grid.Dims{NX: dims[0], NY: dims[1], NZ: dims[2]}
+	if !d.Valid() || d.Len() != len(data) {
+		return nil, errDims
+	}
+	return grid.FromSlice(d, data), nil
+}
+
+// CompressPWE compresses data (row-major, x fastest, extent dims; use
+// dims[2] = 1 for 2D slices) so that every reconstructed value is within
+// tol of the original. opts may be nil for defaults.
+func CompressPWE(data []float64, dims [3]int, tol float64, opts *Options) ([]byte, *Stats, error) {
+	if !(tol > 0) {
+		return nil, nil, errors.New("sperr: tolerance must be positive")
+	}
+	vol, err := makeVolume(data, dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	co := opts.chunkOpts(codec.Params{Mode: codec.ModePWE, Tol: tol})
+	stream, cs, err := chunk.Compress(vol, co)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stream, statsFrom(cs), nil
+}
+
+// CompressBPP compresses data to approximately bitsPerPoint bits per value
+// (size-bounded mode; no error guarantee). opts may be nil for defaults.
+func CompressBPP(data []float64, dims [3]int, bitsPerPoint float64, opts *Options) ([]byte, *Stats, error) {
+	if !(bitsPerPoint > 0) {
+		return nil, nil, errors.New("sperr: bitsPerPoint must be positive")
+	}
+	vol, err := makeVolume(data, dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	co := opts.chunkOpts(codec.Params{Mode: codec.ModeBPP, BitsPerPoint: bitsPerPoint})
+	stream, cs, err := chunk.Compress(vol, co)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stream, statsFrom(cs), nil
+}
+
+// Decompress reconstructs a volume compressed by CompressPWE or
+// CompressBPP. It returns the data in row-major order and its extent.
+func Decompress(stream []byte) ([]float64, [3]int, error) {
+	vol, err := chunk.Decompress(stream, 0)
+	if err != nil {
+		return nil, [3]int{}, err
+	}
+	return vol.Data, [3]int{vol.Dims.NX, vol.Dims.NY, vol.Dims.NZ}, nil
+}
+
+// CompressRMSE compresses data so that the root-mean-square error of the
+// reconstruction is (approximately, and in practice conservatively) at
+// most targetRMSE. This is the average-error-targeted mode the paper's
+// Section VII describes as enabled by the near-orthogonality of the
+// scaled CDF 9/7 basis: the encoder estimates the reconstruction error in
+// the coefficient domain and truncates the embedded stream at the first
+// bitplane boundary that meets the target. No point-wise bound.
+func CompressRMSE(data []float64, dims [3]int, targetRMSE float64, opts *Options) ([]byte, *Stats, error) {
+	if !(targetRMSE > 0) {
+		return nil, nil, errors.New("sperr: targetRMSE must be positive")
+	}
+	vol, err := makeVolume(data, dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	co := opts.chunkOpts(codec.Params{Mode: codec.ModeRMSE, TargetRMSE: targetRMSE})
+	stream, cs, err := chunk.Compress(vol, co)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stream, statsFrom(cs), nil
+}
+
+// CompressPSNR compresses data to a target peak-signal-to-noise ratio in
+// dB, with the peak taken as the data range (the convention of the
+// paper's evaluation). It is a convenience wrapper over CompressRMSE.
+func CompressPSNR(data []float64, dims [3]int, psnrDB float64, opts *Options) ([]byte, *Stats, error) {
+	if !(psnrDB > 0) {
+		return nil, nil, errors.New("sperr: psnrDB must be positive")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	rng := hi - lo
+	if !(rng > 0) {
+		rng = 1
+	}
+	return CompressRMSE(data, dims, rng/math.Pow(10, psnrDB/20), opts)
+}
+
+// DecompressPartial reconstructs a volume using only a fraction
+// (0 < fraction <= 1) of each chunk's embedded SPECK bits. SPECK
+// bitstreams are embedded — any prefix decodes to a valid, coarser
+// reconstruction — which makes SPERR streams usable for progressive and
+// streaming access (paper Section VII): transmit a prefix, render a
+// preview, refine later. Outlier corrections (and hence the PWE guarantee)
+// apply only at fraction = 1.
+func DecompressPartial(stream []byte, fraction float64) ([]float64, [3]int, error) {
+	vol, err := chunk.DecompressPartial(stream, fraction, 0)
+	if err != nil {
+		return nil, [3]int{}, err
+	}
+	return vol.Data, [3]int{vol.Dims.NX, vol.Dims.NY, vol.Dims.NZ}, nil
+}
+
+// DecompressLowRes reconstructs a coarsened (multi-resolution) version of
+// the volume by leaving the finest `drop` wavelet decomposition levels
+// folded: each chunk axis is ceil-halved once per dropped level. Wavelet
+// hierarchies are self-similar — each coarsened level resembles the
+// full-resolution data — which the paper's Section VII highlights for
+// explorative analysis. drop = 0 decodes at full resolution (without
+// outlier corrections). Returns the coarse data and its extent.
+func DecompressLowRes(stream []byte, drop int) ([]float64, [3]int, error) {
+	vol, err := chunk.DecompressLowRes(stream, drop, 0)
+	if err != nil {
+		return nil, [3]int{}, err
+	}
+	return vol.Data, [3]int{vol.Dims.NX, vol.Dims.NY, vol.Dims.NZ}, nil
+}
+
+// DecompressRegion reconstructs only the box of extent dims anchored at
+// origin, decoding just the chunks that intersect it — the random-access
+// pattern of the community archives that motivate the paper (Section I):
+// a reader of a large stored volume pays only for the chunks its cutout
+// touches. The reconstruction carries the same guarantees as Decompress.
+func DecompressRegion(stream []byte, origin, dims [3]int) ([]float64, error) {
+	vol, err := chunk.DecompressRegion(stream, origin[0], origin[1], origin[2],
+		grid.Dims{NX: dims[0], NY: dims[1], NZ: dims[2]}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return vol.Data, nil
+}
+
+// StreamInfo summarizes a compressed stream without decoding its data.
+type StreamInfo struct {
+	// Dims is the volume extent; ChunkDims the chunk tiling.
+	Dims, ChunkDims [3]int
+	// NumChunks is the number of independently coded chunks.
+	NumChunks int
+	// CompressedBytes is the container size.
+	CompressedBytes int
+	// Mode is "pwe", "bpp" or "rmse" (from the first chunk; all chunks of
+	// one container share a mode).
+	Mode string
+	// Tolerance is the point-wise error bound in PWE mode (0 otherwise).
+	Tolerance float64
+	// Entropy reports the arithmetic-coded bit layer.
+	Entropy bool
+	// SpeckBits and OutlierBits total the embedded stream sizes across
+	// chunks (pre-lossless).
+	SpeckBits, OutlierBits uint64
+}
+
+// Describe inspects a compressed stream's headers — volume geometry,
+// mode, tolerance, per-coder bit budgets — without reconstructing data.
+func Describe(stream []byte) (*StreamInfo, error) {
+	info, err := chunk.Describe(stream)
+	if err != nil {
+		return nil, err
+	}
+	out := &StreamInfo{
+		Dims:            [3]int{info.VolumeDims.NX, info.VolumeDims.NY, info.VolumeDims.NZ},
+		ChunkDims:       [3]int{info.ChunkDims.NX, info.ChunkDims.NY, info.ChunkDims.NZ},
+		NumChunks:       info.NumChunks,
+		CompressedBytes: info.TotalBytes,
+	}
+	for i, c := range info.Chunks {
+		if i == 0 {
+			switch c.Meta.Mode {
+			case codec.ModePWE:
+				out.Mode = "pwe"
+				out.Tolerance = c.Meta.Tol
+			case codec.ModeBPP:
+				out.Mode = "bpp"
+			case codec.ModeRMSE:
+				out.Mode = "rmse"
+			}
+			out.Entropy = c.Meta.Entropy
+		}
+		out.SpeckBits += c.Meta.SpeckBits
+		out.OutlierBits += c.Meta.OutlierBits
+	}
+	return out, nil
+}
+
+// CompressPWEFloat32 is CompressPWE for single-precision input. The
+// tolerance applies to the float64 promotion of the data.
+func CompressPWEFloat32(data []float32, dims [3]int, tol float64, opts *Options) ([]byte, *Stats, error) {
+	return CompressPWE(widen(data), dims, tol, opts)
+}
+
+// CompressBPPFloat32 is CompressBPP for single-precision input.
+func CompressBPPFloat32(data []float32, dims [3]int, bitsPerPoint float64, opts *Options) ([]byte, *Stats, error) {
+	return CompressBPP(widen(data), dims, bitsPerPoint, opts)
+}
+
+// DecompressFloat32 reconstructs to single precision.
+func DecompressFloat32(stream []byte) ([]float32, [3]int, error) {
+	data, dims, err := Decompress(stream)
+	if err != nil {
+		return nil, dims, err
+	}
+	out := make([]float32, len(data))
+	for i, v := range data {
+		out[i] = float32(v)
+	}
+	return out, dims, nil
+}
+
+func widen(data []float32) []float64 {
+	out := make([]float64, len(data))
+	for i, v := range data {
+		out[i] = float64(v)
+	}
+	return out
+}

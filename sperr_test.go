@@ -1,0 +1,172 @@
+package sperr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func demoField(nx, ny, nz int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, nx*ny*nz)
+	i := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				data[i] = 50*math.Sin(0.15*float64(x))*math.Cos(0.1*float64(y))*
+					math.Cos(0.12*float64(z)) + rng.NormFloat64()
+				i++
+			}
+		}
+	}
+	return data
+}
+
+func TestCompressPWERoundTrip(t *testing.T) {
+	dims := [3]int{32, 32, 32}
+	data := demoField(32, 32, 32, 1)
+	tol := 0.01
+	stream, st, err := CompressPWE(data, dims, tol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumPoints != len(data) || st.CompressedBytes != len(stream) {
+		t.Errorf("stats inconsistent: %+v", st)
+	}
+	if st.BPP >= 64 {
+		t.Errorf("no compression achieved: %g BPP", st.BPP)
+	}
+	rec, gotDims, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDims != dims {
+		t.Fatalf("dims %v, want %v", gotDims, dims)
+	}
+	for i := range data {
+		if math.Abs(rec[i]-data[i]) > tol*(1+1e-9) {
+			t.Fatalf("idx %d: error %g > tol", i, math.Abs(rec[i]-data[i]))
+		}
+	}
+}
+
+func TestCompressBPPRoundTrip(t *testing.T) {
+	dims := [3]int{32, 32, 16}
+	data := demoField(32, 32, 16, 2)
+	stream, st, err := CompressBPP(data, dims, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BPP > 4.6 {
+		t.Errorf("target 4 BPP, achieved %g", st.BPP)
+	}
+	if _, _, err := Decompress(stream); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiChunkOptions(t *testing.T) {
+	dims := [3]int{40, 40, 40}
+	data := demoField(40, 40, 40, 3)
+	tol := 0.05
+	stream, st, err := CompressPWE(data, dims, tol, &Options{
+		ChunkDims: [3]int{16, 16, 16},
+		Workers:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumChunks != 27 {
+		t.Errorf("NumChunks = %d, want 27", st.NumChunks)
+	}
+	rec, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Abs(rec[i]-data[i]) > tol*(1+1e-9) {
+			t.Fatalf("idx %d: error exceeds tol", i)
+		}
+	}
+}
+
+func Test2DSlice(t *testing.T) {
+	dims := [3]int{64, 64, 1}
+	data := demoField(64, 64, 1, 4)
+	stream, _, err := CompressPWE(data, dims, 0.001, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, gotDims, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDims != dims {
+		t.Fatalf("dims %v", gotDims)
+	}
+	for i := range data {
+		if math.Abs(rec[i]-data[i]) > 0.001*(1+1e-9) {
+			t.Fatalf("2D error exceeds tol at %d", i)
+		}
+	}
+}
+
+func TestFloat32Path(t *testing.T) {
+	dims := [3]int{16, 16, 16}
+	data64 := demoField(16, 16, 16, 5)
+	data := make([]float32, len(data64))
+	for i, v := range data64 {
+		data[i] = float32(v)
+	}
+	tol := 0.01
+	stream, _, err := CompressPWEFloat32(data, dims, tol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := DecompressFloat32(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Abs(float64(rec[i])-float64(data[i])) > tol*(1+1e-6) {
+			t.Fatalf("idx %d: f32 error exceeds tol", i)
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	data := make([]float64, 8)
+	if _, _, err := CompressPWE(data, [3]int{2, 2, 2}, 0, nil); err == nil {
+		t.Error("zero tolerance should fail")
+	}
+	if _, _, err := CompressPWE(data, [3]int{3, 3, 3}, 1, nil); err == nil {
+		t.Error("dims mismatch should fail")
+	}
+	if _, _, err := CompressBPP(data, [3]int{2, 2, 2}, -1, nil); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, _, err := Decompress([]byte("bogus")); err == nil {
+		t.Error("bogus stream should fail")
+	}
+}
+
+func TestQFactorOption(t *testing.T) {
+	dims := [3]int{24, 24, 24}
+	data := demoField(24, 24, 24, 6)
+	tol := 0.01
+	for _, qf := range []float64{1.0, 1.5, 2.5} {
+		stream, _, err := CompressPWE(data, dims, tol, &Options{QFactor: qf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, _, err := Decompress(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if math.Abs(rec[i]-data[i]) > tol*(1+1e-9) {
+				t.Fatalf("qf=%g: error exceeds tol at %d", qf, i)
+			}
+		}
+	}
+}
