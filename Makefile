@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench cover experiments examples clean
+.PHONY: all build vet test test-race fuzz bench cover experiments examples clean
 
 all: build vet test
 
@@ -18,6 +18,18 @@ test:
 # Full test log, as recorded in test_output.txt.
 test-log:
 	$(GO) test ./... 2>&1 | tee test_output.txt
+
+# Race-hardened tier: the parallel chunk pipeline, scratch pooling, and
+# instrumentation delivery all run under the race detector.
+test-race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke over the decoder-facing targets; raise FUZZTIME for a
+# longer exploration.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -fuzz=FuzzDecompress -fuzztime=$(FUZZTIME) -run=^$$ .
+	$(GO) test -fuzz=FuzzCompressDecompress -fuzztime=$(FUZZTIME) -run=^$$ .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -154,6 +154,51 @@ func BenchmarkCompressPWEParallel64(b *testing.B) {
 	}
 }
 
+// BenchmarkCompressPWEMultiChunk measures the steady-state allocation and
+// throughput of the parallel chunk pipeline on a multi-chunk volume (8
+// chunks of 48^3 inside 96^3 — the same shape as the paper's 256^3 volumes
+// tiled by 128^3 chunks, scaled to benchmark size). Run with -benchmem:
+// the scratch-arena pipeline should show near-zero per-chunk allocation
+// once the worker pools warm up.
+func BenchmarkCompressPWEMultiChunk(b *testing.B) {
+	const n = 96
+	data := benchVolume(n)
+	for _, workers := range []int{1, 0} {
+		name := "Workers=GOMAXPROCS"
+		if workers == 1 {
+			name = "Workers=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := &Options{ChunkDims: [3]int{48, 48, 48}, Workers: workers}
+			b.SetBytes(int64(len(data) * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := CompressPWE(data, [3]int{n, n, n}, 1e-3, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecompressMultiChunk is the decode-side counterpart.
+func BenchmarkDecompressMultiChunk(b *testing.B) {
+	const n = 96
+	data := benchVolume(n)
+	opts := &Options{ChunkDims: [3]int{48, 48, 48}}
+	stream, _, err := CompressPWE(data, [3]int{n, n, n}, 1e-3, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decompress(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkDecompressPartial64(b *testing.B) {
 	const n = 64
 	data := benchVolume(n)

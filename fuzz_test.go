@@ -7,27 +7,66 @@ package sperr
 // declared shape.
 
 import (
+	"encoding/binary"
 	"math"
 	"testing"
+
+	"sperr/internal/chunk"
 )
 
+// fuzzDecodeCap bounds how many points a fuzzed container may declare, so
+// a handful of corrupt header bytes cannot demand gigabytes ("no
+// over-allocation" invariant). Real streams this small never reach it.
+const fuzzDecodeCap = 1 << 22
+
 func FuzzDecompress(f *testing.F) {
-	// Seed with a valid stream and a few mutations.
+	// Seed with valid single- and multi-chunk streams plus systematic
+	// damage: truncations at layer boundaries, bit flips in the container
+	// header, the chunk length table, and the payloads.
 	data := demoField(8, 8, 8, 99)
 	stream, _, err := CompressPWE(data, [3]int{8, 8, 8}, 0.1, nil)
 	if err != nil {
 		f.Fatal(err)
 	}
+	multiData := demoField(20, 13, 9, 5)
+	multi, _, err := CompressPWE(multiData, [3]int{20, 13, 9}, 1e-3, &Options{
+		ChunkDims: [3]int{8, 8, 8},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(stream)
-	f.Add(stream[:len(stream)/2])
+	f.Add(multi)
 	f.Add([]byte{})
 	f.Add([]byte("SPRRGO01garbage"))
+	for _, cut := range []int{1, 7, 8, 35, 36, 40, len(multi) / 2, len(multi) - 1} {
+		if cut < len(multi) {
+			f.Add(multi[:cut])
+		}
+	}
+	for _, pos := range []int{0, 9, 33, 37, 41, 60} { // magic, dims, nchunks, length table, payload
+		if pos < len(multi) {
+			mut := append([]byte(nil), multi...)
+			mut[pos] ^= 0x80
+			f.Add(mut)
+		}
+	}
 	mutated := append([]byte(nil), stream...)
 	for i := 10; i < len(mutated); i += 17 {
 		mutated[i] ^= 0xA5
 	}
 	f.Add(mutated)
+	// A header that declares an enormous volume in 45 bytes: must be
+	// rejected by the decode cap, not allocated.
+	huge := []byte("SPRRGO01")
+	for _, v := range []uint32{0xFFFFFFF0, 0xFFFFFFF0, 0xFFFFFFF0, 1, 1, 1, 1} {
+		huge = binary.LittleEndian.AppendUint32(huge, v)
+	}
+	f.Add(append(huge, 0, 0, 0, 0))
 	f.Fuzz(func(t *testing.T, in []byte) {
+		old := chunk.MaxDecodePoints
+		chunk.MaxDecodePoints = fuzzDecodeCap
+		defer func() { chunk.MaxDecodePoints = old }()
 		rec, dims, err := Decompress(in)
 		if err == nil {
 			if len(rec) != dims[0]*dims[1]*dims[2] {

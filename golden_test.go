@@ -1,0 +1,86 @@
+package sperr
+
+// Golden-stream format regression test. A small compressed fixture is
+// checked into testdata/; the test asserts that today's encoder reproduces
+// it bit-exactly and that today's decoder reconstructs it within the
+// recorded tolerance. Any change to the on-disk format — container layout,
+// chunk header, SPECK or outlier bitstream, lossless wrapping — fails this
+// test, so refactors (e.g. scratch-buffer pooling) cannot silently change
+// the format. Regenerate deliberately with:
+//
+//	go test -run TestGoldenStream -update-golden
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden stream fixture")
+
+// goldenInput is the deterministic volume the fixture encodes: an odd,
+// non-chunk-aligned extent so remainder chunks are part of the pinned
+// format.
+func goldenInput() ([]float64, [3]int) {
+	return demoField(24, 17, 9, 7), [3]int{24, 17, 9}
+}
+
+const goldenTol = 1e-3
+
+var goldenOpts = &Options{ChunkDims: [3]int{16, 16, 16}, Workers: 2}
+
+func TestGoldenStream(t *testing.T) {
+	data, dims := goldenInput()
+	stream, _, err := CompressPWE(data, dims, goldenTol, goldenOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_pwe_24x17x9.sperr")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, stream, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(stream))
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(stream, want) {
+		t.Fatalf("encoder output diverged from golden fixture: %d vs %d bytes; "+
+			"the on-disk format changed", len(stream), len(want))
+	}
+
+	// The checked-in fixture must still decode bit-for-bit to a valid
+	// reconstruction honoring the recorded tolerance.
+	rec, rdims, err := Decompress(want)
+	if err != nil {
+		t.Fatalf("golden fixture no longer decodes: %v", err)
+	}
+	if rdims != dims {
+		t.Fatalf("golden dims %v, want %v", rdims, dims)
+	}
+	for i := range data {
+		if math.Abs(rec[i]-data[i]) > goldenTol*(1+1e-9) {
+			t.Fatalf("golden PWE violated at %d: %g vs %g", i, rec[i], data[i])
+		}
+	}
+
+	// Describe must keep reporting the pinned geometry and mode.
+	info, err := Describe(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Dims != dims || info.Mode != "pwe" || info.Tolerance != goldenTol {
+		t.Fatalf("golden Describe drifted: %+v", info)
+	}
+	if info.NumChunks != 4 { // 2x2x1 tiling of 24x17x9 by 16^3
+		t.Fatalf("golden chunk count %d, want 4", info.NumChunks)
+	}
+}

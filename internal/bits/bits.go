@@ -76,6 +76,30 @@ func (w *Writer) Reset() {
 	w.fill = 0
 }
 
+// Close pads the stream with zero bits to a whole byte and returns the
+// writer's internal buffer without copying — the allocation-free
+// counterpart of Bytes for single-consumer flows. The returned slice
+// aliases the writer: it is valid only until the next Reset, and the
+// writer must be Reset before any further writes.
+func (w *Writer) Close() []byte {
+	if w.fill > 0 {
+		w.buf = append(w.buf, w.cur)
+		w.cur = 0
+		w.fill = 0
+	}
+	return w.buf
+}
+
+// Reset reinitializes the reader over data with the budget clamped to
+// nbits, retaining no references to prior input.
+func (r *Reader) Reset(data []byte, nbits uint64) {
+	max := uint64(len(data)) * 8
+	if nbits > max {
+		nbits = max
+	}
+	*r = Reader{buf: data, budget: nbits}
+}
+
 // Reader consumes bits from a byte slice, LSB-first within each byte.
 // A bit budget smaller than the underlying data may be imposed so that
 // truncated (embedded) streams decode cleanly: once the budget is hit,

@@ -41,7 +41,79 @@ type Options struct {
 	// Workers is the number of concurrent chunk encoders; <= 0 means
 	// GOMAXPROCS.
 	Workers int
+	// Instrument, when non-nil, receives one Event per completed chunk.
+	// Events are delivered in chunk-index order regardless of Workers: a
+	// reorder buffer holds out-of-order completions until the preceding
+	// chunks finish. The callback runs on pipeline goroutines under the
+	// buffer's lock, so it must be fast and must not call back into this
+	// package.
+	Instrument func(Event)
 }
+
+// Event describes one completed chunk compression, for instrumentation.
+type Event struct {
+	// Index is the chunk's position in container order.
+	Index int
+	// Dims is the chunk extent.
+	Dims grid.Dims
+	// BytesIn is the uncompressed chunk size (points x 8 bytes).
+	BytesIn int
+	// BytesOut is the compressed chunk stream size.
+	BytesOut int
+	// WallTime covers the chunk's copy-in plus all four codec stages.
+	WallTime time.Duration
+	// ScratchGrows counts arena buffer (re)allocations during this chunk;
+	// zero once the worker's scratch is warm.
+	ScratchGrows int
+	// Stats is the chunk's stage breakdown.
+	Stats codec.Stats
+}
+
+// eventSequencer delivers events in chunk-index order: completions
+// arriving ahead of their turn wait in a map until the gap fills. emit
+// runs under mu, serializing callbacks.
+type eventSequencer struct {
+	mu      sync.Mutex
+	next    int
+	pending map[int]Event
+	emit    func(Event)
+}
+
+func newEventSequencer(emit func(Event)) *eventSequencer {
+	return &eventSequencer{pending: make(map[int]Event), emit: emit}
+}
+
+func (q *eventSequencer) deliver(e Event) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if e.Index != q.next {
+		q.pending[e.Index] = e
+		return
+	}
+	q.emit(e)
+	q.next++
+	for {
+		e, ok := q.pending[q.next]
+		if !ok {
+			return
+		}
+		delete(q.pending, q.next)
+		q.emit(e)
+		q.next++
+	}
+}
+
+// workerScratch is the per-goroutine arena of the parallel pipeline: the
+// codec's scratch plus the chunk copy-in slab. Drawn from scratchPool so
+// repeated Compress/Decompress calls reuse warmed arenas.
+type workerScratch struct {
+	codec *codec.Scratch
+	slab  []float64
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &workerScratch{codec: codec.NewScratch()}
+}}
 
 func (o Options) chunkDims() grid.Dims {
 	d := o.ChunkDims
@@ -73,6 +145,13 @@ type Stats struct {
 	NumOutliers int
 	SpeckBits   uint64
 	OutlierBits uint64
+
+	// MaxChunkTime is the longest single-chunk wall time (copy-in plus
+	// codec stages) — the parallel pipeline's critical path.
+	MaxChunkTime time.Duration
+	// ScratchGrows totals arena buffer (re)allocations across all workers;
+	// near zero when the scratch pool is warm.
+	ScratchGrows int
 }
 
 // BPP returns the achieved container bitrate in bits per point.
@@ -94,6 +173,13 @@ func Compress(vol *grid.Volume, opts Options) ([]byte, *Stats, error) {
 	streams := make([][]byte, len(chunks))
 	stats := make([]codec.Stats, len(chunks))
 	errs := make([]error, len(chunks))
+	walls := make([]time.Duration, len(chunks))
+	grows := make([]int, len(chunks))
+
+	var seq *eventSequencer
+	if opts.Instrument != nil {
+		seq = newEventSequencer(opts.Instrument)
+	}
 
 	workers := opts.workers()
 	if workers > len(chunks) {
@@ -106,6 +192,8 @@ func Compress(vol *grid.Volume, opts Options) ([]byte, *Stats, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := scratchPool.Get().(*workerScratch)
+			defer scratchPool.Put(ws)
 			for {
 				mu.Lock()
 				i := next
@@ -115,14 +203,29 @@ func Compress(vol *grid.Volume, opts Options) ([]byte, *Stats, error) {
 					return
 				}
 				c := chunks[i]
-				sub := vol.Cutout(c.X0, c.Y0, c.Z0, c.Dims)
-				stream, st, err := codec.EncodeChunk(sub.Data, c.Dims, opts.Params)
+				t0 := time.Now()
+				g0 := ws.codec.Grows()
+				ws.slab = vol.CutoutInto(ws.slab, c.X0, c.Y0, c.Z0, c.Dims)
+				stream, st, err := codec.EncodeChunkScratch(ws.slab, c.Dims, opts.Params, ws.codec)
 				if err != nil {
 					errs[i] = fmt.Errorf("chunk %d %v: %w", i, c.Dims, err)
 					return
 				}
 				streams[i] = stream
 				stats[i] = *st
+				walls[i] = time.Since(t0)
+				grows[i] = ws.codec.Grows() - g0
+				if seq != nil {
+					seq.deliver(Event{
+						Index:        i,
+						Dims:         c.Dims,
+						BytesIn:      c.Dims.Len() * 8,
+						BytesOut:     len(stream),
+						WallTime:     walls[i],
+						ScratchGrows: grows[i],
+						Stats:        *st,
+					})
+				}
 			}
 		}()
 	}
@@ -161,6 +264,10 @@ func Compress(vol *grid.Volume, opts Options) ([]byte, *Stats, error) {
 		agg.NumOutliers += stats[i].NumOutliers
 		agg.SpeckBits += stats[i].SpeckBits
 		agg.OutlierBits += stats[i].OutlierBits
+		agg.ScratchGrows += grows[i]
+		if walls[i] > agg.MaxChunkTime {
+			agg.MaxChunkTime = walls[i]
+		}
 	}
 	return out, agg, nil
 }
@@ -173,15 +280,16 @@ func Decompress(stream []byte, workers int) (*grid.Volume, error) {
 		return nil, err
 	}
 	vol := grid.NewVolume(c.volDims)
-	err = forEachChunkParallel(len(c.chunks), workers, func(i int) error {
+	err = forEachChunkScratch(len(c.chunks), workers, func(i int, ws *workerScratch) error {
 		ch := c.chunks[i]
-		data, err := codec.DecodeChunk(c.payloads[i], ch.Dims)
+		data, err := codec.DecodeChunkScratch(c.payloads[i], ch.Dims, ws.codec)
 		if err != nil {
 			return fmt.Errorf("chunk %d: %w", i, err)
 		}
-		// Chunks are disjoint, so concurrent Insert calls touch disjoint
-		// regions of vol.Data.
-		vol.Insert(grid.FromSlice(ch.Dims, data), ch.X0, ch.Y0, ch.Z0)
+		// Chunks are disjoint, so concurrent InsertSlice calls touch
+		// disjoint regions of vol.Data. data aliases the worker's arena;
+		// the copy-out below finishes before the arena's next use.
+		vol.InsertSlice(data, ch.Dims, ch.X0, ch.Y0, ch.Z0)
 		return nil
 	})
 	if err != nil {
@@ -193,6 +301,14 @@ func Decompress(stream []byte, workers int) (*grid.Volume, error) {
 // forEachChunkParallel runs fn(i) for i in [0, n) on up to workers
 // goroutines (<= 0 means GOMAXPROCS) and returns the first error.
 func forEachChunkParallel(n, workers int, fn func(i int) error) error {
+	return forEachChunkScratch(n, workers, func(i int, _ *workerScratch) error {
+		return fn(i)
+	})
+}
+
+// forEachChunkScratch is forEachChunkParallel handing each worker
+// goroutine a pooled arena for the duration of its run.
+func forEachChunkScratch(n, workers int, fn func(i int, ws *workerScratch) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -207,6 +323,8 @@ func forEachChunkParallel(n, workers int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := scratchPool.Get().(*workerScratch)
+			defer scratchPool.Put(ws)
 			for {
 				mu.Lock()
 				i := next
@@ -215,7 +333,7 @@ func forEachChunkParallel(n, workers int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(i, ws); err != nil {
 					errs[i] = err
 					return
 				}

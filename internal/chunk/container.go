@@ -15,6 +15,28 @@ type container struct {
 	payloads  [][]byte // one compressed stream per chunk, aliasing the input
 }
 
+// MaxDecodePoints, when positive, bounds the number of points a container
+// may declare before any decode-side allocation happens — a guard when
+// feeding untrusted streams to Decompress (the fuzz harness sets it).
+// Zero means unlimited. Set it once, before concurrent use.
+var MaxDecodePoints int
+
+// mulOK returns a*b and whether the product fits an int without overflow.
+// All operands are non-negative.
+func mulOK(a, b int) (int, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/a != b {
+		return 0, false
+	}
+	return p, true
+}
+
+// ceilDiv returns ceil(a/b) for positive a, b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
 // parseContainer validates and indexes a container stream without
 // decoding any chunk payloads.
 func parseContainer(stream []byte) (*container, error) {
@@ -36,11 +58,31 @@ func parseContainer(stream []byte) (*container, error) {
 	if !c.volDims.Valid() || !c.chunkDims.Valid() {
 		return nil, fmt.Errorf("%w: invalid dims %v / %v", ErrCorrupt, c.volDims, c.chunkDims)
 	}
-	c.chunks = grid.SplitChunks(c.volDims, c.chunkDims)
-	if len(c.chunks) != nchunks {
-		return nil, fmt.Errorf("%w: chunk count %d does not match geometry (%d)",
-			ErrCorrupt, nchunks, len(c.chunks))
+	// Validate the declared geometry arithmetically before any
+	// geometry-sized allocation: a corrupt header must not be able to
+	// provoke a huge or overflowing make(). Every chunk costs at least a
+	// 4-byte length prefix, so nchunks is bounded by the bytes that
+	// remain; the chunk-grid product is checked for overflow; the volume
+	// point count is checked for overflow (and the optional decode cap).
+	if nchunks > (len(stream)-fixed)/4 {
+		return nil, fmt.Errorf("%w: chunk count %d exceeds stream capacity", ErrCorrupt, nchunks)
 	}
+	xy, ok1 := mulOK(c.volDims.NX, c.volDims.NY)
+	points, ok2 := mulOK(xy, c.volDims.NZ)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("%w: volume dims %v overflow", ErrCorrupt, c.volDims)
+	}
+	if MaxDecodePoints > 0 && points > MaxDecodePoints {
+		return nil, fmt.Errorf("%w: volume of %d points exceeds decode cap %d",
+			ErrCorrupt, points, MaxDecodePoints)
+	}
+	cxy, ok1 := mulOK(ceilDiv(c.volDims.NX, c.chunkDims.NX), ceilDiv(c.volDims.NY, c.chunkDims.NY))
+	want, ok2 := mulOK(cxy, ceilDiv(c.volDims.NZ, c.chunkDims.NZ))
+	if !ok1 || !ok2 || want != nchunks {
+		return nil, fmt.Errorf("%w: chunk count %d does not match geometry (%d)",
+			ErrCorrupt, nchunks, want)
+	}
+	c.chunks = grid.SplitChunks(c.volDims, c.chunkDims)
 	c.payloads = make([][]byte, nchunks)
 	off := fixed
 	for i := 0; i < nchunks; i++ {

@@ -25,7 +25,6 @@ import (
 	"sperr/internal/lossless"
 	"sperr/internal/outlier"
 	"sperr/internal/speck"
-	"sperr/internal/wavelet"
 )
 
 // Mode selects the termination criterion.
@@ -156,8 +155,9 @@ type header struct {
 	outlierBits uint64
 }
 
-func (h *header) marshal() []byte {
-	b := make([]byte, headerSize)
+// appendTo appends the marshalled 40-byte header to dst.
+func (h *header) appendTo(dst []byte) []byte {
+	var b [headerSize]byte
 	b[0] = byte(h.mode)
 	b[1] = h.planes
 	b[2] = h.opasses
@@ -169,7 +169,7 @@ func (h *header) marshal() []byte {
 	binary.LittleEndian.PutUint64(b[20:], h.speckBits)
 	binary.LittleEndian.PutUint64(b[28:], h.outlierBits)
 	// b[36:40] reserved
-	return b
+	return append(dst, b[:]...)
 }
 
 func parseHeader(b []byte) (*header, error) {
@@ -198,8 +198,17 @@ func parseHeader(b []byte) (*header, error) {
 	return h, nil
 }
 
-// EncodeChunk compresses one chunk of data (row-major, extent dims).
+// EncodeChunk compresses one chunk of data (row-major, extent dims) with
+// fresh buffers.
 func EncodeChunk(data []float64, dims grid.Dims, p Params) ([]byte, *Stats, error) {
+	return EncodeChunkScratch(data, dims, p, nil)
+}
+
+// EncodeChunkScratch is EncodeChunk drawing every pipeline temporary from
+// the arena s (nil means fresh buffers). The returned stream is freshly
+// allocated and caller-owned either way; output is byte-identical to
+// EncodeChunk's.
+func EncodeChunkScratch(data []float64, dims grid.Dims, p Params, s *Scratch) ([]byte, *Stats, error) {
 	if len(data) != dims.Len() {
 		return nil, nil, fmt.Errorf("%w: %d values for %v", ErrDims, len(data), dims)
 	}
@@ -231,14 +240,17 @@ func EncodeChunk(data []float64, dims grid.Dims, p Params) ([]byte, *Stats, erro
 			return nil, nil, fmt.Errorf("codec: non-finite value %g at index %d", v, i)
 		}
 	}
+	if s == nil {
+		s = &Scratch{}
+	}
 	st := &Stats{NumPoints: dims.Len()}
 
 	// Stage 1: forward wavelet transform.
 	t0 := time.Now()
-	coeffs := make([]float64, len(data))
+	coeffs := s.coeffs(len(data))
 	copy(coeffs, data)
-	plan := wavelet.NewPlan(dims)
-	plan.Forward(coeffs)
+	plan := s.planFor(dims)
+	plan.ForwardScratch(coeffs, &s.wav)
 	st.TransformTime = time.Since(t0)
 
 	// Stage 2: SPECK coding.
@@ -277,7 +289,7 @@ func EncodeChunk(data []float64, dims grid.Dims, p Params) ([]byte, *Stats, erro
 	if p.Entropy {
 		sres = speck.EncodeEntropy(coeffs, dims, q)
 	} else {
-		sres = speck.Encode(coeffs, dims, q, maxBits)
+		sres = speck.EncodeScratch(coeffs, dims, q, maxBits, &s.speck)
 	}
 	if p.Mode == ModeRMSE {
 		// Truncate the embedded stream at the first plane boundary whose
@@ -315,21 +327,25 @@ func EncodeChunk(data []float64, dims grid.Dims, p Params) ([]byte, *Stats, erro
 		if p.Entropy {
 			recon = speck.DecodeEntropy(sres.Stream, dims, q, sres.NumPlanes)
 		} else {
-			recon = speck.Decode(sres.Stream, sres.Bits, dims, q, sres.NumPlanes)
+			// The SPECK scratch is shared between the encode above and this
+			// decode: the decoder resets only the list state, leaving the
+			// encoder's finished stream (aliased by sres) untouched.
+			recon = speck.DecodeScratch(sres.Stream, sres.Bits, dims, q, sres.NumPlanes, &s.speck)
 		}
-		plan.Inverse(recon)
-		var outs []outlier.Outlier
+		plan.InverseScratch(recon, &s.wav)
+		outs := s.outs[:0]
 		for i := range data {
 			if diff := data[i] - recon[i]; math.Abs(diff) > p.Tol {
 				outs = append(outs, outlier.Outlier{Pos: i, Corr: diff})
 			}
 		}
+		s.outs = outs
 		st.NumOutliers = len(outs)
 		st.LocateTime = time.Since(t0)
 
 		// Stage 4: outlier coding.
 		t0 = time.Now()
-		ores = outlier.Encode(dims.Len(), p.Tol, outs)
+		ores = outlier.EncodeScratch(dims.Len(), p.Tol, outs, &s.outl)
 		st.OutlierBits = ores.Bits
 		st.OutlierTime = time.Since(t0)
 		h.opasses = uint8(ores.NumPasses)
@@ -337,11 +353,12 @@ func EncodeChunk(data []float64, dims grid.Dims, p Params) ([]byte, *Stats, erro
 	}
 
 	// Assemble: header | speck stream | outlier stream, then lossless.
-	payload := h.marshal()
+	payload := h.appendTo(s.payload[:0])
 	payload = append(payload, sres.Stream...)
 	if ores != nil {
 		payload = append(payload, ores.Stream...)
 	}
+	s.payload = payload
 	st.HeaderBits = headerSize * 8
 	var out []byte
 	if p.DisableLossless {
@@ -354,46 +371,59 @@ func EncodeChunk(data []float64, dims grid.Dims, p Params) ([]byte, *Stats, erro
 }
 
 // DecodeChunk reconstructs a chunk compressed by EncodeChunk. dims must
-// match the encoding call.
+// match the encoding call. The returned slice is caller-owned.
 func DecodeChunk(stream []byte, dims grid.Dims) ([]float64, error) {
+	return DecodeChunkScratch(stream, dims, nil)
+}
+
+// DecodeChunkScratch is DecodeChunk drawing every pipeline temporary from
+// the arena s (nil means fresh buffers). With a non-nil scratch the
+// returned slice aliases the arena and is valid only until its next use —
+// copy out (e.g. into the destination volume) before reusing s.
+func DecodeChunkScratch(stream []byte, dims grid.Dims, s *Scratch) ([]float64, error) {
 	if len(stream) < 1 {
 		return nil, fmt.Errorf("%w: empty stream", ErrCorrupt)
+	}
+	if s == nil {
+		s = &Scratch{}
 	}
 	var payload []byte
 	if stream[0] == 0xFF {
 		payload = stream[1:]
 	} else {
 		var err error
-		payload, err = lossless.Decompress(stream)
+		payload, err = lossless.DecompressInto(s.payload, stream)
 		if err != nil {
 			return nil, err
 		}
+		s.payload = payload
 	}
 	h, err := parseHeader(payload)
 	if err != nil {
 		return nil, err
 	}
 	body := payload[headerSize:]
-	speckBytes := int((h.speckBits + 7) / 8)
-	if speckBytes > len(body) {
-		return nil, fmt.Errorf("%w: SPECK stream truncated (%d > %d bytes)",
-			ErrCorrupt, speckBytes, len(body))
+	// Compare in the bit domain: a corrupt 64-bit length must not survive
+	// the bytes conversion (whose +7 could wrap) into a slice bound.
+	if h.speckBits > uint64(len(body))*8 {
+		return nil, fmt.Errorf("%w: SPECK stream truncated (%d bits > %d bytes)",
+			ErrCorrupt, h.speckBits, len(body))
 	}
+	speckBytes := int((h.speckBits + 7) / 8)
 	var coeffs []float64
 	if h.entropy {
 		coeffs = speck.DecodeEntropy(body[:speckBytes], dims, h.q, int(h.planes))
 	} else {
-		coeffs = speck.Decode(body[:speckBytes], h.speckBits, dims, h.q, int(h.planes))
+		coeffs = speck.DecodeScratch(body[:speckBytes], h.speckBits, dims, h.q, int(h.planes), &s.speck)
 	}
-	plan := wavelet.NewPlan(dims)
-	plan.Inverse(coeffs)
+	s.planFor(dims).InverseScratch(coeffs, &s.wav)
 
 	if h.mode == ModePWE && h.outlierBits > 0 {
 		obytes := body[speckBytes:]
-		if int((h.outlierBits+7)/8) > len(obytes) {
+		if h.outlierBits > uint64(len(obytes))*8 {
 			return nil, fmt.Errorf("%w: outlier stream truncated", ErrCorrupt)
 		}
-		outs := outlier.Decode(obytes, h.outlierBits, dims.Len(), h.tol, int(h.opasses))
+		outs := outlier.DecodeScratch(obytes, h.outlierBits, dims.Len(), h.tol, int(h.opasses), &s.outl)
 		for _, o := range outs {
 			coeffs[o.Pos] += o.Corr
 		}

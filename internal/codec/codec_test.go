@@ -306,7 +306,7 @@ func TestHeaderRoundTrip(t *testing.T) {
 		mode: ModePWE, planes: 17, opasses: 4,
 		q: 1.5e-7, tol: 1e-7, speckBits: 123456789, outlierBits: 987,
 	}
-	got, err := parseHeader(h.marshal())
+	got, err := parseHeader(h.appendTo(nil))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,10 +42,10 @@ func DecodeChunkPartial(stream []byte, dims grid.Dims, fraction float64) ([]floa
 		return nil, err
 	}
 	body := payload[headerSize:]
-	speckBytes := int((h.speckBits + 7) / 8)
-	if speckBytes > len(body) {
+	if h.speckBits > uint64(len(body))*8 {
 		return nil, fmt.Errorf("%w: SPECK stream truncated", ErrCorrupt)
 	}
+	speckBytes := int((h.speckBits + 7) / 8)
 	if h.entropy && fraction < 1 {
 		return nil, errors.New("codec: entropy-coded streams do not support partial decode")
 	}
@@ -60,7 +60,7 @@ func DecodeChunkPartial(stream []byte, dims grid.Dims, fraction float64) ([]floa
 	plan.Inverse(coeffs)
 	if fraction == 1 && h.mode == ModePWE && h.outlierBits > 0 {
 		obytes := body[speckBytes:]
-		if int((h.outlierBits+7)/8) > len(obytes) {
+		if h.outlierBits > uint64(len(obytes))*8 {
 			return nil, fmt.Errorf("%w: outlier stream truncated", ErrCorrupt)
 		}
 		outs := outlier.Decode(obytes, h.outlierBits, dims.Len(), h.tol, int(h.opasses))
@@ -100,10 +100,10 @@ func DecodeChunkLowRes(stream []byte, dims grid.Dims, drop int) ([]float64, grid
 		return nil, grid.Dims{}, err
 	}
 	body := payload[headerSize:]
-	speckBytes := int((h.speckBits + 7) / 8)
-	if speckBytes > len(body) {
+	if h.speckBits > uint64(len(body))*8 {
 		return nil, grid.Dims{}, fmt.Errorf("%w: SPECK stream truncated", ErrCorrupt)
 	}
+	speckBytes := int((h.speckBits + 7) / 8)
 	var coeffs []float64
 	if h.entropy {
 		coeffs = speck.DecodeEntropy(body[:speckBytes], dims, h.q, int(h.planes))

@@ -108,6 +108,31 @@ func (v *Volume) Cutout(x0, y0, z0 int, dims Dims) *Volume {
 	return out
 }
 
+// CutoutInto copies the box of size dims anchored at (x0, y0, z0) into
+// dst, growing it as needed, and returns the filled dims.Len() slice. It
+// is the allocation-free counterpart of Cutout for pooled chunk slabs;
+// pass nil to allocate fresh. It panics if the box exceeds the volume
+// bounds.
+func (v *Volume) CutoutInto(dst []float64, x0, y0, z0 int, dims Dims) []float64 {
+	if x0 < 0 || y0 < 0 || z0 < 0 ||
+		x0+dims.NX > v.Dims.NX || y0+dims.NY > v.Dims.NY || z0+dims.NZ > v.Dims.NZ {
+		panic(fmt.Sprintf("grid: cutout %v@(%d,%d,%d) exceeds volume %v", dims, x0, y0, z0, v.Dims))
+	}
+	n := dims.Len()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for z := 0; z < dims.NZ; z++ {
+		for y := 0; y < dims.NY; y++ {
+			srcOff := v.Dims.Index(x0, y0+y, z0+z)
+			dstOff := dims.Index(0, y, z)
+			copy(dst[dstOff:dstOff+dims.NX], v.Data[srcOff:srcOff+dims.NX])
+		}
+	}
+	return dst
+}
+
 // Insert writes src into the volume with its origin at (x0, y0, z0).
 func (v *Volume) Insert(src *Volume, x0, y0, z0 int) {
 	d := src.Dims
@@ -120,6 +145,23 @@ func (v *Volume) Insert(src *Volume, x0, y0, z0 int) {
 			srcOff := d.Index(0, y, z)
 			dstOff := v.Dims.Index(x0, y0+y, z0+z)
 			copy(v.Data[dstOff:dstOff+d.NX], src.Data[srcOff:srcOff+d.NX])
+		}
+	}
+}
+
+// InsertSlice writes the row-major box data (extent d) into the volume
+// with its origin at (x0, y0, z0) — Insert without the *Volume wrapper,
+// for pipelines whose chunk data lives in pooled slabs.
+func (v *Volume) InsertSlice(data []float64, d Dims, x0, y0, z0 int) {
+	if x0 < 0 || y0 < 0 || z0 < 0 ||
+		x0+d.NX > v.Dims.NX || y0+d.NY > v.Dims.NY || z0+d.NZ > v.Dims.NZ {
+		panic(fmt.Sprintf("grid: insert %v@(%d,%d,%d) exceeds volume %v", d, x0, y0, z0, v.Dims))
+	}
+	for z := 0; z < d.NZ; z++ {
+		for y := 0; y < d.NY; y++ {
+			srcOff := d.Index(0, y, z)
+			dstOff := v.Dims.Index(x0, y0+y, z0+z)
+			copy(v.Data[dstOff:dstOff+d.NX], data[srcOff:srcOff+d.NX])
 		}
 	}
 }

@@ -7,6 +7,11 @@
 //
 // Streams that do not benefit (already dense bitstreams often do not) are
 // stored verbatim; a one-byte method prefix records which path was taken.
+//
+// DEFLATE coders are expensive to construct (tens of kilobytes of window
+// and dictionary state), so both directions draw them from sync.Pools:
+// steady-state chunk compression reuses a warmed coder instead of paying
+// the construction cost — and its allocations — per chunk.
 package lossless
 
 import (
@@ -15,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Method prefixes for the encoded container.
@@ -26,20 +32,34 @@ const (
 // ErrCorrupt reports an undecodable lossless container.
 var ErrCorrupt = errors.New("lossless: corrupt container")
 
+// writerPool holds warmed *flate.Writer instances (BestSpeed).
+var writerPool = sync.Pool{New: func() any {
+	w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+	if err != nil {
+		// Unreachable: the level constant is valid.
+		panic(err)
+	}
+	return w
+}}
+
+// readerPool holds warmed flate readers; flate guarantees its readers
+// implement Resetter.
+var readerPool = sync.Pool{New: func() any {
+	return flate.NewReader(bytes.NewReader(nil))
+}}
+
 // Compress returns data wrapped in a lossless container, deflated when it
 // helps and stored verbatim otherwise.
 func Compress(data []byte) []byte {
 	var buf bytes.Buffer
+	buf.Grow(len(data)/2 + 64)
 	buf.WriteByte(methodDeflate)
-	w, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
-		// Only reachable with an invalid level constant; fall back to store.
-		return store(data)
-	}
-	if _, err := w.Write(data); err != nil {
-		return store(data)
-	}
-	if err := w.Close(); err != nil {
+	w := writerPool.Get().(*flate.Writer)
+	w.Reset(&buf)
+	_, werr := w.Write(data)
+	cerr := w.Close()
+	writerPool.Put(w)
+	if werr != nil || cerr != nil {
 		return store(data)
 	}
 	if buf.Len() >= len(data)+1 {
@@ -57,23 +77,51 @@ func store(data []byte) []byte {
 
 // Decompress reverses Compress.
 func Decompress(data []byte) ([]byte, error) {
+	out, err := DecompressInto(nil, data)
+	return out, err
+}
+
+// DecompressInto reverses Compress, appending the payload to dst[:0] so a
+// pooled buffer can absorb the output; it returns the (possibly grown)
+// buffer. Pass nil to allocate fresh.
+func DecompressInto(dst, data []byte) ([]byte, error) {
 	if len(data) < 1 {
 		return nil, ErrCorrupt
 	}
+	dst = dst[:0]
 	switch data[0] {
 	case methodStore:
-		out := make([]byte, len(data)-1)
-		copy(out, data[1:])
-		return out, nil
+		return append(dst, data[1:]...), nil
 	case methodDeflate:
-		r := flate.NewReader(bytes.NewReader(data[1:]))
-		defer r.Close()
-		out, err := io.ReadAll(r)
+		r := readerPool.Get().(io.ReadCloser)
+		if err := r.(flate.Resetter).Reset(bytes.NewReader(data[1:]), nil); err != nil {
+			readerPool.Put(r)
+			return nil, fmt.Errorf("lossless: inflate: %w", err)
+		}
+		out, err := readAppend(dst, r)
+		readerPool.Put(r)
 		if err != nil {
 			return nil, fmt.Errorf("lossless: inflate: %w", err)
 		}
 		return out, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown method %#x", ErrCorrupt, data[0])
+	}
+}
+
+// readAppend reads r to EOF, appending to dst.
+func readAppend(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
 	}
 }

@@ -17,6 +17,7 @@
 package outlier
 
 import (
+	"slices"
 	"sort"
 
 	"sperr/internal/bits"
@@ -67,18 +68,68 @@ type rng struct {
 	max           float64
 }
 
+// oentry is one outlier being coded: magnitude and sign split, sorted by
+// position.
+type oentry struct {
+	pos  int32
+	corr float64 // magnitude; mutates during refinement
+	neg  bool
+}
+
+// Scratch pools the reusable state of outlier Encode and Decode calls so
+// per-chunk coding allocates nothing once warmed up. A zero Scratch is
+// ready; it is not safe for concurrent use. Results returned by
+// EncodeScratch/DecodeScratch alias the scratch and stay valid only until
+// its next use.
+type Scratch struct {
+	w    *bits.Writer
+	r    bits.Reader
+	ents   []oentry
+	lis    [][]rng
+	lsp    []int32
+	lspNew []int32
+	pts    []dpoint
+	out    []Outlier
+	// Grows counts buffer (re)allocations; a warmed-up scratch stops
+	// growing.
+	Grows int
+}
+
+func (s *Scratch) resetLIS() [][]rng {
+	for i := range s.lis {
+		s.lis[i] = s.lis[i][:0]
+	}
+	if len(s.lis) == 0 {
+		s.lis = make([][]rng, 1, 16)
+		s.Grows++
+	}
+	return s.lis
+}
+
 // Encode codes the outliers of a length-n array at tolerance tol > 0.
 // Every |outlier.Corr| must exceed tol (that is what makes it an outlier);
 // values at or below tol are ignored. Positions must be unique and within
 // [0, n). The outliers slice is not modified.
 func Encode(n int, tol float64, outliers []Outlier) *Result {
+	return EncodeScratch(n, tol, outliers, nil)
+}
+
+// EncodeScratch is Encode with pooled buffers; the Result aliases s and is
+// valid until the next use of s. Output is byte-identical to Encode's.
+func EncodeScratch(n int, tol float64, outliers []Outlier, s *Scratch) *Result {
 	if len(outliers) == 0 {
 		return &Result{}
 	}
-	e := &encoder{
-		w:   bits.NewWriter(len(outliers) * 12),
-		out: make([]Outlier, 0, len(outliers)),
+	if s == nil {
+		s = &Scratch{}
 	}
+	if s.w == nil {
+		s.w = bits.NewWriter(len(outliers) * 12)
+		s.Grows++
+	} else {
+		s.w.Reset()
+	}
+	e := &encoder{w: s.w, ents: s.ents[:0]}
 	maxCorr := 0.0
 	for _, o := range outliers {
 		c := o.Corr
@@ -89,50 +140,59 @@ func Encode(n int, tol float64, outliers []Outlier) *Result {
 		if c <= tol {
 			continue // inlier; nothing to correct
 		}
-		e.out = append(e.out, Outlier{Pos: o.Pos, Corr: c})
-		e.neg = append(e.neg, neg)
+		e.ents = append(e.ents, oentry{pos: int32(o.Pos), corr: c, neg: neg})
 		if c > maxCorr {
 			maxCorr = c
 		}
 	}
-	if len(e.out) == 0 {
+	s.ents = e.ents
+	if len(e.ents) == 0 {
 		return &Result{}
 	}
-	// Sort by position so range membership is a contiguous subrange; keep
-	// the sign slice aligned.
-	idx := make([]int, len(e.out))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return e.out[idx[a]].Pos < e.out[idx[b]].Pos })
-	sorted := make([]Outlier, len(e.out))
-	sortedNeg := make([]bool, len(e.out))
-	for i, j := range idx {
-		sorted[i] = e.out[j]
-		sortedNeg[i] = e.neg[j]
-	}
-	e.out, e.neg = sorted, sortedNeg
+	// Sort by position so range membership is a contiguous subrange.
+	slices.SortFunc(e.ents, func(a, b oentry) int {
+		switch {
+		case a.pos < b.pos:
+			return -1
+		case a.pos > b.pos:
+			return 1
+		}
+		return 0
+	})
+	e.lis = s.resetLIS()
+	e.nd = 1
+	e.lsp = s.lsp[:0]
+	e.lspNew = s.lspNew[:0]
 
 	passes := NumPasses(maxCorr, tol)
 	e.run(n, tol, passes)
-	return &Result{Stream: e.w.Bytes(), Bits: e.w.Len(), NumPasses: passes}
+	s.lis, s.lsp, s.lspNew = e.lis, e.lsp, e.lspNew
+	return &Result{Stream: e.w.Close(), Bits: e.w.Len(), NumPasses: passes}
 }
 
 type encoder struct {
-	w   *bits.Writer
-	out []Outlier // sorted by position; Corr mutates during refinement
-	neg []bool
+	w    *bits.Writer
+	ents []oentry // sorted by position; corr mutates during refinement
 
 	lis    [][]rng // buckets by split depth; deeper = smaller ranges
-	lsp    []int32 // indices into out
+	nd     int     // number of active buckets
+	lsp    []int32 // indices into ents
 	lspNew []int32
 }
 
+func (e *encoder) ensureDepth(d int) {
+	for len(e.lis) <= d {
+		e.lis = append(e.lis, nil)
+	}
+	if e.nd <= d {
+		e.nd = d + 1
+	}
+}
+
 func (e *encoder) run(n int, tol float64, passes int) {
-	root := rng{start: 0, length: int32(n), lo: 0, hi: int32(len(e.out))}
+	root := rng{start: 0, length: int32(n), lo: 0, hi: int32(len(e.ents))}
 	root.max = e.rangeMax(&root)
-	e.lis = make([][]rng, 1, 16)
-	e.lis[0] = []rng{root}
+	e.lis[0] = append(e.lis[0], root)
 	for p := passes - 1; p >= 0; p-- {
 		thr := tol * pow2(p)
 		e.sortingPass(thr)
@@ -143,7 +203,7 @@ func (e *encoder) run(n int, tol float64, passes int) {
 func (e *encoder) rangeMax(s *rng) float64 {
 	m := 0.0
 	for i := s.lo; i < s.hi; i++ {
-		if c := e.out[i].Corr; c > m {
+		if c := e.ents[i].corr; c > m {
 			m = c
 		}
 	}
@@ -154,7 +214,7 @@ func (e *encoder) rangeMax(s *rng) float64 {
 // created by splitting land in deeper, already-visited buckets and are
 // processed immediately by recursion.
 func (e *encoder) sortingPass(thr float64) {
-	for depth := len(e.lis) - 1; depth >= 0; depth-- {
+	for depth := e.nd - 1; depth >= 0; depth-- {
 		bucket := e.lis[depth]
 		kept := bucket[:0]
 		for i := range bucket {
@@ -179,7 +239,7 @@ func (e *encoder) descend(s *rng, depth int, thr float64) {
 	if s.length == 1 {
 		// Single significant point: emit sign, move to LNSP (Listing 2,
 		// lines 5-7). s.lo is the outlier's index.
-		e.w.WriteBit(e.neg[s.lo])
+		e.w.WriteBit(e.ents[s.lo].neg)
 		e.lspNew = append(e.lspNew, s.lo)
 		return
 	}
@@ -195,7 +255,7 @@ func (e *encoder) code(s *rng, depth int, thr float64) {
 	a, b := splitRange(s)
 	// Partition the outlier subrange: outliers are sorted by position.
 	mid := s.lo
-	for mid < s.hi && int32(e.out[mid].Pos) < b.start {
+	for mid < s.hi && e.ents[mid].pos < b.start {
 		mid++
 	}
 	a.lo, a.hi = s.lo, mid
@@ -204,9 +264,7 @@ func (e *encoder) code(s *rng, depth int, thr float64) {
 	b.max = e.rangeMax(&b)
 
 	childDepth := depth + 1
-	for len(e.lis) <= childDepth {
-		e.lis = append(e.lis, nil)
-	}
+	e.ensureDepth(childDepth)
 	if a.max > thr {
 		e.processSignificant(&a, childDepth, thr)
 	} else {
@@ -227,17 +285,17 @@ func (e *encoder) code(s *rng, depth int, thr float64) {
 func (e *encoder) refinementPass(thr float64) {
 	// Existing significant points: one refinement bit each (Listing 3).
 	for _, i := range e.lsp {
-		o := &e.out[i]
-		if o.Corr > thr {
+		o := &e.ents[i]
+		if o.corr > thr {
 			e.w.WriteBit(true)
-			o.Corr -= thr
+			o.corr -= thr
 		} else {
 			e.w.WriteBit(false)
 		}
 	}
 	// Newly significant points: quantize with no bit emitted.
 	for _, i := range e.lspNew {
-		e.out[i].Corr -= thr
+		e.ents[i].corr -= thr
 	}
 	e.lsp = append(e.lsp, e.lspNew...)
 	e.lspNew = e.lspNew[:0]
@@ -256,19 +314,34 @@ func splitRange(s *rng) (a, b rng) {
 // corrections satisfy |corr~ - corr| <= tol/2 and are sorted by position.
 // Truncated streams decode to a valid partial correction list.
 func Decode(stream []byte, nbits uint64, n int, tol float64, passes int) []Outlier {
+	return DecodeScratch(stream, nbits, n, tol, passes, nil)
+}
+
+// DecodeScratch is Decode with pooled buffers; the returned slice aliases
+// s and is valid until the next use of s.
+func DecodeScratch(stream []byte, nbits uint64, n int, tol float64, passes int, s *Scratch) []Outlier {
 	if passes <= 0 {
 		return nil
 	}
-	d := &decoder{r: bits.NewReaderBits(stream, nbits)}
+	if s == nil {
+		s = &Scratch{}
+	}
+	s.r.Reset(stream, nbits)
+	d := &decoder{r: &s.r}
+	d.lis = s.resetLIS()
+	d.nd = 1
+	d.pts = s.pts[:0]
 	d.run(n, tol, passes)
-	out := make([]Outlier, len(d.pts))
-	for i, p := range d.pts {
+	s.lis, s.pts = d.lis, d.pts
+	out := s.out[:0]
+	for _, p := range d.pts {
 		c := p.val
 		if p.neg {
 			c = -c
 		}
-		out[i] = Outlier{Pos: int(p.pos), Corr: c}
+		out = append(out, Outlier{Pos: int(p.pos), Corr: c})
 	}
+	s.out = out
 	sort.Slice(out, func(a, b int) bool { return out[a].Pos < out[b].Pos })
 	return out
 }
@@ -282,14 +355,23 @@ type dpoint struct {
 type decoder struct {
 	r    *bits.Reader
 	lis  [][]rng
+	nd   int      // number of active buckets
 	pts  []dpoint // reconstructed significant points (LSP order)
 	nOld int      // pts[:nOld] existed before the current sorting pass
 }
 
+func (d *decoder) ensureDepth(depth int) {
+	for len(d.lis) <= depth {
+		d.lis = append(d.lis, nil)
+	}
+	if d.nd <= depth {
+		d.nd = depth + 1
+	}
+}
+
 func (d *decoder) run(n int, tol float64, passes int) {
 	root := rng{start: 0, length: int32(n)}
-	d.lis = make([][]rng, 1, 16)
-	d.lis[0] = []rng{root}
+	d.lis[0] = append(d.lis[0], root)
 	for p := passes - 1; p >= 0; p-- {
 		thr := tol * pow2(p)
 		d.nOld = len(d.pts)
@@ -303,7 +385,7 @@ func (d *decoder) run(n int, tol float64, passes int) {
 }
 
 func (d *decoder) sortingPass(thr float64) bool {
-	for depth := len(d.lis) - 1; depth >= 0; depth-- {
+	for depth := d.nd - 1; depth >= 0; depth-- {
 		bucket := d.lis[depth]
 		kept := bucket[:0]
 		for i := range bucket {
@@ -340,9 +422,7 @@ func (d *decoder) descend(s *rng, depth int, thr float64) bool {
 	}
 	a, b := splitRange(s)
 	childDepth := depth + 1
-	for len(d.lis) <= childDepth {
-		d.lis = append(d.lis, nil)
-	}
+	d.ensureDepth(childDepth)
 	sigA := d.r.ReadBit()
 	if d.r.Exhausted() {
 		d.lis[childDepth] = append(d.lis[childDepth], a, b)

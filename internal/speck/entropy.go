@@ -55,8 +55,12 @@ func newRawSink(hint int) *rawSink { return &rawSink{w: bits.NewWriter(hint)} }
 
 func (s *rawSink) put(_ int, b bool) { s.w.WriteBit(b) }
 func (s *rawSink) bits() uint64      { return s.w.Len() }
+
+// finish returns the writer's internal buffer without copying; it stays
+// valid until the writer is Reset (scratch reuse copies it into the chunk
+// payload before then).
 func (s *rawSink) finish() ([]byte, uint64) {
-	return s.w.Bytes(), s.w.Len()
+	return s.w.Close(), s.w.Len()
 }
 
 type rawSource struct{ r *bits.Reader }
@@ -113,10 +117,10 @@ func (s *acSource) exhausted() bool  { return false }
 // Quality-bounded mode only: entropy-coded streams are not bit-exactly
 // truncatable, so there is no size-bounded variant.
 func EncodeEntropy(coeffs []float64, dims grid.Dims, q float64) *Result {
-	return encode(coeffs, dims, q, 0, true)
+	return encode(coeffs, dims, q, 0, true, nil)
 }
 
 // DecodeEntropy decodes a stream produced by EncodeEntropy.
 func DecodeEntropy(stream []byte, dims grid.Dims, q float64, planes int) []float64 {
-	return decode(stream, 0, dims, q, planes, true)
+	return decode(stream, 0, dims, q, planes, true, nil)
 }

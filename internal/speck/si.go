@@ -125,6 +125,7 @@ func (e *encoder) runSI(g siGeom, q float64, planes int) {
 	root.max = e.boxMax(&root)
 	e.lis = make([][]set, 1, 16)
 	e.lis[0] = []set{root}
+	e.nd = 1
 	isets := []iset{}
 	if g.levels > 0 {
 		isets = append(isets, iset{level: g.levels, max: e.isetMax(g, g.levels)})
@@ -228,6 +229,7 @@ func (d *decoder) runSI(g siGeom, q float64, planes int) {
 	root := g.approxBox(g.levels)
 	d.lis = make([][]set, 1, 16)
 	d.lis[0] = []set{root}
+	d.nd = 1
 	ilevel := 0
 	if g.levels > 0 {
 		ilevel = g.levels

@@ -83,15 +83,60 @@ type Result struct {
 	PlaneErr2 []float64
 }
 
+// Scratch pools the reusable per-call state of SPECK encoders and
+// decoders: magnitude/sign maps, LIS buckets, LSP slices, the raw bit
+// writer and reader, and the decoder's output buffer. A zero Scratch is
+// ready to use; buffers grow on demand and are retained across calls so a
+// worker that codes many chunks reaches a steady state with no per-chunk
+// heap allocation. A Scratch is not safe for concurrent use.
+//
+// Results returned by EncodeScratch and slices returned by DecodeScratch
+// alias the scratch and stay valid only until its next use.
+type Scratch struct {
+	mags      []float64
+	neg       []bool
+	lis       [][]set
+	lsp       []pixel
+	lspNew    []pixel
+	w         *bits.Writer
+	r         bits.Reader
+	planeBits []uint64
+	planeErr2 []float64
+	out       []float64
+	// Grows counts buffer (re)allocations; a warmed-up scratch stops
+	// growing.
+	Grows int
+}
+
+// resetLIS truncates every pooled LIS bucket, keeping capacity, and
+// guarantees at least one bucket exists.
+func (s *Scratch) resetLIS() [][]set {
+	for i := range s.lis {
+		s.lis[i] = s.lis[i][:0]
+	}
+	if len(s.lis) == 0 {
+		s.lis = make([][]set, 1, 16)
+		s.Grows++
+	}
+	return s.lis
+}
+
 // Encode codes coeffs (row-major, extent dims) with base quantization step
 // q > 0. If maxBits > 0 the stream is truncated to at most maxBits bits
 // (size-bounded mode); otherwise every bitplane down to threshold q is
 // emitted (quality-bounded mode, max coefficient error q/2 plus dead zone).
 func Encode(coeffs []float64, dims grid.Dims, q float64, maxBits uint64) *Result {
-	return encode(coeffs, dims, q, maxBits, false)
+	return encode(coeffs, dims, q, maxBits, false, nil)
 }
 
-func encode(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, entropy bool) *Result {
+// EncodeScratch is Encode with pooled buffers. The returned Result aliases
+// s (stream, plane records) and is valid until the next use of s. Output
+// is byte-identical to Encode's.
+func EncodeScratch(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, s *Scratch) *Result {
+	return encode(coeffs, dims, q, maxBits, false, s)
+}
+
+func encode(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, entropy bool, s *Scratch) *Result {
 	n := dims.Len()
 	if len(coeffs) != n {
 		panic("speck: coefficient count does not match dims")
@@ -99,16 +144,23 @@ func encode(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, entropy
 	if entropy && maxBits > 0 {
 		panic("speck: entropy coding does not support size-bounded mode")
 	}
+	if s == nil {
+		s = &Scratch{}
+	}
 	var snk sink
 	if entropy {
 		snk = newACSink()
 	} else {
-		snk = newRawSink(n / 2)
+		if s.w == nil {
+			s.w = bits.NewWriter(n / 2)
+			s.Grows++
+		} else {
+			s.w.Reset()
+		}
+		snk = &rawSink{w: s.w}
 	}
 	e := &encoder{
 		dims: dims,
-		mags: make([]float64, n),
-		neg:  make([]bool, n),
 		snk:  snk,
 		budget: func() uint64 {
 			if maxBits == 0 {
@@ -117,6 +169,7 @@ func encode(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, entropy
 			return maxBits
 		}(),
 	}
+	e.setup(s, n)
 	var maxMag float64
 	for i, c := range coeffs {
 		m := math.Abs(c)
@@ -130,6 +183,7 @@ func encode(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, entropy
 	if planes > 0 {
 		e.run(q, planes)
 	}
+	e.save(s)
 	stream, bitsUsed := snk.finish()
 	if maxBits > 0 && bitsUsed > maxBits {
 		bitsUsed = maxBits
@@ -151,6 +205,7 @@ type encoder struct {
 	budget uint64
 
 	lis    [][]set // buckets indexed by split depth; deeper = smaller sets
+	nd     int     // number of active buckets (depths) in lis
 	lsp    []pixel
 	lspNew []pixel
 
@@ -159,11 +214,45 @@ type encoder struct {
 	planeErr2 []float64
 }
 
+// setup wires the encoder to pooled buffers from s.
+func (e *encoder) setup(s *Scratch, n int) {
+	if cap(s.mags) < n {
+		s.mags = make([]float64, n)
+		s.neg = make([]bool, n)
+		s.Grows++
+	}
+	e.mags, e.neg = s.mags[:n], s.neg[:n]
+	e.lis = s.resetLIS()
+	e.nd = 1
+	e.lsp = s.lsp[:0]
+	e.lspNew = s.lspNew[:0]
+	e.planeBits = s.planeBits[:0]
+	e.planeErr2 = s.planeErr2[:0]
+}
+
+// save hands grown buffers back to the scratch for the next call.
+func (e *encoder) save(s *Scratch) {
+	s.lis = e.lis
+	s.lsp = e.lsp
+	s.lspNew = e.lspNew
+	s.planeBits = e.planeBits
+	s.planeErr2 = e.planeErr2
+}
+
+// ensureDepth makes bucket d usable, reusing pooled bucket arrays.
+func (e *encoder) ensureDepth(d int) {
+	for len(e.lis) <= d {
+		e.lis = append(e.lis, nil)
+	}
+	if e.nd <= d {
+		e.nd = d + 1
+	}
+}
+
 func (e *encoder) run(q float64, planes int) {
 	root := set{nx: int32(e.dims.NX), ny: int32(e.dims.NY), nz: int32(e.dims.NZ)}
 	root.max = e.boxMax(&root)
-	e.lis = make([][]set, 1, 16)
-	e.lis[0] = []set{root}
+	e.lis[0] = append(e.lis[0], root)
 	for _, v := range e.mags {
 		e.insigE2 += v * v
 	}
@@ -219,7 +308,7 @@ func (e *encoder) boxMax(s *set) float64 {
 // placed in deeper (already visited) buckets and processed immediately by
 // recursion, so they are tested exactly once per pass.
 func (e *encoder) sortingPass(thr float64) {
-	for depth := len(e.lis) - 1; depth >= 0; depth-- {
+	for depth := e.nd - 1; depth >= 0; depth-- {
 		if e.snk.bits() >= e.budget {
 			return // everything past the budget is truncated anyway
 		}
@@ -267,17 +356,16 @@ func (e *encoder) descend(s *set, depth int, thr float64) {
 // implied and its bit omitted (the classic Said-Pearlman saving, also in
 // the reference SPERR implementation).
 func (e *encoder) code(s *set, depth int, thr float64) {
-	children := splitSet(s)
+	var children [8]set
+	k := splitSet(s, &children)
 	childDepth := depth + 1
-	for len(e.lis) <= childDepth {
-		e.lis = append(e.lis, nil)
-	}
+	e.ensureDepth(childDepth)
 	anySig := false
-	for i := range children {
+	for i := 0; i < k; i++ {
 		c := &children[i]
 		c.max = e.boxMax(c)
 		sig := c.max >= thr
-		if i == len(children)-1 && !anySig {
+		if i == k-1 && !anySig {
 			// Implied significant: no bit.
 			e.descend(c, childDepth, thr)
 			return
@@ -307,36 +395,44 @@ func (e *encoder) refinementPass(thr float64) {
 }
 
 // splitSet divides a box into children by splitting every axis longer than
-// one sample at ceil(len/2). The low half comes first, matching the
-// approximation-band layout of the wavelet transform so that sets align
-// with subbands at every recursion depth.
-func splitSet(s *set) []set {
-	xs := splitAxis(s.x, s.nx)
-	ys := splitAxis(s.y, s.ny)
-	zs := splitAxis(s.z, s.nz)
-	out := make([]set, 0, len(xs)*len(ys)*len(zs))
-	for _, zp := range zs {
-		for _, yp := range ys {
-			for _, xp := range xs {
-				out = append(out, set{
-					x: xp[0], nx: xp[1],
-					y: yp[0], ny: yp[1],
-					z: zp[0], nz: zp[1],
-				})
+// one sample at ceil(len/2), writing them into dst and returning the
+// count. The low half comes first, matching the approximation-band layout
+// of the wavelet transform so that sets align with subbands at every
+// recursion depth. dst is caller-provided (stack) storage so the hot
+// partitioning path performs no heap allocation.
+func splitSet(s *set, dst *[8]set) int {
+	var xs, ys, zs [2][2]int32
+	nx := splitAxis(s.x, s.nx, &xs)
+	ny := splitAxis(s.y, s.ny, &ys)
+	nz := splitAxis(s.z, s.nz, &zs)
+	k := 0
+	for zi := 0; zi < nz; zi++ {
+		for yi := 0; yi < ny; yi++ {
+			for xi := 0; xi < nx; xi++ {
+				dst[k] = set{
+					x: xs[xi][0], nx: xs[xi][1],
+					y: ys[yi][0], ny: ys[yi][1],
+					z: zs[zi][0], nz: zs[zi][1],
+				}
+				k++
 			}
 		}
 	}
-	return out
+	return k
 }
 
-// splitAxis returns the (origin, length) pairs after splitting an axis at
-// ceil(n/2); axes of length 1 are not split.
-func splitAxis(o, n int32) [][2]int32 {
+// splitAxis writes the (origin, length) pairs after splitting an axis at
+// ceil(n/2) into dst and returns the count; axes of length 1 are not
+// split.
+func splitAxis(o, n int32, dst *[2][2]int32) int {
 	if n <= 1 {
-		return [][2]int32{{o, n}}
+		dst[0] = [2]int32{o, n}
+		return 1
 	}
 	half := (n + 1) / 2
-	return [][2]int32{{o, half}, {o + half, n - half}}
+	dst[0] = [2]int32{o, half}
+	dst[1] = [2]int32{o + half, n - half}
+	return 2
 }
 
 // Decode reconstructs coefficients from a SPECK bitstream. bitsAvail limits
@@ -344,21 +440,48 @@ func splitAxis(o, n int32) [][2]int32 {
 // progressive reconstruction of a truncated stream); planes must equal the
 // encoder's Result.NumPlanes. The returned slice has dims.Len() entries.
 func Decode(stream []byte, bitsAvail uint64, dims grid.Dims, q float64, planes int) []float64 {
-	return decode(stream, bitsAvail, dims, q, planes, false)
+	return decode(stream, bitsAvail, dims, q, planes, false, nil)
 }
 
-func decode(stream []byte, bitsAvail uint64, dims grid.Dims, q float64, planes int, entropy bool) []float64 {
+// DecodeScratch is Decode with pooled buffers. The returned slice aliases
+// s and is valid until the next use of s.
+func DecodeScratch(stream []byte, bitsAvail uint64, dims grid.Dims, q float64, planes int, s *Scratch) []float64 {
+	return decode(stream, bitsAvail, dims, q, planes, false, s)
+}
+
+func decode(stream []byte, bitsAvail uint64, dims grid.Dims, q float64, planes int, entropy bool, s *Scratch) []float64 {
+	if s == nil {
+		s = &Scratch{}
+	}
 	var src source
 	if entropy {
 		src = newACSource(stream)
 	} else {
-		src = &rawSource{r: bits.NewReaderBits(stream, bitsAvail)}
+		s.r.Reset(stream, bitsAvail)
+		src = &rawSource{r: &s.r}
 	}
 	d := &decoder{
 		dims: dims,
 		src:  src,
 	}
-	out := make([]float64, dims.Len())
+	d.lis = s.resetLIS()
+	d.nd = 1
+	d.lsp = s.lsp[:0]
+	d.lspNew = s.lspNew[:0]
+	n := dims.Len()
+	if cap(s.out) < n {
+		s.out = make([]float64, n)
+		s.Grows++
+	}
+	out := s.out[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	defer func() {
+		s.lis = d.lis
+		s.lsp = d.lsp
+		s.lspNew = d.lspNew
+	}()
 	if planes <= 0 {
 		return out
 	}
@@ -387,14 +510,24 @@ type decoder struct {
 	src  source
 
 	lis    [][]set
+	nd     int // number of active buckets (depths) in lis
 	lsp    []pixel
 	lspNew []pixel
 }
 
+// ensureDepth mirrors the encoder's bucket management.
+func (d *decoder) ensureDepth(depth int) {
+	for len(d.lis) <= depth {
+		d.lis = append(d.lis, nil)
+	}
+	if d.nd <= depth {
+		d.nd = depth + 1
+	}
+}
+
 func (d *decoder) run(q float64, planes int) {
 	root := set{nx: int32(d.dims.NX), ny: int32(d.dims.NY), nz: int32(d.dims.NZ)}
-	d.lis = make([][]set, 1, 16)
-	d.lis[0] = []set{root}
+	d.lis[0] = append(d.lis[0], root)
 	for n := planes - 1; n >= 0; n-- {
 		thr := q * math.Pow(2, float64(n))
 		if !d.sortingPass(thr) {
@@ -409,7 +542,7 @@ func (d *decoder) run(q float64, planes int) {
 // sortingPass mirrors the encoder's traversal, with significance decisions
 // read from the stream. It returns false when the stream is exhausted.
 func (d *decoder) sortingPass(thr float64) bool {
-	for depth := len(d.lis) - 1; depth >= 0; depth-- {
+	for depth := d.nd - 1; depth >= 0; depth-- {
 		bucket := d.lis[depth]
 		kept := bucket[:0]
 		for i := range bucket {
@@ -448,15 +581,14 @@ func (d *decoder) descend(s *set, depth int, thr float64) bool {
 		d.lspNew = append(d.lspNew, pixel{pos: pos, val: 1.5 * thr, neg: neg})
 		return true
 	}
-	children := splitSet(s)
+	var children [8]set
+	k := splitSet(s, &children)
 	childDepth := depth + 1
-	for len(d.lis) <= childDepth {
-		d.lis = append(d.lis, nil)
-	}
+	d.ensureDepth(childDepth)
 	anySig := false
-	for i := range children {
+	for i := 0; i < k; i++ {
 		c := &children[i]
-		if i == len(children)-1 && !anySig {
+		if i == k-1 && !anySig {
 			// Implied significant: the encoder emitted no bit.
 			return d.descend(c, childDepth, thr)
 		}
@@ -464,7 +596,7 @@ func (d *decoder) descend(s *set, depth int, thr float64) bool {
 		if d.src.exhausted() {
 			// Remaining children were never coded this pass; keep them in
 			// LIS so their values stay zero.
-			for j := i; j < len(children); j++ {
+			for j := i; j < k; j++ {
 				d.lis[childDepth] = append(d.lis[childDepth], children[j])
 			}
 			return false
@@ -472,7 +604,7 @@ func (d *decoder) descend(s *set, depth int, thr float64) bool {
 		if sig {
 			anySig = true
 			if !d.descend(c, childDepth, thr) {
-				for j := i + 1; j < len(children); j++ {
+				for j := i + 1; j < k; j++ {
 					d.lis[childDepth] = append(d.lis[childDepth], children[j])
 				}
 				return false

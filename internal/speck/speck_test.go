@@ -222,9 +222,9 @@ func TestQualityVsQ(t *testing.T) {
 
 func TestSplitSetAlignment(t *testing.T) {
 	s := set{x: 0, y: 0, z: 0, nx: 7, ny: 6, nz: 1}
-	kids := splitSet(&s)
-	if len(kids) != 4 {
-		t.Fatalf("expected 4 children for 2D set, got %d", len(kids))
+	var kids [8]set
+	if n := splitSet(&s, &kids); n != 4 {
+		t.Fatalf("expected 4 children for 2D set, got %d", n)
 	}
 	// x splits at ceil(7/2)=4, y at ceil(6/2)=3.
 	want := []set{

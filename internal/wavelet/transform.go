@@ -58,21 +58,51 @@ func (p *Plan) Dims() grid.Dims { return p.dims }
 // NumLevels returns the total number of decomposition levels.
 func (p *Plan) NumLevels() int { return len(p.steps) }
 
+// Scratch holds the per-call line temporaries of a multi-dimensional
+// transform so repeated transforms (one per chunk in the parallel
+// pipeline) reuse buffers instead of allocating. The zero value is ready;
+// buffers grow on demand and are retained across calls. A Scratch is not
+// safe for concurrent use — give each worker its own. Plans stay immutable
+// and shareable.
+type Scratch struct {
+	line, tmp []float64
+	// Grows counts how many times the buffers had to be (re)allocated;
+	// a warmed-up steady state stops growing.
+	Grows int
+}
+
+// buffers returns the line and deinterleave temporaries, each of length n.
+func (s *Scratch) buffers(n int) (line, tmp []float64) {
+	if cap(s.line) < n || cap(s.tmp) < n {
+		s.line = make([]float64, n)
+		s.tmp = make([]float64, n)
+		s.Grows++
+	}
+	return s.line[:n], s.tmp[:n]
+}
+
 // Forward applies the full multi-level analysis transform to data in place.
 // data is row-major with extent p.Dims().
 func (p *Plan) Forward(data []float64) {
-	n := maxLine(p.dims)
-	line := make([]float64, n)
-	scratch := make([]float64, n)
+	p.ForwardScratch(data, nil)
+}
+
+// ForwardScratch is Forward with caller-provided scratch space; s may be
+// nil, which allocates temporaries for this call only.
+func (p *Plan) ForwardScratch(data []float64, s *Scratch) {
+	if s == nil {
+		s = &Scratch{}
+	}
+	line, tmp := s.buffers(maxLine(p.dims))
 	for _, st := range p.steps {
 		if st.ax && st.nx >= 4 {
-			p.passX(data, st, true, scratch)
+			p.passX(data, st, true, tmp)
 		}
 		if st.ay && st.ny >= 4 {
-			p.passY(data, st, true, line, scratch)
+			p.passY(data, st, true, line, tmp)
 		}
 		if st.az && st.nz >= 4 {
-			p.passZ(data, st, true, line, scratch)
+			p.passZ(data, st, true, line, tmp)
 		}
 	}
 }
@@ -81,6 +111,11 @@ func (p *Plan) Forward(data []float64) {
 // undoing Forward.
 func (p *Plan) Inverse(data []float64) {
 	p.InverseToLevel(data, 0)
+}
+
+// InverseScratch is Inverse with caller-provided scratch space.
+func (p *Plan) InverseScratch(data []float64, s *Scratch) {
+	p.InverseToLevelScratch(data, 0, s)
 }
 
 // InverseToLevel undoes the transform only down to decomposition level
@@ -92,25 +127,32 @@ func (p *Plan) Inverse(data []float64) {
 // inverse. The approximation carries the low-pass DC gain of the skipped
 // levels: divide by LevelScale(drop) to bring it to data scale.
 func (p *Plan) InverseToLevel(data []float64, drop int) grid.Dims {
+	return p.InverseToLevelScratch(data, drop, nil)
+}
+
+// InverseToLevelScratch is InverseToLevel with caller-provided scratch
+// space; s may be nil.
+func (p *Plan) InverseToLevelScratch(data []float64, drop int, s *Scratch) grid.Dims {
 	if drop < 0 {
 		drop = 0
 	}
 	if drop > len(p.steps) {
 		drop = len(p.steps)
 	}
-	n := maxLine(p.dims)
-	line := make([]float64, n)
-	scratch := make([]float64, n)
+	if s == nil {
+		s = &Scratch{}
+	}
+	line, tmp := s.buffers(maxLine(p.dims))
 	for i := len(p.steps) - 1; i >= drop; i-- {
 		st := p.steps[i]
 		if st.az && st.nz >= 4 {
-			p.passZ(data, st, false, line, scratch)
+			p.passZ(data, st, false, line, tmp)
 		}
 		if st.ay && st.ny >= 4 {
-			p.passY(data, st, false, line, scratch)
+			p.passY(data, st, false, line, tmp)
 		}
 		if st.ax && st.nx >= 4 {
-			p.passX(data, st, false, scratch)
+			p.passX(data, st, false, tmp)
 		}
 	}
 	return p.LevelDims(drop)

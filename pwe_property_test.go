@@ -1,0 +1,83 @@
+package sperr
+
+import (
+	"math"
+	"testing"
+)
+
+// Property: the PWE contract MaxErr <= Tol must hold on awkward extents —
+// odd, non-chunk-divisible, degenerate 1D layouts, and volumes smaller
+// than one chunk — through the pooled parallel pipeline, across repeated
+// runs that reuse warmed arenas.
+func TestPWEContractOddShapes(t *testing.T) {
+	shapes := [][3]int{
+		{17, 33, 5},  // odd, non-divisible by the 16^3 chunking
+		{1, 129, 1},  // degenerate 1 x N x 1 line
+		{63, 1, 1},   // degenerate line along x
+		{7, 7, 7},    // smaller than one chunk
+		{16, 16, 16}, // exactly one chunk
+		{33, 17, 9},  // every axis leaves a remainder chunk
+		{5, 1, 9},    // degenerate plane
+	}
+	tols := []float64{1.0, 1e-2, 1e-4}
+	for _, shape := range shapes {
+		data := demoField(shape[0], shape[1], shape[2], int64(shape[0]+shape[1]+shape[2]))
+		for _, tol := range tols {
+			for _, workers := range []int{1, 4} {
+				stream, st, err := CompressPWE(data, shape, tol, &Options{
+					ChunkDims: [3]int{16, 16, 16},
+					Workers:   workers,
+				})
+				if err != nil {
+					t.Fatalf("%v tol=%g workers=%d: %v", shape, tol, workers, err)
+				}
+				rec, dims, err := Decompress(stream)
+				if err != nil {
+					t.Fatalf("%v tol=%g workers=%d: decode: %v", shape, tol, workers, err)
+				}
+				if dims != shape {
+					t.Fatalf("%v: decoded dims %v", shape, dims)
+				}
+				var worst float64
+				for i := range data {
+					if e := math.Abs(rec[i] - data[i]); e > worst {
+						worst = e
+					}
+				}
+				if worst > tol*(1+1e-9) {
+					t.Errorf("%v tol=%g workers=%d: max error %g exceeds tolerance (chunks=%d)",
+						shape, tol, workers, worst, st.NumChunks)
+				}
+			}
+		}
+	}
+}
+
+// Property: repeated compressions through the shared arena pool must not
+// bleed state between volumes of different shapes — interleave shapes and
+// verify each round trip independently.
+func TestArenaReuseAcrossShapes(t *testing.T) {
+	shapes := [][3]int{{17, 33, 5}, {8, 8, 8}, {1, 100, 1}, {17, 33, 5}, {31, 2, 3}}
+	tol := 1e-3
+	for round := 0; round < 2; round++ {
+		for si, shape := range shapes {
+			data := demoField(shape[0], shape[1], shape[2], int64(100*round+si))
+			stream, _, err := CompressPWE(data, shape, tol, &Options{
+				ChunkDims: [3]int{16, 16, 16},
+				Workers:   2,
+			})
+			if err != nil {
+				t.Fatalf("round %d shape %v: %v", round, shape, err)
+			}
+			rec, _, err := Decompress(stream)
+			if err != nil {
+				t.Fatalf("round %d shape %v: decode: %v", round, shape, err)
+			}
+			for i := range data {
+				if e := math.Abs(rec[i] - data[i]); e > tol*(1+1e-9) {
+					t.Fatalf("round %d shape %v: error %g at %d", round, shape, e, i)
+				}
+			}
+		}
+	}
+}

@@ -64,6 +64,38 @@ type Options struct {
 	// decoding. PWE mode only. The paper's SPERR uses the raw-bit layer,
 	// which remains the default.
 	Entropy bool
+	// Instrument, when non-nil, receives one ChunkEvent per compressed
+	// chunk. Events are delivered in chunk-index order regardless of
+	// Workers (out-of-order completions wait in a reorder buffer), so an
+	// instrumented run observes the same event sequence at any
+	// parallelism. The callback runs on pipeline goroutines and
+	// serializes them while it executes — keep it fast.
+	Instrument func(ChunkEvent)
+}
+
+// ChunkEvent reports one completed chunk compression to the
+// Options.Instrument hook: identity, sizes, wall time, the per-stage
+// breakdown, and the arena allocation counter.
+type ChunkEvent struct {
+	// Index is the chunk's position in container (stream) order.
+	Index int
+	// Dims is the chunk extent.
+	Dims [3]int
+	// BytesIn is the uncompressed chunk size (points x 8 bytes);
+	// BytesOut the compressed chunk stream size.
+	BytesIn, BytesOut int
+	// WallTime covers the chunk's copy-in plus all four codec stages.
+	WallTime time.Duration
+	// TransformTime, SpeckTime, LocateTime and OutlierTime break the
+	// chunk's cost into the four pipeline stages (PWE mode exercises all
+	// four; other modes leave the outlier stages zero).
+	TransformTime, SpeckTime, LocateTime, OutlierTime time.Duration
+	// NumOutliers counts points the outlier coder corrected.
+	NumOutliers int
+	// ScratchGrows counts scratch-arena buffer (re)allocations during
+	// this chunk; zero once the worker pool is warm — the pipeline's
+	// per-chunk allocation counter.
+	ScratchGrows int
 }
 
 func (o *Options) chunkOpts(p codec.Params) chunk.Options {
@@ -74,6 +106,23 @@ func (o *Options) chunkOpts(p codec.Params) chunk.Options {
 		co.Params.QFactor = o.QFactor
 		co.Params.DisableLossless = o.DisableLossless
 		co.Params.Entropy = o.Entropy
+		if hook := o.Instrument; hook != nil {
+			co.Instrument = func(e chunk.Event) {
+				hook(ChunkEvent{
+					Index:         e.Index,
+					Dims:          [3]int{e.Dims.NX, e.Dims.NY, e.Dims.NZ},
+					BytesIn:       e.BytesIn,
+					BytesOut:      e.BytesOut,
+					WallTime:      e.WallTime,
+					TransformTime: e.Stats.TransformTime,
+					SpeckTime:     e.Stats.SpeckTime,
+					LocateTime:    e.Stats.LocateTime,
+					OutlierTime:   e.Stats.OutlierTime,
+					NumOutliers:   e.Stats.NumOutliers,
+					ScratchGrows:  e.ScratchGrows,
+				})
+			}
+		}
 	}
 	return co
 }
@@ -95,10 +144,20 @@ type Stats struct {
 	SpeckBits, OutlierBits uint64
 	// WallTime is the end-to-end compression time.
 	WallTime time.Duration
+	// MaxChunkTime is the longest single-chunk wall time — the parallel
+	// pipeline's critical path.
+	MaxChunkTime time.Duration
+	// TransformTime, SpeckTime, LocateTime and OutlierTime total the four
+	// pipeline stages across all chunks (CPU time, so they can exceed
+	// WallTime under parallel execution).
+	TransformTime, SpeckTime, LocateTime, OutlierTime time.Duration
+	// ScratchGrows totals scratch-arena buffer (re)allocations across all
+	// workers; near zero in steady state.
+	ScratchGrows int
 }
 
 func statsFrom(cs *chunk.Stats) *Stats {
-	return &Stats{
+	s := &Stats{
 		CompressedBytes: cs.TotalBytes,
 		NumPoints:       cs.NumPoints,
 		BPP:             cs.BPP(),
@@ -107,7 +166,17 @@ func statsFrom(cs *chunk.Stats) *Stats {
 		SpeckBits:       cs.SpeckBits,
 		OutlierBits:     cs.OutlierBits,
 		WallTime:        cs.WallTime,
+		MaxChunkTime:    cs.MaxChunkTime,
+		ScratchGrows:    cs.ScratchGrows,
 	}
+	for i := range cs.Chunks {
+		c := &cs.Chunks[i]
+		s.TransformTime += c.TransformTime
+		s.SpeckTime += c.SpeckTime
+		s.LocateTime += c.LocateTime
+		s.OutlierTime += c.OutlierTime
+	}
+	return s
 }
 
 var errDims = errors.New("sperr: dims must be positive and match data length (use nz = 1 for 2D)")
