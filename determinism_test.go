@@ -70,6 +70,71 @@ func TestStreamsIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// With more workers than chunks, surplus workers split the passes inside
+// each chunk (intra-chunk threads). The streams must stay byte-identical
+// to the serial encode, and round-trip decodes (which also go threaded)
+// must reproduce the same data.
+func TestStreamsIdenticalWithIntraChunkThreads(t *testing.T) {
+	dims := [3]int{40, 33, 21}
+	data := demoField(dims[0], dims[1], dims[2], 5)
+
+	// One chunk spanning the whole volume: any Workers > 1 becomes pure
+	// intra-chunk parallelism.
+	one := func(workers int) []byte {
+		t.Helper()
+		stream, _, err := CompressPWE(data, dims, 1e-3, &Options{
+			ChunkDims: dims,
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return stream
+	}
+	ref := one(1)
+	for _, workers := range []int{2, 3, 8, 16} {
+		if stream := one(workers); !bytes.Equal(stream, ref) {
+			t.Errorf("workers=%d: intra-chunk threaded stream differs (%d vs %d bytes)",
+				workers, len(stream), len(ref))
+		}
+	}
+
+	// Few chunks, many workers: inter- and intra-chunk parallelism mix.
+	stream, _, err := CompressPWE(data, dims, 1e-3, &Options{
+		ChunkDims: [3]int{32, 32, 32}, // 2x2x1 = 4 chunks
+		Workers:   16,                 // 4 intra threads per chunk worker
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _, err := CompressPWE(data, dims, 1e-3, &Options{
+		ChunkDims: [3]int{32, 32, 32},
+		Workers:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stream, serial) {
+		t.Error("mixed inter/intra-chunk parallel stream differs from serial")
+	}
+
+	want, _, err := Decompress(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, _, err := DecompressWorkers(ref, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: threaded decode differs at %d", workers, i)
+			}
+		}
+	}
+}
+
 // Instrumentation events must arrive in chunk-index order at any
 // parallelism, with per-chunk sizes that add up to the real stream.
 func TestInstrumentEventOrdering(t *testing.T) {

@@ -37,6 +37,25 @@ func FuzzDecompress(f *testing.F) {
 	}
 	f.Add(stream)
 	f.Add(multi)
+	// Integer bit-plane SPECK coverage: a tight tolerance drives the plane
+	// count deep (near the 52-plane eligibility edge), and a BPP-mode
+	// stream exercises mid-plane truncation of the integer path's output.
+	deep, _, err := CompressPWE(multiData, [3]int{20, 13, 9}, 1e-9, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(deep)
+	bpp, _, err := CompressBPP(multiData, [3]int{20, 13, 9}, 2, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bpp)
+	if len(deep) > 50 {
+		f.Add(deep[:len(deep)/3])
+		trunc := append([]byte(nil), deep...)
+		trunc[len(trunc)-7] ^= 0x42
+		f.Add(trunc)
+	}
 	f.Add([]byte{})
 	f.Add([]byte("SPRRGO01garbage"))
 	for _, cut := range []int{1, 7, 8, 35, 36, 40, len(multi) / 2, len(multi) - 1} {

@@ -47,10 +47,38 @@ func (w *Writer) WriteBit(b bool) {
 	}
 }
 
-// WriteBits appends the low n bits of v, least significant first.
+// WriteBits appends the low n bits of v (n <= 64), least significant
+// first. Whole bytes are emitted with word-level operations, so runs of
+// refinement bits cost far less than n WriteBit calls.
 func (w *Writer) WriteBits(v uint64, n uint) {
-	for i := uint(0); i < n; i++ {
-		w.WriteBit(v&(1<<i) != 0)
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (uint64(1) << n) - 1
+	}
+	w.n += uint64(n)
+	if w.fill > 0 {
+		// Top up the partial byte from the low bits of v.
+		w.cur |= byte(v) << w.fill
+		space := 8 - w.fill
+		if n < space {
+			w.fill += n
+			return
+		}
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.fill = 0, 0
+		v >>= space
+		n -= space
+	}
+	for n >= 8 {
+		w.buf = append(w.buf, byte(v))
+		v >>= 8
+		n -= 8
+	}
+	if n > 0 {
+		w.cur = byte(v)
+		w.fill = n
 	}
 }
 
@@ -149,18 +177,42 @@ func (r *Reader) ReadBit() bool {
 	return b
 }
 
-// ReadBits reads n bits LSB-first and returns them as a uint64.
+// ReadBits reads n bits (n <= 64) LSB-first and returns them as a uint64.
 // If the budget runs out mid-read the reader is exhausted and the
-// already-read low bits are returned.
+// already-read low bits are returned. Reads that fit the budget extract
+// whole bytes at a time.
 func (r *Reader) ReadBits(n uint) uint64 {
+	if n == 0 {
+		return 0
+	}
+	if r.pos+uint64(n) > r.budget {
+		// Budget boundary inside the read: fall back to per-bit reads so
+		// exhaustion semantics stay exact.
+		var v uint64
+		for i := uint(0); i < n; i++ {
+			if r.ReadBit() {
+				v |= 1 << i
+			}
+			if r.over {
+				break
+			}
+		}
+		return v
+	}
+	pos := r.pos
+	r.pos += uint64(n)
 	var v uint64
-	for i := uint(0); i < n; i++ {
-		if r.ReadBit() {
-			v |= 1 << i
+	got := uint(0)
+	for got < n {
+		b := uint64(r.buf[pos>>3] >> (pos & 7))
+		take := 8 - uint(pos&7)
+		if take > n-got {
+			take = n - got
+			b &= (uint64(1) << take) - 1
 		}
-		if r.over {
-			break
-		}
+		v |= b << got
+		got += take
+		pos += uint64(take)
 	}
 	return v
 }

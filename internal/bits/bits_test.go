@@ -190,3 +190,79 @@ func BenchmarkReadBit(b *testing.B) {
 		r.ReadBit()
 	}
 }
+
+// The word-level WriteBits/ReadBits fast paths must be bit-identical to
+// the per-bit reference at every alignment, width, and budget boundary.
+func TestWordFastPathsMatchPerBit(t *testing.T) {
+	rng := uint64(0x2545F4914F6CDD1D)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for trial := 0; trial < 200; trial++ {
+		// Random mixed write schedule: single bits and words of every width.
+		type op struct {
+			v uint64
+			n uint
+		}
+		var ops []op
+		total := uint(0)
+		for len(ops) < 40 {
+			n := uint(next()%65) // 0..64
+			ops = append(ops, op{v: next(), n: n})
+			total += n
+		}
+		ref := NewWriter(int(total))
+		fast := NewWriter(int(total))
+		for _, o := range ops {
+			for i := uint(0); i < o.n; i++ { // per-bit reference
+				ref.WriteBit(o.v&(1<<i) != 0)
+			}
+			fast.WriteBits(o.v, o.n)
+		}
+		if ref.Len() != fast.Len() {
+			t.Fatalf("trial %d: len %d vs %d", trial, fast.Len(), ref.Len())
+		}
+		rb, fb := ref.Bytes(), fast.Bytes()
+		if len(rb) != len(fb) {
+			t.Fatalf("trial %d: bytes %d vs %d", trial, len(fb), len(rb))
+		}
+		for i := range rb {
+			if rb[i] != fb[i] {
+				t.Fatalf("trial %d: byte %d differs: %02x vs %02x", trial, i, fb[i], rb[i])
+			}
+		}
+
+		// Read back with a budget that may cut a word mid-read.
+		budget := next() % uint64(total+2)
+		r1 := NewReaderBits(fb, budget)
+		r2 := NewReaderBits(fb, budget)
+		for _, o := range ops {
+			var want uint64
+			for i := uint(0); i < o.n; i++ {
+				if r1.ReadBit() {
+					want |= 1 << i
+				}
+				if r1.Exhausted() {
+					break
+				}
+			}
+			got := r2.ReadBits(o.n)
+			if got != want {
+				t.Fatalf("trial %d: ReadBits(%d)=%#x, per-bit %#x (budget %d, pos %d)",
+					trial, o.n, got, want, budget, r2.Pos())
+			}
+			if r1.Exhausted() != r2.Exhausted() {
+				t.Fatalf("trial %d: exhausted mismatch %v vs %v", trial, r2.Exhausted(), r1.Exhausted())
+			}
+			if r1.Exhausted() {
+				break
+			}
+			if r1.Pos() != r2.Pos() {
+				t.Fatalf("trial %d: pos %d vs %d", trial, r2.Pos(), r1.Pos())
+			}
+		}
+	}
+}

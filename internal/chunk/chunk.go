@@ -181,8 +181,14 @@ func Compress(vol *grid.Volume, opts Options) ([]byte, *Stats, error) {
 		seq = newEventSequencer(opts.Instrument)
 	}
 
+	// When the worker budget exceeds the number of chunks, leftover workers
+	// would idle: hand them to the chunks as intra-chunk threads instead
+	// (data-parallel wavelet passes and outlier scans). Streams stay
+	// byte-identical at every split, so this is purely a scheduling choice.
 	workers := opts.workers()
+	params := opts.Params
 	if workers > len(chunks) {
+		params.Threads = workers / len(chunks)
 		workers = len(chunks)
 	}
 	var next int
@@ -206,7 +212,7 @@ func Compress(vol *grid.Volume, opts Options) ([]byte, *Stats, error) {
 				t0 := time.Now()
 				g0 := ws.codec.Grows()
 				ws.slab = vol.CutoutInto(ws.slab, c.X0, c.Y0, c.Z0, c.Dims)
-				stream, st, err := codec.EncodeChunkScratch(ws.slab, c.Dims, opts.Params, ws.codec)
+				stream, st, err := codec.EncodeChunkScratch(ws.slab, c.Dims, params, ws.codec)
 				if err != nil {
 					errs[i] = fmt.Errorf("chunk %d %v: %w", i, c.Dims, err)
 					return
@@ -280,9 +286,18 @@ func Decompress(stream []byte, workers int) (*grid.Volume, error) {
 		return nil, err
 	}
 	vol := grid.NewVolume(c.volDims)
+	// Mirror Compress: surplus workers become intra-chunk threads.
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	intra := 1
+	if n := len(c.chunks); n > 0 && w > n {
+		intra = w / n
+	}
 	err = forEachChunkScratch(len(c.chunks), workers, func(i int, ws *workerScratch) error {
 		ch := c.chunks[i]
-		data, err := codec.DecodeChunkScratch(c.payloads[i], ch.Dims, ws.codec)
+		data, err := codec.DecodeChunkScratchThreads(c.payloads[i], ch.Dims, ws.codec, intra)
 		if err != nil {
 			return fmt.Errorf("chunk %d: %w", i, err)
 		}

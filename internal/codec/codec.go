@@ -76,6 +76,20 @@ type Params struct {
 	// streams are not bit-exactly truncatable, so the size-bounded and
 	// progressive paths keep the paper's raw-bit layer.
 	Entropy bool
+
+	// Threads splits the data-parallel pipeline stages (wavelet passes and
+	// the outlier scan) of this one chunk over up to Threads goroutines;
+	// <= 1 runs serial. A pure runtime knob: it is not serialized and the
+	// output stream is byte-identical at every value. The chunk pipeline
+	// sets it when there are more workers than pending chunks.
+	Threads int
+}
+
+func (p Params) threads() int {
+	if p.Threads < 1 {
+		return 1
+	}
+	return p.Threads
 }
 
 func (p Params) q() float64 {
@@ -250,7 +264,7 @@ func EncodeChunkScratch(data []float64, dims grid.Dims, p Params, s *Scratch) ([
 	coeffs := s.coeffs(len(data))
 	copy(coeffs, data)
 	plan := s.planFor(dims)
-	plan.ForwardScratch(coeffs, &s.wav)
+	plan.ForwardScratchThreads(coeffs, &s.wav, p.threads())
 	st.TransformTime = time.Since(t0)
 
 	// Stage 2: SPECK coding.
@@ -326,20 +340,19 @@ func EncodeChunkScratch(data []float64, dims grid.Dims, p Params, s *Scratch) ([
 		var recon []float64
 		if p.Entropy {
 			recon = speck.DecodeEntropy(sres.Stream, dims, q, sres.NumPlanes)
+		} else if r, ok := speck.ReplayScratch(dims, q, &s.speck); ok {
+			// Integer-path encode: the decoder's reconstruction is
+			// synthesized bit-identically from the quantized magnitudes,
+			// skipping the decode traversal entirely.
+			recon = r
 		} else {
 			// The SPECK scratch is shared between the encode above and this
 			// decode: the decoder resets only the list state, leaving the
 			// encoder's finished stream (aliased by sres) untouched.
 			recon = speck.DecodeScratch(sres.Stream, sres.Bits, dims, q, sres.NumPlanes, &s.speck)
 		}
-		plan.InverseScratch(recon, &s.wav)
-		outs := s.outs[:0]
-		for i := range data {
-			if diff := data[i] - recon[i]; math.Abs(diff) > p.Tol {
-				outs = append(outs, outlier.Outlier{Pos: i, Corr: diff})
-			}
-		}
-		s.outs = outs
+		plan.InverseScratchThreads(recon, &s.wav, p.threads())
+		outs := s.scanOutliers(data, recon, p.Tol, p.threads())
 		st.NumOutliers = len(outs)
 		st.LocateTime = time.Since(t0)
 
@@ -381,6 +394,16 @@ func DecodeChunk(stream []byte, dims grid.Dims) ([]float64, error) {
 // returned slice aliases the arena and is valid only until its next use —
 // copy out (e.g. into the destination volume) before reusing s.
 func DecodeChunkScratch(stream []byte, dims grid.Dims, s *Scratch) ([]float64, error) {
+	return DecodeChunkScratchThreads(stream, dims, s, 1)
+}
+
+// DecodeChunkScratchThreads is DecodeChunkScratch with the inverse
+// transform split over up to threads goroutines. Output is bit-identical
+// at every thread count.
+func DecodeChunkScratchThreads(stream []byte, dims grid.Dims, s *Scratch, threads int) ([]float64, error) {
+	if threads < 1 {
+		threads = 1
+	}
 	if len(stream) < 1 {
 		return nil, fmt.Errorf("%w: empty stream", ErrCorrupt)
 	}
@@ -416,7 +439,7 @@ func DecodeChunkScratch(stream []byte, dims grid.Dims, s *Scratch) ([]float64, e
 	} else {
 		coeffs = speck.DecodeScratch(body[:speckBytes], h.speckBits, dims, h.q, int(h.planes), &s.speck)
 	}
-	s.planFor(dims).InverseScratch(coeffs, &s.wav)
+	s.planFor(dims).InverseScratchThreads(coeffs, &s.wav, threads)
 
 	if h.mode == ModePWE && h.outlierBits > 0 {
 		obytes := body[speckBytes:]

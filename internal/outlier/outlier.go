@@ -283,15 +283,25 @@ func (e *encoder) code(s *rng, depth int, thr float64) {
 }
 
 func (e *encoder) refinementPass(thr float64) {
-	// Existing significant points: one refinement bit each (Listing 3).
+	// Existing significant points: one refinement bit each (Listing 3),
+	// batched into 64-bit words (bit k of a word is the k-th point's bit,
+	// matching WriteBit order).
+	var word uint64
+	var nb uint
 	for _, i := range e.lsp {
 		o := &e.ents[i]
 		if o.corr > thr {
-			e.w.WriteBit(true)
+			word |= 1 << nb
 			o.corr -= thr
-		} else {
-			e.w.WriteBit(false)
 		}
+		nb++
+		if nb == 64 {
+			e.w.WriteBits(word, 64)
+			word, nb = 0, 0
+		}
+	}
+	if nb > 0 {
+		e.w.WriteBits(word, nb)
 	}
 	// Newly significant points: quantize with no bit emitted.
 	for _, i := range e.lspNew {
@@ -454,15 +464,36 @@ func (d *decoder) refinementPass(thr float64) bool {
 	// Only points that existed before this pass's sorting pass receive a
 	// refinement bit; points discovered this pass were initialized at
 	// 1.5*thr already (LNSP rule).
+	half := thr / 2
+	if d.r.Remaining() >= uint64(d.nOld) {
+		// The whole pass fits in the budget: no exhaustion possible, so
+		// read the bits in 64-bit words.
+		for i := 0; i < d.nOld; {
+			n := d.nOld - i
+			if n > 64 {
+				n = 64
+			}
+			word := d.r.ReadBits(uint(n))
+			for k := 0; k < n; k, i = k+1, i+1 {
+				if word&1 != 0 {
+					d.pts[i].val += half
+				} else {
+					d.pts[i].val -= half
+				}
+				word >>= 1
+			}
+		}
+		return true
+	}
 	for i := 0; i < d.nOld; i++ {
 		b := d.r.ReadBit()
 		if d.r.Exhausted() {
 			return false
 		}
 		if b {
-			d.pts[i].val += thr / 2
+			d.pts[i].val += half
 		} else {
-			d.pts[i].val -= thr / 2
+			d.pts[i].val -= half
 		}
 	}
 	return true

@@ -1,0 +1,48 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSpansPartitionExactly(t *testing.T) {
+	for _, tc := range []struct{ total, threads int }{
+		{0, 4}, {1, 1}, {1, 8}, {7, 3}, {64, 64}, {100, 7}, {1 << 15, 5},
+	} {
+		covered := make([]int32, tc.total)
+		var mu sync.Mutex
+		workers := map[int]bool{}
+		Spans(tc.total, tc.threads, func(worker, lo, hi int) {
+			mu.Lock()
+			workers[worker] = true
+			mu.Unlock()
+			if lo > hi || lo < 0 || hi > tc.total {
+				t.Errorf("total=%d threads=%d: bad span [%d,%d)", tc.total, tc.threads, lo, hi)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("total=%d threads=%d: index %d covered %d times", tc.total, tc.threads, i, c)
+			}
+		}
+		if len(workers) > tc.threads {
+			t.Errorf("total=%d threads=%d: %d distinct workers", tc.total, tc.threads, len(workers))
+		}
+	}
+}
+
+func TestWorkersGuardsSmallTasks(t *testing.T) {
+	if got := Workers(8, 100, 1000); got != 1 {
+		t.Errorf("below threshold: got %d workers, want 1", got)
+	}
+	if got := Workers(8, 8000, 1000); got != 8 {
+		t.Errorf("ample work: got %d workers, want 8", got)
+	}
+	if got := Workers(0, 8000, 1000); got != 1 {
+		t.Errorf("zero threads: got %d workers, want 1", got)
+	}
+}

@@ -1,0 +1,63 @@
+package speck
+
+import (
+	"math"
+	"testing"
+
+	"sperr/internal/grid"
+	"sperr/internal/wavelet"
+)
+
+// benchCoeffs builds a realistic coefficient volume: a smooth synthetic
+// field pushed through the forward CDF 9/7 transform, exactly what the
+// chunk pipeline hands to the SPECK stage.
+func benchCoeffs(n int) ([]float64, grid.Dims) {
+	dims := grid.D3(n, n, n)
+	data := make([]float64, dims.Len())
+	i := 0
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				data[i] = math.Sin(0.1*float64(x))*math.Cos(0.07*float64(y)) +
+					0.5*math.Sin(0.05*float64(z)) +
+					0.01*float64((x*31+y*17+z*7)%13)
+				i++
+			}
+		}
+	}
+	wavelet.NewPlan(dims).Forward(data)
+	return data, dims
+}
+
+// BenchmarkSpeckEncode measures quality-bounded SPECK coding of a 64^3
+// coefficient volume — the chunk pipeline's stage 2 (paper Figure 6).
+func BenchmarkSpeckEncode(b *testing.B) {
+	coeffs, dims := benchCoeffs(64)
+	const q = 1.5e-3
+	var s Scratch
+	b.SetBytes(int64(len(coeffs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := EncodeScratch(coeffs, dims, q, 0, &s)
+		if r.Bits == 0 {
+			b.Fatal("no output bits")
+		}
+	}
+}
+
+// BenchmarkSpeckDecode is the decoder-side counterpart, also exercised by
+// the encoder's outlier-locate stage.
+func BenchmarkSpeckDecode(b *testing.B) {
+	coeffs, dims := benchCoeffs(64)
+	const q = 1.5e-3
+	res := Encode(coeffs, dims, q, 0)
+	var s Scratch
+	b.SetBytes(int64(len(coeffs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := DecodeScratch(res.Stream, res.Bits, dims, q, res.NumPlanes, &s)
+		if len(out) != dims.Len() {
+			b.Fatal("short decode")
+		}
+	}
+}

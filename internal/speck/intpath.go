@@ -1,0 +1,400 @@
+package speck
+
+import (
+	"math"
+	mbits "math/bits"
+
+	"sperr/internal/bits"
+	"sperr/internal/grid"
+)
+
+// Integer bit-plane path. The raw (non-entropy) encoder quantizes every
+// coefficient magnitude once into u = floor(|c|/q) and drives the whole
+// bit-plane traversal off uint64 magnitudes: set significance at plane n
+// is umax >= 1<<n, a refinement bit is (u>>n)&1, and boxMax is an integer
+// max-reduce. Decision bits go straight to the bit writer (no sink
+// indirection), and refinement bits are emitted word-at-a-time.
+//
+// The streams are bit-identical to the float path's. In the float path
+// every residual subtraction val -= thr happens when val is in [thr,
+// 2*thr), so by Sterbenz's lemma it is exact, and the thresholds q*2^n are
+// exact power-of-two scalings of q; the float path therefore computes
+// exact real arithmetic throughout, and its significance and refinement
+// decisions are exactly the binary digits of floor(|c|/q). The integer
+// path computes those digits directly, with u = floor(|c|/q) obtained
+// exactly from one float division corrected by an FMA sign test:
+// fl(|c|/q) is within 0.5 of the real quotient when the quotient is below
+// 2^52, so the truncated value is off by at most one, and the sign of
+// |c| - q*v is computed exactly by FMA because the real value — a
+// multiple of 2^-1074 when q is normal — never rounds across zero.
+// Eligibility therefore requires planes <= 52 and normal q; anything else
+// falls back to the float path, which doubles as the test oracle.
+//
+// For the PlaneErr2 record the integer path maintains the same exact
+// residuals the float path does (val = |c| - thr at discovery, val -= thr
+// on refinement, both Sterbenz-exact), driven by the integer decisions,
+// so plane records — and with them ModeRMSE truncation points — match
+// bitwise. Mid-riser reconstruction is unaffected: the decoder is
+// unchanged and sees the same bits.
+
+// intPathEligible reports whether the integer path reproduces the float
+// path exactly for this (q, planes) pair.
+func intPathEligible(q float64, planes int) bool {
+	return planes > 0 && planes <= 52 && q >= 0x1p-1022
+}
+
+// uset is set with an integer magnitude cache.
+type uset struct {
+	x, y, z    int32
+	nx, ny, nz int32
+	umax       uint64
+}
+
+func (s *uset) single() bool { return s.nx == 1 && s.ny == 1 && s.nz == 1 }
+
+// splitSetU is splitSet for integer sets.
+func splitSetU(s *uset, dst *[8]uset) int {
+	var xs, ys, zs [2][2]int32
+	nx := splitAxis(s.x, s.nx, &xs)
+	ny := splitAxis(s.y, s.ny, &ys)
+	nz := splitAxis(s.z, s.nz, &zs)
+	k := 0
+	for zi := 0; zi < nz; zi++ {
+		for yi := 0; yi < ny; yi++ {
+			for xi := 0; xi < nx; xi++ {
+				dst[k] = uset{
+					x: xs[xi][0], nx: xs[xi][1],
+					y: ys[yi][0], ny: ys[yi][1],
+					z: zs[zi][0], nz: zs[zi][1],
+				}
+				k++
+			}
+		}
+	}
+	return k
+}
+
+type intEncoder struct {
+	dims   grid.Dims
+	q      float64
+	umags  []uint64
+	mags   []float64
+	neg    []bool
+	w      *bits.Writer // direct writer: no sink indirection on the hot path
+	budget uint64
+
+	lis    [][]uset
+	nd     int
+	lsp    []int32   // positions of significant pixels, in discovery order
+	vals   []float64 // residuals parallel to lsp (the float path's pixel.val)
+	lspNew []int32
+	valNew []float64
+
+	insigE2   float64
+	planeBits []uint64
+	planeErr2 []float64
+}
+
+// resetLISU truncates the pooled integer LIS buckets.
+func (s *Scratch) resetLISU() [][]uset {
+	for i := range s.lisU {
+		s.lisU[i] = s.lisU[i][:0]
+	}
+	if len(s.lisU) == 0 {
+		s.lisU = make([][]uset, 1, 16)
+		s.Grows++
+	}
+	return s.lisU
+}
+
+func (e *intEncoder) setup(s *Scratch, n int) {
+	if cap(s.umags) < n {
+		s.umags = make([]uint64, n)
+		s.Grows++
+	}
+	if cap(s.mags) < n {
+		s.mags = make([]float64, n)
+		s.neg = make([]bool, n)
+		s.Grows++
+	}
+	e.umags, e.mags, e.neg = s.umags[:n], s.mags[:n], s.neg[:n]
+	e.lis = s.resetLISU()
+	e.nd = 1
+	e.lsp = s.lspI[:0]
+	e.vals = s.valsI[:0]
+	e.lspNew = s.lspINew[:0]
+	e.valNew = s.valsINew[:0]
+	e.planeBits = s.planeBits[:0]
+	e.planeErr2 = s.planeErr2[:0]
+}
+
+func (e *intEncoder) save(s *Scratch) {
+	s.lisU = e.lis
+	s.lspI = e.lsp
+	s.valsI = e.vals
+	s.lspINew = e.lspNew
+	s.valsINew = e.valNew
+	s.planeBits = e.planeBits
+	s.planeErr2 = e.planeErr2
+}
+
+// quantize fills umags/mags/neg from coeffs and accumulates insigE2 in the
+// float path's order (index order, sum of m*m).
+func (e *intEncoder) quantize(coeffs []float64) {
+	q := e.q
+	for i, c := range coeffs {
+		m := math.Abs(c)
+		e.mags[i] = m
+		e.neg[i] = math.Signbit(c)
+		u := uint64(m / q)
+		if math.FMA(-q, float64(u+1), m) >= 0 {
+			u++
+		} else if u > 0 && math.FMA(-q, float64(u), m) < 0 {
+			u--
+		}
+		e.umags[i] = u
+		e.insigE2 += m * m
+	}
+}
+
+// encodeInt runs the integer traversal; (q, planes) must satisfy
+// intPathEligible.
+func encodeInt(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, planes int, maxMag float64, s *Scratch) *Result {
+	n := dims.Len()
+	if s.w == nil {
+		s.w = bits.NewWriter(n / 2)
+		s.Grows++
+	} else {
+		s.w.Reset()
+	}
+	e := &intEncoder{
+		dims: dims, q: q, w: s.w,
+		budget: maxBits,
+	}
+	if maxBits == 0 {
+		e.budget = math.MaxUint64
+	}
+	e.setup(s, n)
+	e.quantize(coeffs)
+	e.run(planes)
+	e.save(s)
+	if maxBits == 0 {
+		// Untruncated stream: the full decode is reproducible from umags.
+		s.canReplay = true
+		s.replayQ = q
+		s.replayN = n
+		s.replayPlanes = planes
+	}
+	stream, bitsUsed := s.w.Close(), s.w.Len()
+	if maxBits > 0 && bitsUsed > maxBits {
+		bitsUsed = maxBits
+	}
+	if need := int((bitsUsed + 7) / 8); need < len(stream) {
+		stream = stream[:need]
+	}
+	return &Result{
+		Stream: stream, Bits: bitsUsed, NumPlanes: planes, MaxMag: maxMag,
+		PlaneBits: e.planeBits, PlaneErr2: e.planeErr2,
+	}
+}
+
+// ReplayScratch synthesizes the reconstruction that Decode(stream,
+// res.Bits, dims, q, planes) would produce for the full stream of the
+// immediately preceding EncodeScratch call on s, without touching the
+// stream: every pixel with u = floor(|c|/q) > 0 is exactly the set the
+// decoder discovers, and its value is rebuilt by replaying the decoder's
+// float updates (1.5*thr at the discovery plane, then +-thr/2 per
+// refinement bit) in the decoder's order, so the result is bit-identical
+// to an actual decode. It reports ok=false — and the caller must fall
+// back to a real decode — when the preceding encode did not take the
+// integer path, was size-truncated, or does not match (dims, q).
+//
+// This is what makes the encoder-side outlier-location stage cheap: the
+// pipeline needs "exactly what the decoder will see" and gets it here
+// without re-running the set-partitioning traversal or the bit reads.
+func ReplayScratch(dims grid.Dims, q float64, s *Scratch) ([]float64, bool) {
+	n := dims.Len()
+	if !s.canReplay || s.replayQ != q || s.replayN != n {
+		return nil, false
+	}
+	if cap(s.out) < n {
+		s.out = make([]float64, n)
+		s.Grows++
+	}
+	out := s.out[:n]
+	// thr and half per plane, computed with the decoder's expressions.
+	var thrs, halfs [53]float64
+	for p := 0; p < s.replayPlanes; p++ {
+		thr := q * math.Pow(2, float64(p))
+		thrs[p] = thr
+		halfs[p] = thr / 2
+	}
+	sign := [2]float64{-1, 1} // exact +-1 multipliers: branch-free refinement
+	for i, u := range s.umags[:n] {
+		if u == 0 {
+			out[i] = 0
+			continue
+		}
+		top := mbits.Len64(u) - 1 // discovery plane
+		val := 1.5 * thrs[top]
+		for p := top - 1; p >= 0; p-- {
+			val += halfs[p] * sign[(u>>uint(p))&1]
+		}
+		if s.neg[i] {
+			val = -val
+		}
+		out[i] = val
+	}
+	return out, true
+}
+
+func (e *intEncoder) ensureDepth(d int) {
+	for len(e.lis) <= d {
+		e.lis = append(e.lis, nil)
+	}
+	if e.nd <= d {
+		e.nd = d + 1
+	}
+}
+
+func (e *intEncoder) boxMax(s *uset) uint64 {
+	d := e.dims
+	var m uint64
+	for z := s.z; z < s.z+s.nz; z++ {
+		for y := s.y; y < s.y+s.ny; y++ {
+			off := (int(z)*d.NY + int(y)) * d.NX
+			row := e.umags[off+int(s.x) : off+int(s.x)+int(s.nx)]
+			for _, v := range row {
+				if v > m {
+					m = v
+				}
+			}
+		}
+	}
+	return m
+}
+
+func (e *intEncoder) run(planes int) {
+	root := uset{nx: int32(e.dims.NX), ny: int32(e.dims.NY), nz: int32(e.dims.NZ)}
+	root.umax = e.boxMax(&root)
+	// bits.Len64(root.umax) == planes always: NumPlanes picks the nmax with
+	// q*2^nmax <= maxMag < q*2^(nmax+1), i.e. 2^nmax <= floor(maxMag/q) <
+	// 2^(nmax+1).
+	if mbits.Len64(root.umax) != planes {
+		panic("speck: integer plane count disagrees with NumPlanes")
+	}
+	e.lis[0] = append(e.lis[0], root)
+	for n := planes - 1; n >= 0; n-- {
+		thr := e.q * math.Pow(2, float64(n))
+		e.sortingPass(n, thr)
+		if e.w.Len() >= e.budget {
+			return
+		}
+		e.refinementPass(n, thr)
+		e.recordPlane(thr)
+		if e.w.Len() >= e.budget {
+			return
+		}
+	}
+}
+
+// recordPlane mirrors the float encoder's plane record exactly: vals holds
+// the same exact residuals, accumulated in the same LSP order.
+func (e *intEncoder) recordPlane(thr float64) {
+	err2 := e.insigE2
+	half := thr / 2
+	for _, v := range e.vals {
+		r := v - half
+		err2 += r * r
+	}
+	e.planeBits = append(e.planeBits, e.w.Len())
+	e.planeErr2 = append(e.planeErr2, err2)
+}
+
+func (e *intEncoder) sortingPass(n int, thr float64) {
+	thrU := uint64(1) << uint(n)
+	for depth := e.nd - 1; depth >= 0; depth-- {
+		if e.w.Len() >= e.budget {
+			return
+		}
+		bucket := e.lis[depth]
+		kept := bucket[:0]
+		for i := range bucket {
+			s := bucket[i]
+			if s.umax >= thrU {
+				e.w.WriteBit(true)
+				e.descend(&s, depth, thrU, thr)
+			} else {
+				e.w.WriteBit(false)
+				kept = append(kept, s)
+			}
+		}
+		e.lis[depth] = kept
+	}
+}
+
+func (e *intEncoder) descend(s *uset, depth int, thrU uint64, thr float64) {
+	if s.single() {
+		pos := int32(e.dims.Index(int(s.x), int(s.y), int(s.z)))
+		e.w.WriteBit(e.neg[pos])
+		m := e.mags[pos]
+		e.lspNew = append(e.lspNew, pos)
+		e.valNew = append(e.valNew, m-thr) // m in [thr, 2*thr): exact
+		e.insigE2 -= m * m
+		return
+	}
+	e.code(s, depth, thrU, thr)
+}
+
+func (e *intEncoder) code(s *uset, depth int, thrU uint64, thr float64) {
+	var children [8]uset
+	k := splitSetU(s, &children)
+	childDepth := depth + 1
+	e.ensureDepth(childDepth)
+	anySig := false
+	for i := 0; i < k; i++ {
+		c := &children[i]
+		c.umax = e.boxMax(c)
+		sig := c.umax >= thrU
+		if i == k-1 && !anySig {
+			e.descend(c, childDepth, thrU, thr)
+			return
+		}
+		if sig {
+			anySig = true
+			e.w.WriteBit(true)
+			e.descend(c, childDepth, thrU, thr)
+		} else {
+			e.w.WriteBit(false)
+			e.lis[childDepth] = append(e.lis[childDepth], *c)
+		}
+	}
+}
+
+// refinementPass emits bit n of every significant magnitude, batched into
+// 64-bit words, and applies the float path's exact residual updates. The
+// float path checks no budget mid-pass, so neither do we.
+func (e *intEncoder) refinementPass(n int, thr float64) {
+	shift := uint(n)
+	var word uint64
+	var nb uint
+	for i, pos := range e.lsp {
+		bit := (e.umags[pos] >> shift) & 1
+		word |= bit << nb
+		nb++
+		if nb == 64 {
+			e.w.WriteBits(word, 64)
+			word, nb = 0, 0
+		}
+		if bit != 0 {
+			e.vals[i] -= thr // val in [thr, 2*thr): exact
+		}
+	}
+	if nb > 0 {
+		e.w.WriteBits(word, nb)
+	}
+	e.lsp = append(e.lsp, e.lspNew...)
+	e.vals = append(e.vals, e.valNew...)
+	e.lspNew = e.lspNew[:0]
+	e.valNew = e.valNew[:0]
+}

@@ -103,6 +103,18 @@ type Scratch struct {
 	planeBits []uint64
 	planeErr2 []float64
 	out       []float64
+	// Integer-path pools (see intpath.go).
+	umags    []uint64
+	lisU     [][]uset
+	lspI     []int32
+	valsI    []float64
+	lspINew  []int32
+	valsINew []float64
+	// Replay state of the last integer-path encode (see ReplayScratch).
+	canReplay    bool
+	replayQ      float64
+	replayN      int
+	replayPlanes int
 	// Grows counts buffer (re)allocations; a warmed-up scratch stops
 	// growing.
 	Grows int
@@ -147,6 +159,25 @@ func encode(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, entropy
 	if s == nil {
 		s = &Scratch{}
 	}
+	s.canReplay = false
+	var maxMag float64
+	for _, c := range coeffs {
+		if m := math.Abs(c); m > maxMag {
+			maxMag = m
+		}
+	}
+	planes := NumPlanes(maxMag, q)
+	if !entropy && intPathEligible(q, planes) {
+		return encodeInt(coeffs, dims, q, maxBits, planes, maxMag, s)
+	}
+	return encodeFloat(coeffs, dims, q, maxBits, entropy, maxMag, planes, s)
+}
+
+// encodeFloat is the reference float-residual traversal, used for entropy
+// coding and whenever the integer path's exactness preconditions fail. It
+// is also the oracle the integer path is tested against.
+func encodeFloat(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, entropy bool, maxMag float64, planes int, s *Scratch) *Result {
+	n := dims.Len()
 	var snk sink
 	if entropy {
 		snk = newACSink()
@@ -170,16 +201,10 @@ func encode(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, entropy
 		}(),
 	}
 	e.setup(s, n)
-	var maxMag float64
 	for i, c := range coeffs {
-		m := math.Abs(c)
-		e.mags[i] = m
+		e.mags[i] = math.Abs(c)
 		e.neg[i] = math.Signbit(c)
-		if m > maxMag {
-			maxMag = m
-		}
 	}
-	planes := NumPlanes(maxMag, q)
 	if planes > 0 {
 		e.run(q, planes)
 	}
@@ -453,6 +478,7 @@ func decode(stream []byte, bitsAvail uint64, dims grid.Dims, q float64, planes i
 	if s == nil {
 		s = &Scratch{}
 	}
+	s.canReplay = false // the out buffer is being repurposed
 	var src source
 	if entropy {
 		src = newACSource(stream)
@@ -617,6 +643,40 @@ func (d *decoder) descend(s *set, depth int, thr float64) bool {
 }
 
 func (d *decoder) refinementPass(thr float64) bool {
+	half := thr / 2
+	if rs, ok := d.src.(*rawSource); ok && rs.r.Remaining() >= uint64(len(d.lsp)) {
+		// The whole pass fits the budget: read refinement bits a word at a
+		// time. Per-pixel updates are unchanged, so reconstruction values
+		// are identical to the per-bit path.
+		i := 0
+		for ; i+64 <= len(d.lsp); i += 64 {
+			word := rs.r.ReadBits(64)
+			for j := 0; j < 64; j++ {
+				p := &d.lsp[i+j]
+				if word&1 != 0 {
+					p.val += half
+				} else {
+					p.val -= half
+				}
+				word >>= 1
+			}
+		}
+		if rem := len(d.lsp) - i; rem > 0 {
+			word := rs.r.ReadBits(uint(rem))
+			for j := 0; j < rem; j++ {
+				p := &d.lsp[i+j]
+				if word&1 != 0 {
+					p.val += half
+				} else {
+					p.val -= half
+				}
+				word >>= 1
+			}
+		}
+		d.lsp = append(d.lsp, d.lspNew...)
+		d.lspNew = d.lspNew[:0]
+		return true
+	}
 	for i := range d.lsp {
 		b := d.src.get(ctxRefine)
 		if d.src.exhausted() {
@@ -624,9 +684,9 @@ func (d *decoder) refinementPass(thr float64) bool {
 		}
 		p := &d.lsp[i]
 		if b {
-			p.val += thr / 2
+			p.val += half
 		} else {
-			p.val -= thr / 2
+			p.val -= half
 		}
 	}
 	d.lsp = append(d.lsp, d.lspNew...)

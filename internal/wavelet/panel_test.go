@@ -1,0 +1,115 @@
+package wavelet
+
+import (
+	"testing"
+
+	"sperr/internal/grid"
+)
+
+// panelTestDims stresses the blocked passes across tile-boundary and
+// degenerate shapes: 1-thick axes, odd/prime extents, exact panelW
+// multiples, panelW remainders, and lengths below the transform minimum.
+var panelTestDims = []grid.Dims{
+	{NX: 1, NY: 37, NZ: 1},
+	{NX: 1, NY: 1, NZ: 29},
+	{NX: 5, NY: 7, NZ: 3},
+	{NX: 17, NY: 9, NZ: 33},
+	{NX: 16, NY: 16, NZ: 16},
+	{NX: 31, NY: 4, NZ: 5},
+	{NX: 32, NY: 32, NZ: 32},
+	{NX: 33, NY: 13, NZ: 11},
+	{NX: 48, NY: 5, NZ: 23},
+	{NX: 3, NY: 41, NZ: 2},
+	{NX: 64, NY: 7, NZ: 1},
+}
+
+func panelTestField(d grid.Dims, seed uint64) []float64 {
+	data := make([]float64, d.NX*d.NY*d.NZ)
+	s := seed | 1
+	for i := range data {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		// Mix magnitudes so every lifting step sees non-trivial rounding.
+		data[i] = (float64(int64(s))/float64(1<<62))*1e3 + float64(i%17)
+	}
+	return data
+}
+
+func assertBitIdentical(t *testing.T, got, want []float64, what string) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] && !(got[i] != got[i] && want[i] != want[i]) {
+			t.Fatalf("%s: element %d differs: %x vs %x", what, i, got[i], want[i])
+		}
+	}
+}
+
+// The blocked panel passes must reproduce the scalar gather/scatter
+// reference bit-for-bit on every shape.
+func TestBlockedMatchesScalarReference(t *testing.T) {
+	for _, d := range panelTestDims {
+		p := NewPlan(d)
+		orig := panelTestField(d, uint64(d.NX*1000003+d.NY*1009+d.NZ))
+
+		want := append([]float64(nil), orig...)
+		p.forwardScalarRef(want)
+
+		got := append([]float64(nil), orig...)
+		p.ForwardScratch(got, nil)
+		assertBitIdentical(t, got, want, d.String()+" forward")
+
+		wantInv := append([]float64(nil), want...)
+		p.inverseScalarRef(wantInv)
+		gotInv := append([]float64(nil), want...)
+		p.InverseScratch(gotInv, nil)
+		assertBitIdentical(t, gotInv, wantInv, d.String()+" inverse")
+	}
+}
+
+// Threaded passes must be bit-identical to serial at every worker count,
+// including counts far above the tile count.
+func TestThreadedMatchesSerial(t *testing.T) {
+	for _, d := range panelTestDims {
+		p := NewPlan(d)
+		orig := panelTestField(d, 42)
+
+		serial := append([]float64(nil), orig...)
+		p.ForwardScratch(serial, nil)
+
+		for _, threads := range []int{2, 3, 8, 64} {
+			got := append([]float64(nil), orig...)
+			s := &Scratch{}
+			p.ForwardScratchThreads(got, s, threads)
+			assertBitIdentical(t, got, serial, d.String()+" threaded forward")
+
+			back := append([]float64(nil), got...)
+			p.InverseToLevelScratchThreads(back, 0, s, threads)
+			ref := append([]float64(nil), serial...)
+			p.InverseScratch(ref, nil)
+			assertBitIdentical(t, back, ref, d.String()+" threaded inverse")
+		}
+	}
+}
+
+// A warmed scratch must stop growing across repeated threaded calls.
+func TestScratchThreadedSteadyState(t *testing.T) {
+	d := grid.Dims{NX: 40, NY: 33, NZ: 21}
+	p := NewPlan(d)
+	s := &Scratch{}
+	data := panelTestField(d, 7)
+	for i := 0; i < 3; i++ {
+		work := append([]float64(nil), data...)
+		p.ForwardScratchThreads(work, s, 4)
+		p.InverseToLevelScratchThreads(work, 0, s, 4)
+	}
+	before := s.TotalGrows()
+	for i := 0; i < 5; i++ {
+		work := append([]float64(nil), data...)
+		p.ForwardScratchThreads(work, s, 4)
+		p.InverseToLevelScratchThreads(work, 0, s, 4)
+	}
+	if g := s.TotalGrows(); g != before {
+		t.Fatalf("scratch grew after warm-up: %d -> %d", before, g)
+	}
+}

@@ -49,8 +49,11 @@ type Options struct {
 	// default to DefaultChunkDim. Chunk dims need not divide the volume
 	// dims.
 	ChunkDims [3]int
-	// Workers caps the number of concurrently compressed chunks;
-	// <= 0 means GOMAXPROCS.
+	// Workers is the parallelism budget; <= 0 means GOMAXPROCS. Up to
+	// Workers chunks compress concurrently, and when the budget exceeds
+	// the number of chunks the surplus splits the data-parallel stages
+	// (wavelet passes, outlier scans) inside each chunk. Output streams
+	// are byte-identical at every value.
 	Workers int
 	// QFactor sets the SPECK quantization step to QFactor*Tol in PWE mode;
 	// zero means DefaultQFactor. Larger values shift storage from
@@ -229,7 +232,14 @@ func CompressBPP(data []float64, dims [3]int, bitsPerPoint float64, opts *Option
 // Decompress reconstructs a volume compressed by CompressPWE or
 // CompressBPP. It returns the data in row-major order and its extent.
 func Decompress(stream []byte) ([]float64, [3]int, error) {
-	vol, err := chunk.Decompress(stream, 0)
+	return DecompressWorkers(stream, 0)
+}
+
+// DecompressWorkers is Decompress with an explicit worker budget (<= 0
+// means GOMAXPROCS). Workers beyond the chunk count split the inverse
+// transform inside each chunk; the output is identical at every count.
+func DecompressWorkers(stream []byte, workers int) ([]float64, [3]int, error) {
+	vol, err := chunk.Decompress(stream, workers)
 	if err != nil {
 		return nil, [3]int{}, err
 	}
