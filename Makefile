@@ -35,14 +35,16 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Hot-kernel micro-benchmarks: cache-blocked wavelet passes, integer
-# bit-plane SPECK, word-batched bit I/O, and the end-to-end single-thread
-# and intra-chunk-threaded pipelines. BENCH_KERNELS.json records the
-# before/after table for these.
+# bit-plane SPECK, word-batched bit I/O, the end-to-end single-thread
+# and intra-chunk-threaded pipelines, and the streaming engine (which
+# also reports peak-inflight-bytes, its bounded-memory witness).
+# BENCH_KERNELS.json records the before/after table for these.
 bench-kernels:
 	$(GO) test -run='^$$' -bench='WaveletForward3D|WaveletInverse3D' -benchmem ./internal/wavelet/
 	$(GO) test -run='^$$' -bench='SpeckEncode|SpeckDecode' -benchmem ./internal/speck/
 	$(GO) test -run='^$$' -bench='BitsReadWrite' -benchmem ./internal/bits/
 	$(GO) test -run='^$$' -bench='CompressPWE64|CompressPWEIntra64|Decompress64' -benchmem .
+	$(GO) test -run='^$$' -bench='StreamCompress|StreamDecompress' -benchmem .
 
 bench-log:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

@@ -10,6 +10,7 @@ package sperr
 // laptop-sized; cmd/sperrbench runs the full sweeps.
 
 import (
+	"bytes"
 	"io"
 	"math"
 	"testing"
@@ -248,3 +249,76 @@ func TestBenchToleranceSane(t *testing.T) {
 		t.Fatalf("bench field range %g unexpected", r)
 	}
 }
+
+// BenchmarkStreamCompress measures the streaming Encoder fed plane by
+// plane — the bounded-memory ingest path. Beyond throughput and allocs it
+// reports peak-inflight-bytes: the maximum chunk samples resident in
+// worker arenas, the quantity the engine promises to bound by
+// workers x chunk size.
+func BenchmarkStreamCompress(b *testing.B) {
+	const n = 96
+	data := benchVolume(n)
+	plane := n * n
+	opts := &Options{ChunkDims: [3]int{48, 48, 48}, Workers: 4}
+	b.SetBytes(int64(len(data) * 8))
+	b.ReportAllocs()
+	var peak int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := NewEncoderPWE(io.Discard, [3]int{n, n, n}, 1e-3, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for off := 0; off < len(data); off += plane {
+			if _, err := enc.Write(data[off : off+plane]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := enc.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if p := enc.PeakInFlightSamples() * 8; p > peak {
+			peak = p
+		}
+	}
+	b.ReportMetric(float64(peak), "peak-inflight-bytes")
+}
+
+// BenchmarkStreamDecompress measures the streaming Decoder draining
+// chunks through the callback without assembling the volume, with the
+// same peak-inflight-bytes metric on the decode side.
+func BenchmarkStreamDecompress(b *testing.B) {
+	const n = 96
+	data := benchVolume(n)
+	stream, _, err := CompressPWE(data, [3]int{n, n, n}, 1e-3,
+		&Options{ChunkDims: [3]int{48, 48, 48}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data) * 8))
+	b.ReportAllocs()
+	var peak int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := NewDecoder(bytes.NewReader(stream))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec.SetWorkers(4)
+		var sink float64
+		err = dec.ForEachChunk(func(ch DecodedChunk) error {
+			sink += ch.Data[0]
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p := dec.PeakInFlightSamples() * 8; p > peak {
+			peak = p
+		}
+		benchSink = sink
+	}
+	b.ReportMetric(float64(peak), "peak-inflight-bytes")
+}
+
+var benchSink float64

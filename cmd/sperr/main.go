@@ -14,8 +14,11 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -68,7 +71,7 @@ func main() {
 			qfactor: *qfactor, entropy: *entropy, quiet: *quiet,
 		})
 	} else {
-		runDecompress(*in, *out, *f32, *partial, *lowres, *region, *quiet)
+		runDecompress(*in, *out, *f32, *partial, *lowres, *region, *workers, *quiet)
 	}
 }
 
@@ -146,37 +149,89 @@ func runCompress(c compressSpec) {
 	if c.f32 {
 		width = 4
 	}
-	data, err := rawio.ReadFloats(c.in, width)
+	n := dims[0] * dims[1] * dims[2]
+
+	// Stream file -> encoder: the raw input is read in bounded batches and
+	// fed to the engine, so peak memory is the in-flight chunk set — never
+	// the volume.
+	inF, err := os.Open(c.in)
 	if err != nil {
 		fatal("read %s: %v", c.in, err)
 	}
-	n := dims[0] * dims[1] * dims[2]
-	if len(data) != n {
-		fatal("%s holds %d values; dims %v need %d", c.in, len(data), dims, n)
+	defer inF.Close()
+	if fi, err := inF.Stat(); err == nil && fi.Mode().IsRegular() {
+		if want := int64(n) * int64(width); fi.Size() != want {
+			fatal("%s holds %d bytes; dims %v need %d", c.in, fi.Size(), dims, want)
+		}
 	}
+	outF, err := os.Create(c.out)
+	if err != nil {
+		fatal("write %s: %v", c.out, err)
+	}
+	bw := bufio.NewWriterSize(outF, 1<<20)
+
 	opts := &sperr.Options{Workers: c.workers, QFactor: c.qfactor, Entropy: c.entropy}
 	if c.chunk != "" {
 		opts.ChunkDims = parseDims(c.chunk)
 	}
-	var stream []byte
-	var stats *sperr.Stats
+	var enc *sperr.Encoder
 	switch {
 	case c.tol > 0:
-		stream, stats, err = sperr.CompressPWE(data, dims, c.tol, opts)
+		enc, err = sperr.NewEncoderPWE(bw, dims, c.tol, opts)
 	case c.bpp > 0:
-		stream, stats, err = sperr.CompressBPP(data, dims, c.bpp, opts)
+		enc, err = sperr.NewEncoderBPP(bw, dims, c.bpp, opts)
 	case c.rmse > 0:
-		stream, stats, err = sperr.CompressRMSE(data, dims, c.rmse, opts)
+		enc, err = sperr.NewEncoderRMSE(bw, dims, c.rmse, opts)
 	default:
-		stream, stats, err = sperr.CompressPSNR(data, dims, c.psnr, opts)
+		// PSNR targets need the data range, which streaming cannot know up
+		// front; scan the file once first, then rewind.
+		var rng float64
+		rng, err = scanRange(inF, width)
+		if err == nil {
+			_, err = inF.Seek(0, io.SeekStart)
+		}
+		if err != nil {
+			fatal("scan %s: %v", c.in, err)
+		}
+		if !(rng > 0) {
+			rng = 1
+		}
+		enc, err = sperr.NewEncoderRMSE(bw, dims, rng/math.Pow(10, c.psnr/20), opts)
 	}
 	if err != nil {
 		fatal("compress: %v", err)
 	}
-	if err := os.WriteFile(c.out, stream, 0o644); err != nil {
+	fr, err := rawio.NewFloatReader(bufio.NewReaderSize(inF, 1<<20), width)
+	if err != nil {
+		fatal("read %s: %v", c.in, err)
+	}
+	batch := make([]float64, minInt(n, 1<<20))
+	for fed := 0; fed < n; {
+		k, rerr := fr.Read(batch[:minInt(len(batch), n-fed)])
+		if k > 0 {
+			if _, werr := enc.Write(batch[:k]); werr != nil {
+				fatal("compress: %v", werr)
+			}
+			fed += k
+		}
+		if rerr != nil {
+			if fed < n {
+				fatal("%s: %v after %d of %d values", c.in, rerr, fed, n)
+			}
+			break
+		}
+	}
+	if err := enc.Close(); err != nil {
+		fatal("compress: %v", err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatal("write %s: %v", c.out, err)
+	}
+	if err := outF.Close(); err != nil {
 		fatal("write %s: %v", c.out, err)
 	}
 	if !c.quiet {
+		stats := enc.Stats()
 		ratio := float64(n*width) / float64(stats.CompressedBytes)
 		fmt.Printf("compressed %d points -> %d bytes (%.3f BPP, ratio %.1fx, %d chunks, %d outliers, %v)\n",
 			stats.NumPoints, stats.CompressedBytes, stats.BPP, ratio,
@@ -184,7 +239,48 @@ func runCompress(c compressSpec) {
 	}
 }
 
-func runDecompress(in, out string, f32 bool, partial float64, lowres int, region string, quiet bool) {
+// scanRange streams through a raw float file once and returns max-min.
+func scanRange(r io.Reader, width int) (float64, error) {
+	fr, err := rawio.NewFloatReader(bufio.NewReaderSize(r, 1<<20), width)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	buf := make([]float64, 1<<16)
+	for {
+		k, err := fr.Read(buf)
+		for _, v := range buf[:k] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if err == io.EOF {
+			return hi - lo, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func runDecompress(in, out string, f32 bool, partial float64, lowres int, region string, workers int, quiet bool) {
+	width := 8
+	if f32 {
+		width = 4
+	}
+	if region == "" && lowres == 0 && partial == 0 {
+		// Full decode: stream the container through the Decoder, scattering
+		// decoded chunks into the output file as they complete. Peak memory
+		// is O(workers x chunk size), never the volume.
+		runStreamDecompress(in, out, width, workers, quiet)
+		return
+	}
 	stream, err := os.ReadFile(in)
 	if err != nil {
 		fatal("read %s: %v", in, err)
@@ -209,17 +305,11 @@ func runDecompress(in, out string, f32 bool, partial float64, lowres int, region
 		data, err = sperr.DecompressRegion(stream, [3]int{vals[0], vals[1], vals[2]}, dims)
 	case lowres > 0:
 		data, dims, err = sperr.DecompressLowRes(stream, lowres)
-	case partial > 0:
-		data, dims, err = sperr.DecompressPartial(stream, partial)
 	default:
-		data, dims, err = sperr.Decompress(stream)
+		data, dims, err = sperr.DecompressPartial(stream, partial)
 	}
 	if err != nil {
 		fatal("decompress: %v", err)
-	}
-	width := 8
-	if f32 {
-		width = 4
 	}
 	if err := rawio.WriteFloats(out, data, width); err != nil {
 		fatal("write %s: %v", out, err)
@@ -227,5 +317,53 @@ func runDecompress(in, out string, f32 bool, partial float64, lowres int, region
 	if !quiet {
 		fmt.Printf("decompressed %dx%dx%d (%d points) -> %s\n",
 			dims[0], dims[1], dims[2], len(data), out)
+	}
+}
+
+// runStreamDecompress reads container frames sequentially and writes each
+// decoded chunk's rows straight to their offsets in the output file.
+func runStreamDecompress(in, out string, width, workers int, quiet bool) {
+	inF, err := os.Open(in)
+	if err != nil {
+		fatal("read %s: %v", in, err)
+	}
+	defer inF.Close()
+	dec, err := sperr.NewDecoder(bufio.NewReaderSize(inF, 1<<20))
+	if err != nil {
+		fatal("decompress: %v", err)
+	}
+	dec.SetWorkers(workers)
+	vd := dec.Dims()
+	outF, err := os.Create(out)
+	if err != nil {
+		fatal("write %s: %v", out, err)
+	}
+	err = dec.ForEachChunk(func(ch sperr.DecodedChunk) error {
+		// One scratch per callback: callbacks run concurrently, one per
+		// worker, and chunk rows reuse it.
+		var buf []byte
+		nx := ch.Dims[0]
+		for z := 0; z < ch.Dims[2]; z++ {
+			for y := 0; y < ch.Dims[1]; y++ {
+				row := ch.Data[(z*ch.Dims[1]+y)*nx : (z*ch.Dims[1]+y+1)*nx]
+				off := ((int64(ch.Origin[2]+z)*int64(vd[1]) + int64(ch.Origin[1]+y)) * int64(vd[0])) + int64(ch.Origin[0])
+				var werr error
+				buf, werr = rawio.WriteFloatsAt(outF, row, width, off*int64(width), buf)
+				if werr != nil {
+					return werr
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fatal("decompress: %v", err)
+	}
+	if err := outF.Close(); err != nil {
+		fatal("write %s: %v", out, err)
+	}
+	if !quiet {
+		fmt.Printf("decompressed %dx%dx%d (%d points) -> %s\n",
+			vd[0], vd[1], vd[2], vd[0]*vd[1]*vd[2], out)
 	}
 }

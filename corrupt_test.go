@@ -14,7 +14,11 @@ import (
 
 // header builds a container header with the given seven u32 fields.
 func containerHeader(fields ...uint32) []byte {
-	out := []byte("SPRRGO01")
+	return containerHeaderMagic("SPRRGO01", fields...)
+}
+
+func containerHeaderMagic(magic string, fields ...uint32) []byte {
+	out := []byte(magic)
 	for _, v := range fields {
 		out = binary.LittleEndian.AppendUint32(out, v)
 	}
@@ -39,8 +43,13 @@ func TestCorruptStreamsErrorNotPanic(t *testing.T) {
 		"chunk count beyond stream": append(containerHeader(16, 16, 16, 8, 8, 8, 0xFFFFFF), 0, 0, 0, 0),
 		// Chunk count disagrees with the declared geometry.
 		"wrong chunk count": append(containerHeader(16, 16, 16, 8, 8, 8, 3), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0),
-		"truncated length table": valid[:8+4*7+2],
-		"truncated payload":      valid[:len(valid)-3],
+		"truncated first frame": valid[:8+4*7+2],
+		"truncated payload":     valid[:len(valid)-3],
+		// v2-specific header damage: right magic, hostile fields.
+		"v2 bare header":       append(containerHeaderMagic("SPRRGO02", 16, 16, 16, 8, 8, 8, 8), 0, 0, 0, 0),
+		"v2 overflowing dims":  append(containerHeaderMagic("SPRRGO02", 0xFFFFFFF0, 0xFFFFFFF0, 0xFFFFFFF0, 1, 1, 1, 1), 0, 0, 0, 0),
+		"v2 wrong chunk count": append(containerHeaderMagic("SPRRGO02", 16, 16, 16, 8, 8, 8, 3), make([]byte, 256)...),
+		"v2 zeroed tail":       append(append([]byte(nil), valid[:len(valid)-20]...), make([]byte, 20)...),
 	}
 	old := chunk.MaxDecodePoints
 	chunk.MaxDecodePoints = 1 << 22

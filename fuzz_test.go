@@ -9,6 +9,8 @@ package sperr
 import (
 	"encoding/binary"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"sperr/internal/chunk"
@@ -58,6 +60,27 @@ func FuzzDecompress(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte("SPRRGO01garbage"))
+	f.Add([]byte("SPRRGO02garbage"))
+	// The frozen v1 fixture keeps the compatibility decode path in the
+	// fuzz corpus even though the encoder now emits v2.
+	if v1, err := os.ReadFile(filepath.Join("testdata", "golden_pwe_24x17x9.sperr")); err == nil {
+		f.Add(v1)
+		f.Add(v1[:len(v1)/2])
+	}
+	// v2 structural damage: truncations at the frame and index-footer
+	// boundaries, and bit flips inside the index entries and tail.
+	for _, cut := range []int{len(multi) - 20, len(multi) - 21, len(multi) - 52} {
+		if cut > 0 {
+			f.Add(multi[:cut])
+		}
+	}
+	for _, pos := range []int{len(multi) - 1, len(multi) - 9, len(multi) - 17, len(multi) - 24, len(multi) - 45} {
+		if pos >= 0 {
+			mut := append([]byte(nil), multi...)
+			mut[pos] ^= 0x04
+			f.Add(mut)
+		}
+	}
 	for _, cut := range []int{1, 7, 8, 35, 36, 40, len(multi) / 2, len(multi) - 1} {
 		if cut < len(multi) {
 			f.Add(multi[:cut])

@@ -12,6 +12,9 @@ package sperr
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"flag"
 	"math"
 	"os"
@@ -38,7 +41,7 @@ func TestGoldenStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join("testdata", "golden_pwe_24x17x9.sperr")
+	path := filepath.Join("testdata", "golden_pwe_24x17x9_v2.sperr")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -80,7 +83,71 @@ func TestGoldenStream(t *testing.T) {
 	if info.Dims != dims || info.Mode != "pwe" || info.Tolerance != goldenTol {
 		t.Fatalf("golden Describe drifted: %+v", info)
 	}
+	if info.Version != 2 {
+		t.Fatalf("golden container version %d, want 2", info.Version)
+	}
 	if info.NumChunks != 4 { // 2x2x1 tiling of 24x17x9 by 16^3
 		t.Fatalf("golden chunk count %d, want 4", info.NumChunks)
+	}
+}
+
+// goldenV1ReconSHA256 pins the exact reconstruction of the checked-in v1
+// fixture (little-endian float64 bytes of the decode), captured on the
+// tree that wrote the fixture. The container-v2 refactor must keep
+// decoding v1 streams to these exact samples through the compatibility
+// path.
+const goldenV1ReconSHA256 = "dc9c7a53fd9714c20e98a1ff32067fbafb24e6ca6f2886bc7e152511884d9408"
+
+func reconDigest(data []float64) string {
+	raw := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	h := sha256.Sum256(raw)
+	return hex.EncodeToString(h[:])
+}
+
+// TestGoldenV1Compat: the frozen v1 fixture must keep decoding
+// byte-identically — through the one-shot wrapper and through the
+// streaming Decoder — and keep describing correctly.
+func TestGoldenV1Compat(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_pwe_24x17x9.sperr"))
+	if err != nil {
+		t.Fatalf("missing v1 fixture (must never be regenerated): %v", err)
+	}
+	_, dims := goldenInput()
+
+	rec, rdims, err := Decompress(want)
+	if err != nil {
+		t.Fatalf("v1 fixture no longer decodes: %v", err)
+	}
+	if rdims != dims {
+		t.Fatalf("v1 dims %v, want %v", rdims, dims)
+	}
+	if got := reconDigest(rec); got != goldenV1ReconSHA256 {
+		t.Fatalf("v1 reconstruction drifted: sha256 %s, want %s", got, goldenV1ReconSHA256)
+	}
+
+	dec, err := NewDecoder(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("streaming Decoder rejects v1: %v", err)
+	}
+	if v := dec.FormatVersion(); v != 1 {
+		t.Fatalf("v1 fixture reports version %d", v)
+	}
+	srec, sdims, err := dec.DecodeAll()
+	if err != nil {
+		t.Fatalf("streaming decode of v1: %v", err)
+	}
+	if sdims != dims || reconDigest(srec) != goldenV1ReconSHA256 {
+		t.Fatalf("streaming v1 decode differs from pinned reconstruction")
+	}
+
+	info, err := Describe(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Dims != dims || info.Mode != "pwe" || info.Tolerance != goldenTol {
+		t.Fatalf("v1 Describe drifted: %+v", info)
 	}
 }

@@ -9,9 +9,8 @@
 package chunk
 
 import (
-	"encoding/binary"
+	"bytes"
 	"errors"
-	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -19,9 +18,6 @@ import (
 	"sperr/internal/codec"
 	"sperr/internal/grid"
 )
-
-// magic identifies a SPERR-Go container stream.
-var magic = [8]byte{'S', 'P', 'R', 'R', 'G', 'O', '0', '1'}
 
 // DefaultChunkDim is the default chunk edge length; the paper settles on
 // 256^3 as a good balance between compression efficiency and exposed
@@ -67,40 +63,6 @@ type Event struct {
 	ScratchGrows int
 	// Stats is the chunk's stage breakdown.
 	Stats codec.Stats
-}
-
-// eventSequencer delivers events in chunk-index order: completions
-// arriving ahead of their turn wait in a map until the gap fills. emit
-// runs under mu, serializing callbacks.
-type eventSequencer struct {
-	mu      sync.Mutex
-	next    int
-	pending map[int]Event
-	emit    func(Event)
-}
-
-func newEventSequencer(emit func(Event)) *eventSequencer {
-	return &eventSequencer{pending: make(map[int]Event), emit: emit}
-}
-
-func (q *eventSequencer) deliver(e Event) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if e.Index != q.next {
-		q.pending[e.Index] = e
-		return
-	}
-	q.emit(e)
-	q.next++
-	for {
-		e, ok := q.pending[q.next]
-		if !ok {
-			return
-		}
-		delete(q.pending, q.next)
-		q.emit(e)
-		q.next++
-	}
 }
 
 // workerScratch is the per-goroutine arena of the parallel pipeline: the
@@ -163,147 +125,40 @@ func (s *Stats) BPP() float64 {
 }
 
 // Compress compresses vol chunk-by-chunk in parallel and returns the
-// container stream.
+// container stream (format v2). It is a thin in-memory wrapper over the
+// streaming Writer engine: the whole volume is fed at once, so chunks cut
+// straight from vol with no accumulation copies, and the output is
+// byte-identical at every worker count.
 func Compress(vol *grid.Volume, opts Options) ([]byte, *Stats, error) {
-	if !vol.Dims.Valid() {
-		return nil, nil, fmt.Errorf("chunk: invalid volume dims %v", vol.Dims)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, vol.Dims, opts)
+	if err != nil {
+		return nil, nil, err
 	}
-	start := time.Now()
-	chunks := grid.SplitChunks(vol.Dims, opts.chunkDims())
-	streams := make([][]byte, len(chunks))
-	stats := make([]codec.Stats, len(chunks))
-	errs := make([]error, len(chunks))
-	walls := make([]time.Duration, len(chunks))
-	grows := make([]int, len(chunks))
-
-	var seq *eventSequencer
-	if opts.Instrument != nil {
-		seq = newEventSequencer(opts.Instrument)
+	if _, err := w.Write(vol.Data); err != nil {
+		w.Close()
+		return nil, nil, err
 	}
-
-	// When the worker budget exceeds the number of chunks, leftover workers
-	// would idle: hand them to the chunks as intra-chunk threads instead
-	// (data-parallel wavelet passes and outlier scans). Streams stay
-	// byte-identical at every split, so this is purely a scheduling choice.
-	workers := opts.workers()
-	params := opts.Params
-	if workers > len(chunks) {
-		params.Threads = workers / len(chunks)
-		workers = len(chunks)
+	if err := w.Close(); err != nil {
+		return nil, nil, err
 	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ws := scratchPool.Get().(*workerScratch)
-			defer scratchPool.Put(ws)
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(chunks) {
-					return
-				}
-				c := chunks[i]
-				t0 := time.Now()
-				g0 := ws.codec.Grows()
-				ws.slab = vol.CutoutInto(ws.slab, c.X0, c.Y0, c.Z0, c.Dims)
-				stream, st, err := codec.EncodeChunkScratch(ws.slab, c.Dims, params, ws.codec)
-				if err != nil {
-					errs[i] = fmt.Errorf("chunk %d %v: %w", i, c.Dims, err)
-					return
-				}
-				streams[i] = stream
-				stats[i] = *st
-				walls[i] = time.Since(t0)
-				grows[i] = ws.codec.Grows() - g0
-				if seq != nil {
-					seq.deliver(Event{
-						Index:        i,
-						Dims:         c.Dims,
-						BytesIn:      c.Dims.Len() * 8,
-						BytesOut:     len(stream),
-						WallTime:     walls[i],
-						ScratchGrows: grows[i],
-						Stats:        *st,
-					})
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-
-	// Container: magic | volume dims | chunk dims | nchunks | lengths | payloads.
-	cd := opts.chunkDims()
-	head := make([]byte, 0, 8+4*7+4*len(chunks))
-	head = append(head, magic[:]...)
-	for _, v := range []int{vol.Dims.NX, vol.Dims.NY, vol.Dims.NZ, cd.NX, cd.NY, cd.NZ, len(chunks)} {
-		head = binary.LittleEndian.AppendUint32(head, uint32(v))
-	}
-	total := len(head)
-	for _, s := range streams {
-		total += 4 + len(s)
-	}
-	out := make([]byte, 0, total)
-	out = append(out, head...)
-	for _, s := range streams {
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
-		out = append(out, s...)
-	}
-
-	agg := &Stats{
-		Chunks:     stats,
-		WallTime:   time.Since(start),
-		TotalBytes: len(out),
-		NumPoints:  vol.Dims.Len(),
-	}
-	for i := range stats {
-		agg.NumOutliers += stats[i].NumOutliers
-		agg.SpeckBits += stats[i].SpeckBits
-		agg.OutlierBits += stats[i].OutlierBits
-		agg.ScratchGrows += grows[i]
-		if walls[i] > agg.MaxChunkTime {
-			agg.MaxChunkTime = walls[i]
-		}
-	}
-	return out, agg, nil
+	return buf.Bytes(), w.Stats(), nil
 }
 
-// Decompress reconstructs a volume from a container stream, decoding
-// chunks in parallel on up to workers goroutines (<= 0 means GOMAXPROCS).
+// Decompress reconstructs a volume from a container stream (format v1 or
+// v2), decoding chunks in parallel on up to workers goroutines (<= 0
+// means GOMAXPROCS). It is a thin wrapper over the streaming Reader
+// engine with the whole container in memory.
 func Decompress(stream []byte, workers int) (*grid.Volume, error) {
-	c, err := parseContainer(stream)
+	d, err := NewReader(bytes.NewReader(stream), workers)
 	if err != nil {
 		return nil, err
 	}
-	vol := grid.NewVolume(c.volDims)
-	// Mirror Compress: surplus workers become intra-chunk threads.
-	w := workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	intra := 1
-	if n := len(c.chunks); n > 0 && w > n {
-		intra = w / n
-	}
-	err = forEachChunkScratch(len(c.chunks), workers, func(i int, ws *workerScratch) error {
-		ch := c.chunks[i]
-		data, err := codec.DecodeChunkScratchThreads(c.payloads[i], ch.Dims, ws.codec, intra)
-		if err != nil {
-			return fmt.Errorf("chunk %d: %w", i, err)
-		}
-		// Chunks are disjoint, so concurrent InsertSlice calls touch
-		// disjoint regions of vol.Data. data aliases the worker's arena;
-		// the copy-out below finishes before the arena's next use.
+	vol := grid.NewVolume(d.VolumeDims())
+	// Chunks are disjoint, so concurrent InsertSlice calls touch disjoint
+	// regions of vol.Data. data aliases the worker's arena; the copy-out
+	// completes before the callback returns.
+	err = d.ForEach(func(i int, ch grid.Chunk, data []float64) error {
 		vol.InsertSlice(data, ch.Dims, ch.X0, ch.Y0, ch.Z0)
 		return nil
 	})

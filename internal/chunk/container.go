@@ -7,12 +7,19 @@ import (
 	"sperr/internal/grid"
 )
 
-// container is a parsed SPERR-Go container stream.
+// container is a parsed SPERR-Go container stream (format v1 or v2). For
+// v2, payload checksums are deferred to payload(): parse walks only the
+// header and index footer, so random-access consumers (Describe,
+// DecompressRegion) never touch the frames they skip.
 type container struct {
+	version   int
 	volDims   grid.Dims
 	chunkDims grid.Dims
 	chunks    []grid.Chunk
 	payloads  [][]byte // one compressed stream per chunk, aliasing the input
+	crcs      []uint32 // v2: expected payload crc32c, verified lazily
+	agg       aggregates
+	hasAgg    bool
 }
 
 // MaxDecodePoints, when positive, bounds the number of points a container
@@ -37,65 +44,116 @@ func mulOK(a, b int) (int, bool) {
 // ceilDiv returns ceil(a/b) for positive a, b.
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
-// parseContainer validates and indexes a container stream without
-// decoding any chunk payloads.
-func parseContainer(stream []byte) (*container, error) {
-	const fixed = 8 + 4*7
-	if len(stream) < fixed {
-		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+// validateGeometry checks a container's declared geometry arithmetically
+// before any geometry-sized allocation happens: a corrupt header must not
+// be able to provoke a huge or overflowing make(). It returns the chunk
+// split on success.
+func validateGeometry(volDims, chunkDims grid.Dims, nchunks int) ([]grid.Chunk, error) {
+	if !volDims.Valid() || !chunkDims.Valid() {
+		return nil, fmt.Errorf("%w: invalid dims %v / %v", ErrCorrupt, volDims, chunkDims)
 	}
-	for i := range magic {
-		if stream[i] != magic[i] {
-			return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
-		}
-	}
-	u32 := func(off int) int { return int(binary.LittleEndian.Uint32(stream[off:])) }
-	c := &container{
-		volDims:   grid.Dims{NX: u32(8), NY: u32(12), NZ: u32(16)},
-		chunkDims: grid.Dims{NX: u32(20), NY: u32(24), NZ: u32(28)},
-	}
-	nchunks := u32(32)
-	if !c.volDims.Valid() || !c.chunkDims.Valid() {
-		return nil, fmt.Errorf("%w: invalid dims %v / %v", ErrCorrupt, c.volDims, c.chunkDims)
-	}
-	// Validate the declared geometry arithmetically before any
-	// geometry-sized allocation: a corrupt header must not be able to
-	// provoke a huge or overflowing make(). Every chunk costs at least a
-	// 4-byte length prefix, so nchunks is bounded by the bytes that
-	// remain; the chunk-grid product is checked for overflow; the volume
-	// point count is checked for overflow (and the optional decode cap).
-	if nchunks > (len(stream)-fixed)/4 {
-		return nil, fmt.Errorf("%w: chunk count %d exceeds stream capacity", ErrCorrupt, nchunks)
-	}
-	xy, ok1 := mulOK(c.volDims.NX, c.volDims.NY)
-	points, ok2 := mulOK(xy, c.volDims.NZ)
+	xy, ok1 := mulOK(volDims.NX, volDims.NY)
+	points, ok2 := mulOK(xy, volDims.NZ)
 	if !ok1 || !ok2 {
-		return nil, fmt.Errorf("%w: volume dims %v overflow", ErrCorrupt, c.volDims)
+		return nil, fmt.Errorf("%w: volume dims %v overflow", ErrCorrupt, volDims)
 	}
 	if MaxDecodePoints > 0 && points > MaxDecodePoints {
 		return nil, fmt.Errorf("%w: volume of %d points exceeds decode cap %d",
 			ErrCorrupt, points, MaxDecodePoints)
 	}
-	cxy, ok1 := mulOK(ceilDiv(c.volDims.NX, c.chunkDims.NX), ceilDiv(c.volDims.NY, c.chunkDims.NY))
-	want, ok2 := mulOK(cxy, ceilDiv(c.volDims.NZ, c.chunkDims.NZ))
+	cxy, ok1 := mulOK(ceilDiv(volDims.NX, chunkDims.NX), ceilDiv(volDims.NY, chunkDims.NY))
+	want, ok2 := mulOK(cxy, ceilDiv(volDims.NZ, chunkDims.NZ))
 	if !ok1 || !ok2 || want != nchunks {
 		return nil, fmt.Errorf("%w: chunk count %d does not match geometry (%d)",
 			ErrCorrupt, nchunks, want)
 	}
-	c.chunks = grid.SplitChunks(c.volDims, c.chunkDims)
+	return grid.SplitChunks(volDims, chunkDims), nil
+}
+
+// parseContainer validates and indexes a container stream without
+// decoding (or, for v2, even checksumming) any chunk payloads.
+func parseContainer(stream []byte) (*container, error) {
+	if len(stream) < fixedHeaderSize {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	c := &container{}
+	switch {
+	case [8]byte(stream[:8]) == magicV1:
+		c.version = 1
+	case [8]byte(stream[:8]) == magicV2:
+		c.version = 2
+	default:
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	u32 := func(off int) int { return int(binary.LittleEndian.Uint32(stream[off:])) }
+	c.volDims = grid.Dims{NX: u32(8), NY: u32(12), NZ: u32(16)}
+	c.chunkDims = grid.Dims{NX: u32(20), NY: u32(24), NZ: u32(28)}
+	nchunks := u32(32)
+	// Every chunk costs at least a 4-byte length prefix, so nchunks is
+	// bounded by the bytes that remain — checked before validateGeometry's
+	// products so a lying count cannot size the chunk slice either.
+	if nchunks > (len(stream)-fixedHeaderSize)/4 {
+		return nil, fmt.Errorf("%w: chunk count %d exceeds stream capacity", ErrCorrupt, nchunks)
+	}
+	chunks, err := validateGeometry(c.volDims, c.chunkDims, nchunks)
+	if err != nil {
+		return nil, err
+	}
+	c.chunks = chunks
+	if c.version >= 2 {
+		return c, c.parseV2(stream, nchunks)
+	}
 	c.payloads = make([][]byte, nchunks)
-	off := fixed
+	off := fixedHeaderSize
 	for i := 0; i < nchunks; i++ {
 		if off+4 > len(stream) {
 			return nil, fmt.Errorf("%w: truncated at chunk %d", ErrCorrupt, i)
 		}
 		n := u32(off)
 		off += 4
-		if off+n > len(stream) {
+		if n < 0 || off+n > len(stream) {
 			return nil, fmt.Errorf("%w: chunk %d payload truncated", ErrCorrupt, i)
 		}
 		c.payloads[i] = stream[off : off+n]
 		off += n
 	}
 	return c, nil
+}
+
+// parseV2 indexes a v2 stream from its footer alone: the frames are
+// located by the index entries, not by walking length prefixes, so this
+// is O(nchunks) in the footer and touches no frame bytes.
+func (c *container) parseV2(stream []byte, nchunks int) error {
+	idxOff, err := locateIndex(stream)
+	if err != nil {
+		return err
+	}
+	entries, agg, err := parseIndex(stream[idxOff:], nchunks, idxOff, len(stream))
+	if err != nil {
+		return err
+	}
+	c.agg, c.hasAgg = agg, true
+	c.payloads = make([][]byte, nchunks)
+	c.crcs = make([]uint32, nchunks)
+	for i, e := range entries {
+		// parseIndex proved offset+4+length+4 <= indexOffset <= len(stream).
+		start := int(e.offset) + 4
+		c.payloads[i] = stream[start : start+int(e.length)]
+		c.crcs[i] = e.crc
+	}
+	return nil
+}
+
+// payload returns chunk i's compressed stream, verifying its checksum
+// first on v2 containers. Verification happens here — at access time —
+// rather than at parse time, so consumers pay only for the frames they
+// actually open.
+func (c *container) payload(i int) ([]byte, error) {
+	p := c.payloads[i]
+	if c.crcs != nil {
+		if got := frameCRC(p); got != c.crcs[i] {
+			return nil, fmt.Errorf("%w: chunk %d checksum mismatch", ErrCorrupt, i)
+		}
+	}
+	return p, nil
 }

@@ -23,7 +23,11 @@ func DecompressPartial(stream []byte, fraction float64, workers int) (*grid.Volu
 	vol := grid.NewVolume(c.volDims)
 	err = forEachChunkParallel(len(c.chunks), workers, func(i int) error {
 		ch := c.chunks[i]
-		data, err := codec.DecodeChunkPartial(c.payloads[i], ch.Dims, fraction)
+		payload, err := c.payload(i)
+		if err != nil {
+			return err
+		}
+		data, err := codec.DecodeChunkPartial(payload, ch.Dims, fraction)
 		if err != nil {
 			return fmt.Errorf("chunk %d: %w", i, err)
 		}
@@ -79,7 +83,11 @@ func DecompressLowRes(stream []byte, drop, workers int) (*grid.Volume, error) {
 	vol := grid.NewVolume(coarseVol)
 	err = forEachChunkParallel(len(c.chunks), workers, func(i int) error {
 		ch := c.chunks[i]
-		data, low, err := codec.DecodeChunkLowRes(c.payloads[i], ch.Dims, drop)
+		payload, err := c.payload(i)
+		if err != nil {
+			return err
+		}
+		data, low, err := codec.DecodeChunkLowRes(payload, ch.Dims, drop)
 		if err != nil {
 			return fmt.Errorf("chunk %d: %w", i, err)
 		}

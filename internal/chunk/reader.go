@@ -1,0 +1,275 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sperr/internal/codec"
+	"sperr/internal/grid"
+)
+
+// maxFrameBytesFor bounds how large a single frame payload may claim to
+// be, as a function of the largest chunk the container geometry allows. A
+// corrupt length prefix must not be able to demand an allocation out of
+// proportion to the data it could possibly carry.
+func maxFrameBytesFor(chunkLen int) int {
+	const slack = 64 << 10
+	return 256*chunkLen + slack
+}
+
+// readChunkMax caps each allocation step while reading a frame payload,
+// so a lying length prefix on a truncated stream fails after at most one
+// step instead of allocating the full claim up front.
+const readChunkMax = 1 << 20
+
+// Reader is the streaming decoder engine: it reads container frames
+// sequentially from any io.Reader (formats v1 and v2), decodes chunks on
+// a worker pool, and hands each decoded chunk to a callback. Peak decoded
+// data in flight is bounded by workers x chunk size — never the volume.
+type Reader struct {
+	r       io.Reader
+	version int
+
+	volDims   grid.Dims
+	chunkDims grid.Dims
+	chunks    []grid.Chunk
+	workers   int
+
+	consumed bool
+
+	inFlight     atomic.Int64
+	peakInFlight atomic.Int64
+}
+
+// NewReader parses the container's fixed header from r and prepares a
+// streaming decode. workers <= 0 means GOMAXPROCS.
+func NewReader(r io.Reader, workers int) (*Reader, error) {
+	var hdr [fixedHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	d := &Reader{r: r, workers: workers}
+	switch {
+	case [8]byte(hdr[:8]) == magicV1:
+		d.version = 1
+	case [8]byte(hdr[:8]) == magicV2:
+		d.version = 2
+	default:
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	u32 := func(off int) int { return int(binary.LittleEndian.Uint32(hdr[off:])) }
+	d.volDims = grid.Dims{NX: u32(8), NY: u32(12), NZ: u32(16)}
+	d.chunkDims = grid.Dims{NX: u32(20), NY: u32(24), NZ: u32(28)}
+	chunks, err := validateGeometry(d.volDims, d.chunkDims, u32(32))
+	if err != nil {
+		return nil, err
+	}
+	d.chunks = chunks
+	return d, nil
+}
+
+// VolumeDims returns the volume extent declared by the container header.
+func (d *Reader) VolumeDims() grid.Dims { return d.volDims }
+
+// ChunkDims returns the declared chunk tiling bound.
+func (d *Reader) ChunkDims() grid.Dims { return d.chunkDims }
+
+// NumChunks returns the number of chunks in the container.
+func (d *Reader) NumChunks() int { return len(d.chunks) }
+
+// Version reports the container format version (1 or 2).
+func (d *Reader) Version() int { return d.version }
+
+// SetWorkers adjusts the decode worker budget before ForEach (<= 0 means
+// GOMAXPROCS).
+func (d *Reader) SetWorkers(n int) { d.workers = n }
+
+// PeakInFlightSamples reports the maximum number of decoded samples alive
+// at any one time during ForEach — at most workers x chunk size.
+func (d *Reader) PeakInFlightSamples() int { return int(d.peakInFlight.Load()) }
+
+// decJob is one compressed frame payload awaiting decode.
+type decJob struct {
+	index   int
+	payload []byte
+}
+
+// ForEach streams every chunk of the container through fn: frames are
+// read sequentially, decoded in parallel, and fn is invoked once per
+// chunk with its geometry and decoded samples. fn runs concurrently on
+// worker goroutines and data aliases a worker arena — copy out before
+// returning. ForEach consumes the Reader; it can be called once.
+func (d *Reader) ForEach(fn func(index int, ch grid.Chunk, data []float64) error) error {
+	if d.consumed {
+		return fmt.Errorf("chunk: Reader already consumed")
+	}
+	d.consumed = true
+
+	workers := d.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	intra := 1
+	if n := len(d.chunks); workers > n {
+		intra = workers / n
+		workers = n
+	}
+	maxChunkLen := 0
+	for _, ch := range d.chunks {
+		if n := ch.Dims.Len(); n > maxChunkLen {
+			maxChunkLen = n
+		}
+	}
+	maxFrame := maxFrameBytesFor(maxChunkLen)
+
+	var (
+		failed  atomic.Bool
+		mu      sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+
+	bufPool := sync.Pool{New: func() any { return new([]byte) }}
+	jobs := make(chan decJob, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := scratchPool.Get().(*workerScratch)
+			defer scratchPool.Put(ws)
+			for job := range jobs {
+				if !failed.Load() {
+					ch := d.chunks[job.index]
+					n := int64(ch.Dims.Len())
+					raisePeak(&d.peakInFlight, d.inFlight.Add(n))
+					data, err := codec.DecodeChunkScratchThreads(job.payload, ch.Dims, ws.codec, intra)
+					if err != nil {
+						fail(fmt.Errorf("chunk %d: %w", job.index, err))
+					} else if err := fn(job.index, ch, data); err != nil {
+						fail(err)
+					}
+					d.inFlight.Add(-n)
+				}
+				buf := job.payload[:0]
+				bufPool.Put(&buf)
+			}
+		}()
+	}
+
+	// Producer: read frames sequentially, recording what the index footer
+	// must later corroborate (v2).
+	entries := make([]indexEntry, len(d.chunks))
+	off := uint64(fixedHeaderSize)
+	var prefix [4]byte
+	for i := range d.chunks {
+		if failed.Load() {
+			break
+		}
+		if _, err := io.ReadFull(d.r, prefix[:]); err != nil {
+			fail(fmt.Errorf("%w: truncated at frame %d: %v", ErrCorrupt, i, err))
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(prefix[:]))
+		if n > maxFrame {
+			fail(fmt.Errorf("%w: frame %d claims %d bytes (cap %d)", ErrCorrupt, i, n, maxFrame))
+			break
+		}
+		bp := bufPool.Get().(*[]byte)
+		payload, err := readFrame(d.r, *bp, n)
+		if err != nil {
+			fail(fmt.Errorf("%w: frame %d payload: %v", ErrCorrupt, i, err))
+			break
+		}
+		crc := frameCRC(payload)
+		if d.version >= 2 {
+			var post [4]byte
+			if _, err := io.ReadFull(d.r, post[:]); err != nil {
+				fail(fmt.Errorf("%w: frame %d checksum truncated: %v", ErrCorrupt, i, err))
+				break
+			}
+			if got := binary.LittleEndian.Uint32(post[:]); got != crc {
+				fail(fmt.Errorf("%w: frame %d checksum mismatch", ErrCorrupt, i))
+				break
+			}
+		}
+		entries[i] = indexEntry{offset: off, length: uint32(n), crc: crc}
+		if d.version >= 2 {
+			off += 4 + uint64(n) + 4
+		} else {
+			off += 4 + uint64(n)
+		}
+		jobs <- decJob{index: i, payload: payload}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	if d.version >= 2 {
+		// Consume and corroborate the index footer: every entry must match
+		// the frames just decoded.
+		idxLen := len(d.chunks)*indexEntrySize + aggregateSize + tailSize
+		idx := make([]byte, idxLen)
+		if _, err := io.ReadFull(d.r, idx); err != nil {
+			return fmt.Errorf("%w: truncated index footer: %v", ErrCorrupt, err)
+		}
+		got, _, err := parseIndex(idx, len(d.chunks), off, int(off)+idxLen)
+		if err != nil {
+			return err
+		}
+		for i := range got {
+			if got[i] != entries[i] {
+				return fmt.Errorf("%w: index entry %d disagrees with frame", ErrCorrupt, i)
+			}
+		}
+	}
+	return nil
+}
+
+// raisePeak lifts the running-maximum counter to cur if it exceeds the
+// recorded peak, racing correctly against concurrent raises.
+func raisePeak(peak *atomic.Int64, cur int64) {
+	for {
+		p := peak.Load()
+		if cur <= p || peak.CompareAndSwap(p, cur) {
+			return
+		}
+	}
+}
+
+// readFrame reads exactly n payload bytes into buf (grown as needed),
+// allocating in bounded steps so a lying length prefix on a truncated
+// stream cannot demand the full claim up front.
+func readFrame(r io.Reader, buf []byte, n int) ([]byte, error) {
+	buf = buf[:0]
+	for len(buf) < n {
+		step := n - len(buf)
+		if step > readChunkMax {
+			step = readChunkMax
+		}
+		start := len(buf)
+		if cap(buf) < start+step {
+			grown := make([]byte, start, start+step)
+			copy(grown, buf)
+			buf = grown
+		}
+		buf = buf[:start+step]
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return buf[:0], err
+		}
+	}
+	return buf, nil
+}

@@ -14,16 +14,26 @@ import (
 // of the community databases that motivate the paper — touches a fraction
 // of the stream.
 func DecompressRegion(stream []byte, x0, y0, z0 int, dims grid.Dims, workers int) (*grid.Volume, error) {
+	vol, _, err := decompressRegionCounted(stream, x0, y0, z0, dims, workers)
+	return vol, err
+}
+
+// decompressRegionCounted is DecompressRegion also reporting how many
+// chunks it decoded — the access-cost witness the region tests assert on.
+// On v2 containers the frames are located via the index footer, so the
+// bytes of non-intersecting frames are never touched (not even for
+// checksumming; frame CRCs verify lazily at payload access).
+func decompressRegionCounted(stream []byte, x0, y0, z0 int, dims grid.Dims, workers int) (*grid.Volume, int, error) {
 	if !dims.Valid() {
-		return nil, fmt.Errorf("chunk: invalid region dims %v", dims)
+		return nil, 0, fmt.Errorf("chunk: invalid region dims %v", dims)
 	}
 	c, err := parseContainer(stream)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if x0 < 0 || y0 < 0 || z0 < 0 ||
 		x0+dims.NX > c.volDims.NX || y0+dims.NY > c.volDims.NY || z0+dims.NZ > c.volDims.NZ {
-		return nil, fmt.Errorf("chunk: region %v@(%d,%d,%d) exceeds volume %v",
+		return nil, 0, fmt.Errorf("chunk: region %v@(%d,%d,%d) exceeds volume %v",
 			dims, x0, y0, z0, c.volDims)
 	}
 	// Select intersecting chunks.
@@ -39,7 +49,11 @@ func DecompressRegion(stream []byte, x0, y0, z0 int, dims grid.Dims, workers int
 	err = forEachChunkParallel(len(hit), workers, func(k int) error {
 		i := hit[k]
 		ch := c.chunks[i]
-		data, err := codec.DecodeChunk(c.payloads[i], ch.Dims)
+		payload, err := c.payload(i)
+		if err != nil {
+			return err
+		}
+		data, err := codec.DecodeChunk(payload, ch.Dims)
 		if err != nil {
 			return fmt.Errorf("chunk %d: %w", i, err)
 		}
@@ -57,9 +71,9 @@ func DecompressRegion(stream []byte, x0, y0, z0 int, dims grid.Dims, workers int
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return out, nil
+	return out, len(hit), nil
 }
 
 // TouchedChunks reports how many chunks a region decode would visit (for

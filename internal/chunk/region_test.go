@@ -121,3 +121,38 @@ func TestRegionValidation(t *testing.T) {
 		t.Error("corrupt stream should fail")
 	}
 }
+
+// TestRegionDecodesMinimalChunks: on a v2 container the region decoder
+// must seek via the index and decode only intersecting chunks — the
+// counted helper exposes exactly how many frames it opened.
+func TestRegionDecodesMinimalChunks(t *testing.T) {
+	v := testVolume(grid.D3(32, 32, 32), 13) // 2x2x2 tiling by 16^3
+	stream, _, err := Compress(v, Options{
+		Params:    codec.Params{Mode: codec.ModePWE, Tol: 0.05},
+		ChunkDims: grid.D3(16, 16, 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x0, y0, z0 int
+		d          grid.Dims
+		want       int
+	}{
+		{0, 0, 0, grid.D3(4, 4, 4), 1},     // corner cutout: 1 of 8
+		{20, 20, 20, grid.D3(4, 4, 4), 1},  // interior of the last chunk
+		{8, 8, 8, grid.D3(16, 16, 16), 8},  // center straddles all 8
+		{0, 0, 0, grid.D3(32, 32, 1), 4},   // one XY plane: a z-layer of 4
+		{14, 0, 0, grid.D3(4, 4, 4), 2},    // crosses one x boundary
+	}
+	for _, c := range cases {
+		_, decoded, err := decompressRegionCounted(stream, c.x0, c.y0, c.z0, c.d, 0)
+		if err != nil {
+			t.Fatalf("region %v@(%d,%d,%d): %v", c.d, c.x0, c.y0, c.z0, err)
+		}
+		if decoded != c.want {
+			t.Errorf("region %v@(%d,%d,%d): decoded %d chunks, want %d",
+				c.d, c.x0, c.y0, c.z0, decoded, c.want)
+		}
+	}
+}

@@ -92,6 +92,32 @@ func (p Params) threads() int {
 	return p.Threads
 }
 
+// Validate checks that the mode and its controlling knob are coherent,
+// so pipeline front-ends can reject bad parameters before any samples
+// flow. EncodeChunkScratch performs the same checks per chunk.
+func (p Params) Validate() error {
+	switch p.Mode {
+	case ModePWE:
+		if !(p.Tol > 0) {
+			return errors.New("codec: ModePWE requires Tol > 0")
+		}
+	case ModeBPP:
+		if !(p.BitsPerPoint > 0) {
+			return errors.New("codec: ModeBPP requires BitsPerPoint > 0")
+		}
+	case ModeRMSE:
+		if !(p.TargetRMSE > 0) {
+			return errors.New("codec: ModeRMSE requires TargetRMSE > 0")
+		}
+	default:
+		return fmt.Errorf("codec: unknown mode %d", p.Mode)
+	}
+	if p.Entropy && p.Mode != ModePWE {
+		return errors.New("codec: Entropy requires ModePWE")
+	}
+	return nil
+}
+
 func (p Params) q() float64 {
 	if p.Q > 0 {
 		return p.Q
@@ -167,6 +193,10 @@ type header struct {
 	tol         float64
 	speckBits   uint64
 	outlierBits uint64
+	// points is the chunk's sample count, a frame-level self-check added
+	// with container v2 (previously reserved bytes). Zero means "not
+	// recorded" — streams written before the field decode unchanged.
+	points uint32
 }
 
 // appendTo appends the marshalled 40-byte header to dst.
@@ -182,7 +212,7 @@ func (h *header) appendTo(dst []byte) []byte {
 	binary.LittleEndian.PutUint64(b[12:], math.Float64bits(h.tol))
 	binary.LittleEndian.PutUint64(b[20:], h.speckBits)
 	binary.LittleEndian.PutUint64(b[28:], h.outlierBits)
-	// b[36:40] reserved
+	binary.LittleEndian.PutUint32(b[36:], h.points)
 	return append(dst, b[:]...)
 }
 
@@ -199,6 +229,7 @@ func parseHeader(b []byte) (*header, error) {
 		tol:         math.Float64frombits(binary.LittleEndian.Uint64(b[12:])),
 		speckBits:   binary.LittleEndian.Uint64(b[20:]),
 		outlierBits: binary.LittleEndian.Uint64(b[28:]),
+		points:      binary.LittleEndian.Uint32(b[36:]),
 	}
 	if h.mode != ModePWE && h.mode != ModeBPP && h.mode != ModeRMSE {
 		return nil, fmt.Errorf("%w: unknown mode %d", ErrCorrupt, h.mode)
@@ -210,6 +241,26 @@ func parseHeader(b []byte) (*header, error) {
 		return nil, fmt.Errorf("%w: invalid tolerance %g", ErrCorrupt, h.tol)
 	}
 	return h, nil
+}
+
+// chunkPoints is the header's frame-level sample count; zero when the
+// chunk is too large for the field (never at the paper's 256^3 tiling).
+func chunkPoints(dims grid.Dims) uint32 {
+	n := dims.Len()
+	if n < 0 || int64(n) > int64(^uint32(0)) {
+		return 0
+	}
+	return uint32(n)
+}
+
+// checkPoints cross-checks the header's recorded sample count against the
+// extent the caller is decoding with. Zero (pre-v2 streams) passes.
+func (h *header) checkPoints(dims grid.Dims) error {
+	if h.points != 0 && int(h.points) != dims.Len() {
+		return fmt.Errorf("%w: header records %d points, decoding %d",
+			ErrCorrupt, h.points, dims.Len())
+	}
+	return nil
 }
 
 // EncodeChunk compresses one chunk of data (row-major, extent dims) with
@@ -226,24 +277,8 @@ func EncodeChunkScratch(data []float64, dims grid.Dims, p Params, s *Scratch) ([
 	if len(data) != dims.Len() {
 		return nil, nil, fmt.Errorf("%w: %d values for %v", ErrDims, len(data), dims)
 	}
-	switch p.Mode {
-	case ModePWE:
-		if !(p.Tol > 0) {
-			return nil, nil, errors.New("codec: ModePWE requires Tol > 0")
-		}
-	case ModeBPP:
-		if !(p.BitsPerPoint > 0) {
-			return nil, nil, errors.New("codec: ModeBPP requires BitsPerPoint > 0")
-		}
-	case ModeRMSE:
-		if !(p.TargetRMSE > 0) {
-			return nil, nil, errors.New("codec: ModeRMSE requires TargetRMSE > 0")
-		}
-	default:
-		return nil, nil, fmt.Errorf("codec: unknown mode %d", p.Mode)
-	}
-	if p.Entropy && p.Mode != ModePWE {
-		return nil, nil, errors.New("codec: Entropy requires ModePWE")
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
 	}
 	// Non-finite values cannot be transform-coded and would silently void
 	// the error guarantee (NaN compares false against every threshold, so
@@ -330,6 +365,7 @@ func EncodeChunkScratch(data []float64, dims grid.Dims, p Params, s *Scratch) ([
 		q:         q,
 		tol:       p.Tol,
 		speckBits: sres.Bits,
+		points:    chunkPoints(dims),
 	}
 	var ores *outlier.Result
 
@@ -423,6 +459,9 @@ func DecodeChunkScratchThreads(stream []byte, dims grid.Dims, s *Scratch, thread
 	}
 	h, err := parseHeader(payload)
 	if err != nil {
+		return nil, err
+	}
+	if err := h.checkPoints(dims); err != nil {
 		return nil, err
 	}
 	body := payload[headerSize:]

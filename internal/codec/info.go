@@ -18,10 +18,14 @@ type StreamMeta struct {
 	SpeckBits, OutlierBits uint64
 	// Entropy reports the arithmetic-coded (SPECK-AC) bit layer.
 	Entropy bool
+	// Points is the chunk's sample count recorded in the header; zero on
+	// streams written before the field existed.
+	Points int
 }
 
 // DescribeChunk parses a chunk stream's header without reconstructing
-// data.
+// data. Only the header-sized prefix of the lossless layer is inflated,
+// so the cost is independent of the chunk's payload size.
 func DescribeChunk(stream []byte) (*StreamMeta, error) {
 	if len(stream) < 1 {
 		return nil, ErrCorrupt
@@ -29,9 +33,12 @@ func DescribeChunk(stream []byte) (*StreamMeta, error) {
 	var payload []byte
 	if stream[0] == 0xFF {
 		payload = stream[1:]
+		if len(payload) > headerSize {
+			payload = payload[:headerSize]
+		}
 	} else {
 		var err error
-		payload, err = lossless.Decompress(stream)
+		payload, err = lossless.DecompressPrefix(stream, headerSize)
 		if err != nil {
 			return nil, err
 		}
@@ -49,5 +56,6 @@ func DescribeChunk(stream []byte) (*StreamMeta, error) {
 		SpeckBits:     h.speckBits,
 		OutlierBits:   h.outlierBits,
 		Entropy:       h.entropy,
+		Points:        int(h.points),
 	}, nil
 }

@@ -41,6 +41,9 @@ func DecodeChunkPartial(stream []byte, dims grid.Dims, fraction float64) ([]floa
 	if err != nil {
 		return nil, err
 	}
+	if err := h.checkPoints(dims); err != nil {
+		return nil, err
+	}
 	body := payload[headerSize:]
 	if h.speckBits > uint64(len(body))*8 {
 		return nil, fmt.Errorf("%w: SPECK stream truncated", ErrCorrupt)
@@ -97,6 +100,9 @@ func DecodeChunkLowRes(stream []byte, dims grid.Dims, drop int) ([]float64, grid
 	}
 	h, err := parseHeader(payload)
 	if err != nil {
+		return nil, grid.Dims{}, err
+	}
+	if err := h.checkPoints(dims); err != nil {
 		return nil, grid.Dims{}, err
 	}
 	body := payload[headerSize:]

@@ -109,6 +109,46 @@ func DecompressInto(dst, data []byte) ([]byte, error) {
 	}
 }
 
+// DecompressPrefix reverses Compress but recovers at most n leading
+// payload bytes, stopping the inflater there instead of draining the
+// whole stream — the bounded-cost path for header-only inspection of a
+// large compressed payload. A payload shorter than n is returned in full;
+// the caller is expected to validate the length it needs.
+func DecompressPrefix(data []byte, n int) ([]byte, error) {
+	if len(data) < 1 {
+		return nil, ErrCorrupt
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	switch data[0] {
+	case methodStore:
+		p := data[1:]
+		if len(p) > n {
+			p = p[:n]
+		}
+		return append([]byte(nil), p...), nil
+	case methodDeflate:
+		r := readerPool.Get().(io.ReadCloser)
+		if err := r.(flate.Resetter).Reset(bytes.NewReader(data[1:]), nil); err != nil {
+			readerPool.Put(r)
+			return nil, fmt.Errorf("lossless: inflate: %w", err)
+		}
+		out := make([]byte, n)
+		m, err := io.ReadFull(r, out)
+		readerPool.Put(r)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return out[:m], nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lossless: inflate: %w", err)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown method %#x", ErrCorrupt, data[0])
+	}
+}
+
 // readAppend reads r to EOF, appending to dst.
 func readAppend(dst []byte, r io.Reader) ([]byte, error) {
 	for {

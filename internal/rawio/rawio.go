@@ -6,6 +6,7 @@ package rawio
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"os"
 )
@@ -67,4 +68,81 @@ func WriteFloats(path string, data []float64, width int) error {
 		return err
 	}
 	return os.WriteFile(path, raw, 0o644)
+}
+
+// FloatReader streams float64 values out of an io.Reader carrying raw
+// little-endian floats, so arbitrarily large files can feed a pipeline
+// without ever materializing the whole array.
+type FloatReader struct {
+	r     io.Reader
+	width int
+	buf   []byte
+	have  int // pending bytes at the front of buf (a partial value)
+}
+
+// NewFloatReader wraps r; width is 4 (float32) or 8 (float64).
+func NewFloatReader(r io.Reader, width int) (*FloatReader, error) {
+	if width != 4 && width != 8 {
+		return nil, fmt.Errorf("rawio: width must be 4 or 8, got %d", width)
+	}
+	return &FloatReader{r: r, width: width}, nil
+}
+
+// Read fills dst with up to len(dst) values and returns how many it
+// decoded. It returns io.EOF at a clean end of stream, and
+// io.ErrUnexpectedEOF when the stream ends mid-value.
+func (fr *FloatReader) Read(dst []float64) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	want := len(dst)*fr.width - fr.have
+	if cap(fr.buf) < fr.have+want {
+		grown := make([]byte, fr.have+want)
+		copy(grown, fr.buf[:fr.have])
+		fr.buf = grown
+	}
+	fr.buf = fr.buf[:fr.have+want]
+	n, err := io.ReadFull(fr.r, fr.buf[fr.have:])
+	total := fr.have + n
+	vals := total / fr.width
+	for i := 0; i < vals; i++ {
+		if fr.width == 4 {
+			dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(fr.buf[i*4:])))
+		} else {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(fr.buf[i*8:]))
+		}
+	}
+	rem := total - vals*fr.width
+	copy(fr.buf, fr.buf[total-rem:total])
+	fr.have = rem
+	if err == io.ErrUnexpectedEOF && rem == 0 && vals > 0 {
+		err = nil // clean value boundary; report EOF on the next call
+	}
+	if err == io.EOF && rem > 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return vals, err
+}
+
+// WriteFloatsAt writes vals as raw little-endian floats into w at byte
+// offset off. buf is an optional scratch buffer (grown as needed) so
+// repeated scattered writes don't allocate; the grown buffer is returned.
+func WriteFloatsAt(w io.WriterAt, vals []float64, width int, off int64, buf []byte) ([]byte, error) {
+	if width != 4 && width != 8 {
+		return buf, fmt.Errorf("rawio: width must be 4 or 8, got %d", width)
+	}
+	need := len(vals) * width
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	for i, v := range vals {
+		if width == 4 {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(v)))
+		} else {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+	}
+	_, err := w.WriteAt(buf, off)
+	return buf, err
 }

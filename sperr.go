@@ -334,14 +334,18 @@ func DecompressRegion(stream []byte, origin, dims [3]int) ([]float64, error) {
 
 // StreamInfo summarizes a compressed stream without decoding its data.
 type StreamInfo struct {
+	// Version is the container format version (1 or 2).
+	Version int
 	// Dims is the volume extent; ChunkDims the chunk tiling.
 	Dims, ChunkDims [3]int
 	// NumChunks is the number of independently coded chunks.
 	NumChunks int
 	// CompressedBytes is the container size.
 	CompressedBytes int
-	// Mode is "pwe", "bpp" or "rmse" (from the first chunk; all chunks of
-	// one container share a mode).
+	// FrameBytes is each chunk frame's payload size, in container order.
+	FrameBytes []int
+	// Mode is "pwe", "bpp" or "rmse" (all chunks of one container share a
+	// mode).
 	Mode string
 	// Tolerance is the point-wise error bound in PWE mode (0 otherwise).
 	Tolerance float64
@@ -352,34 +356,38 @@ type StreamInfo struct {
 	SpeckBits, OutlierBits uint64
 }
 
-// Describe inspects a compressed stream's headers — volume geometry,
-// mode, tolerance, per-coder bit budgets — without reconstructing data.
+// Describe inspects a compressed stream — volume geometry, mode,
+// tolerance, per-coder bit budgets, frame sizes — without reconstructing
+// data. On container v2 it reads only the fixed header and the index
+// footer; on v1 it parses each chunk's header through a bounded prefix
+// inflate. Cost is independent of the data volume either way.
 func Describe(stream []byte) (*StreamInfo, error) {
 	info, err := chunk.Describe(stream)
 	if err != nil {
 		return nil, err
 	}
 	out := &StreamInfo{
+		Version:         info.Version,
 		Dims:            [3]int{info.VolumeDims.NX, info.VolumeDims.NY, info.VolumeDims.NZ},
 		ChunkDims:       [3]int{info.ChunkDims.NX, info.ChunkDims.NY, info.ChunkDims.NZ},
 		NumChunks:       info.NumChunks,
 		CompressedBytes: info.TotalBytes,
+		FrameBytes:      make([]int, 0, len(info.Chunks)),
+		Entropy:         info.Entropy,
+		SpeckBits:       info.SpeckBits,
+		OutlierBits:     info.OutlierBits,
 	}
-	for i, c := range info.Chunks {
-		if i == 0 {
-			switch c.Meta.Mode {
-			case codec.ModePWE:
-				out.Mode = "pwe"
-				out.Tolerance = c.Meta.Tol
-			case codec.ModeBPP:
-				out.Mode = "bpp"
-			case codec.ModeRMSE:
-				out.Mode = "rmse"
-			}
-			out.Entropy = c.Meta.Entropy
-		}
-		out.SpeckBits += c.Meta.SpeckBits
-		out.OutlierBits += c.Meta.OutlierBits
+	switch info.Mode {
+	case codec.ModePWE:
+		out.Mode = "pwe"
+		out.Tolerance = info.Tol
+	case codec.ModeBPP:
+		out.Mode = "bpp"
+	case codec.ModeRMSE:
+		out.Mode = "rmse"
+	}
+	for _, c := range info.Chunks {
+		out.FrameBytes = append(out.FrameBytes, c.CompressedBytes)
 	}
 	return out, nil
 }
