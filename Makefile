@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz bench bench-kernels cover experiments examples clean
+.PHONY: all build vet test test-race fuzz bench bench-kernels cover experiments examples serve-smoke clean
 
 all: build vet test
 
@@ -63,6 +63,13 @@ examples:
 	$(GO) run ./examples/compressors
 	$(GO) run ./examples/multires
 	$(GO) run ./examples/insitu
+
+# End-to-end smoke of the sperrd daemon: builds the binary, starts it on
+# a free localhost port, round-trips a volume over HTTP (PWE bound
+# checked), verifies /metrics is non-empty, and requires a graceful
+# SIGTERM drain with exit status 0.
+serve-smoke:
+	$(GO) run ./scripts/servesmoke
 
 clean:
 	$(GO) clean ./...

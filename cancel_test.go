@@ -1,0 +1,141 @@
+package sperr
+
+// Tests of the streaming engine's cancellation hooks (SetContext): a
+// done context must stop chunk workers promptly — queued encodes and
+// decodes are abandoned, Write/Close/ForEachChunk surface the context
+// error — and a cancelled engine must leave the shared scratch pool
+// healthy for later use.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEncoderContextCancel: cancelling between Writes makes the next
+// Write fail with the context error and stops further chunk encodes.
+func TestEncoderContextCancel(t *testing.T) {
+	data, dims := streamTestInput()
+	var events atomic.Int64
+	opts := &Options{
+		ChunkDims:  [3]int{16, 16, 16},
+		Workers:    2,
+		Instrument: func(ChunkEvent) { events.Add(1) },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var buf bytes.Buffer
+	enc, err := NewEncoderPWE(&buf, dims, 1e-3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.SetContext(ctx)
+	total := enc.NumChunks()
+
+	slab := dims[0] * dims[1] * 16
+	if _, err := enc.Write(data[:slab]); err != nil {
+		t.Fatalf("pre-cancel Write: %v", err)
+	}
+	cancel()
+	if _, err := enc.Write(data[slab:]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel Write error = %v, want context.Canceled", err)
+	}
+	if err := enc.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close error = %v, want context.Canceled", err)
+	}
+	if got := int(events.Load()); got >= total {
+		t.Fatalf("instrumentation saw %d of %d chunks after cancel; workers did not stop", got, total)
+	}
+
+	// The pool must stay healthy: a fresh uncancelled run round-trips.
+	stream, _, err := CompressPWE(data, dims, 1e-3, opts)
+	if err != nil {
+		t.Fatalf("post-cancel compress: %v", err)
+	}
+	if _, _, err := Decompress(stream); err != nil {
+		t.Fatalf("post-cancel decompress: %v", err)
+	}
+}
+
+// TestEncoderContextPreCancelled: a context cancelled before any Write
+// fails the very first Write.
+func TestEncoderContextPreCancelled(t *testing.T) {
+	data, dims := streamTestInput()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	enc, err := NewEncoderPWE(&buf, dims, 1e-3, &Options{ChunkDims: [3]int{16, 16, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.SetContext(ctx)
+	if _, err := enc.Write(data); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Write error = %v, want context.Canceled", err)
+	}
+	if err := enc.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close error = %v, want context.Canceled", err)
+	}
+}
+
+// TestDecoderContextCancel: cancelling from a chunk callback stops the
+// streaming decode before the container drains.
+func TestDecoderContextCancel(t *testing.T) {
+	data, dims := streamTestInput()
+	stream, _, err := CompressPWE(data, dims, 1e-3, &Options{ChunkDims: [3]int{16, 16, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	dec, err := NewDecoder(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.SetWorkers(2)
+	dec.SetContext(ctx)
+	total := dec.NumChunks()
+	var delivered atomic.Int64
+	err = dec.ForEachChunk(func(ch DecodedChunk) error {
+		if delivered.Add(1) == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEachChunk error = %v, want context.Canceled", err)
+	}
+	if got := int(delivered.Load()); got >= total {
+		t.Fatalf("%d of %d chunks delivered after cancel; decode did not stop", got, total)
+	}
+
+	// Uncancelled decode of the same stream still works end to end.
+	rec, rdims, err := Decompress(stream)
+	if err != nil || rdims != dims || len(rec) != len(data) {
+		t.Fatalf("post-cancel decompress: %v", err)
+	}
+}
+
+// TestDecoderContextPreCancelled: a context cancelled before ForEachChunk
+// delivers nothing.
+func TestDecoderContextPreCancelled(t *testing.T) {
+	data, dims := streamTestInput()
+	stream, _, err := CompressPWE(data, dims, 1e-3, &Options{ChunkDims: [3]int{16, 16, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dec, err := NewDecoder(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.SetContext(ctx)
+	delivered := 0
+	err = dec.ForEachChunk(func(DecodedChunk) error { delivered++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEachChunk error = %v, want context.Canceled", err)
+	}
+	if delivered != 0 {
+		t.Fatalf("%d chunks delivered on a pre-cancelled decode", delivered)
+	}
+}

@@ -1,0 +1,120 @@
+package main
+
+// Flag-combination validation tests: every bad invocation must exit
+// non-zero with a usage message before touching any input file. The
+// table runs against the real binary so the exit status is observable.
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildSperr(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sperr")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildSperr(t)
+	// A file that must never be read: bad flag combos fail before I/O.
+	tripwire := filepath.Join(t.TempDir(), "never-read.f64")
+	if err := os.WriteFile(tripwire, []byte("not floats"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"c-and-d", []string{"-c", "-d", "-in", tripwire, "-out", "x"},
+			"-c and -d are mutually exclusive"},
+		{"neither", []string{"-in", tripwire, "-out", "x"},
+			"exactly one of -c, -d or -info"},
+		{"c-without-dims", []string{"-c", "-tol", "1e-3", "-in", tripwire, "-out", "x"},
+			"-c requires -dims"},
+		{"c-without-mode", []string{"-c", "-dims", "8,8,8", "-in", tripwire, "-out", "x"},
+			"exactly one of -tol, -bpp, -rmse, -psnr"},
+		{"c-two-modes", []string{"-c", "-dims", "8,8,8", "-tol", "1e-3", "-bpp", "2", "-in", tripwire, "-out", "x"},
+			"exactly one of -tol, -bpp, -rmse, -psnr"},
+		{"c-with-region", []string{"-c", "-dims", "8,8,8", "-tol", "1e-3", "-region", "0,0,0,4,4,4", "-in", tripwire, "-out", "x"},
+			"apply only to -d"},
+		{"d-region-and-partial", []string{"-d", "-region", "0,0,0,4,4,4", "-partial", "0.5", "-in", tripwire, "-out", "x"},
+			"mutually exclusive"},
+		{"d-partial-and-lowres", []string{"-d", "-partial", "0.5", "-lowres", "1", "-in", tripwire, "-out", "x"},
+			"mutually exclusive"},
+		{"d-bad-partial", []string{"-d", "-partial", "1.5", "-in", tripwire, "-out", "x"},
+			"-partial must be in (0,1]"},
+		{"d-with-tol", []string{"-d", "-tol", "1e-3", "-in", tripwire, "-out", "x"},
+			"apply only to -c"},
+		{"d-with-dims", []string{"-d", "-dims", "8,8,8", "-in", tripwire, "-out", "x"},
+			"apply only to -c"},
+		{"info-with-c", []string{"-info", "-c", "-in", tripwire},
+			"-info cannot be combined"},
+		{"missing-out", []string{"-d", "-in", tripwire},
+			"-in and -out are required"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("want non-zero exit, got err=%v\n%s", err, out)
+			}
+			if ee.ExitCode() != 2 {
+				t.Fatalf("exit code %d, want 2\n%s", ee.ExitCode(), out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, out)
+			}
+			if !strings.Contains(string(out), "usage:") {
+				t.Fatalf("stderr missing usage line:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestFlagValidationAllowsGoodInvocation guards against the validator
+// rejecting a legitimate command line: a tiny volume round-trips through
+// the real binary.
+func TestFlagValidationAllowsGoodInvocation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildSperr(t)
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "in.f64")
+	comp := filepath.Join(dir, "out.sperr")
+	recon := filepath.Join(dir, "recon.f64")
+	buf := make([]byte, 8*8*8*8)
+	for i := 0; i < 8*8*8; i++ {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(math.Sin(0.3*float64(i))))
+	}
+	if err := os.WriteFile(raw, buf, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "-c", "-dims", "8,8,8", "-tol", "1e-2",
+		"-in", raw, "-out", comp, "-quiet").CombinedOutput(); err != nil {
+		t.Fatalf("compress: %v\n%s", err, out)
+	}
+	if out, err := exec.Command(bin, "-d", "-in", comp, "-out", recon,
+		"-quiet").CombinedOutput(); err != nil {
+		t.Fatalf("decompress: %v\n%s", err, out)
+	}
+	if fi, err := os.Stat(recon); err != nil || fi.Size() != int64(len(buf)) {
+		t.Fatalf("recon size: %v (err %v)", fi, err)
+	}
+}

@@ -50,18 +50,66 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress the stats summary")
 	)
 	flag.Parse()
-	if *info {
-		if *in == "" {
-			fatal("-in is required")
+
+	// Validate the flag combination up front, before any file is opened or
+	// data is streamed, so a bad invocation exits with usage instead of
+	// failing mid-pipeline.
+	switch {
+	case *info:
+		if *compress || *decompress {
+			usageFatal("-info cannot be combined with -c or -d")
 		}
+		if *in == "" {
+			usageFatal("-in is required")
+		}
+	case *compress && *decompress:
+		usageFatal("-c and -d are mutually exclusive")
+	case !*compress && !*decompress:
+		usageFatal("exactly one of -c, -d or -info is required")
+	case *compress:
+		if *dimsStr == "" {
+			usageFatal("-c requires -dims nx,ny,nz")
+		}
+		modes := 0
+		for _, v := range []float64{*tol, *bpp, *rmse, *psnr} {
+			if v > 0 {
+				modes++
+			}
+		}
+		if modes != 1 {
+			usageFatal("-c requires exactly one of -tol, -bpp, -rmse, -psnr to be positive")
+		}
+		if *partial != 0 || *lowres != 0 || *region != "" {
+			usageFatal("-partial, -lowres and -region apply only to -d")
+		}
+	case *decompress:
+		picked := 0
+		for _, set := range []bool{*partial != 0, *lowres != 0, *region != ""} {
+			if set {
+				picked++
+			}
+		}
+		if picked > 1 {
+			usageFatal("-partial, -lowres and -region are mutually exclusive")
+		}
+		if *partial != 0 && !(*partial > 0 && *partial <= 1) {
+			usageFatal("-partial must be in (0,1], got %g", *partial)
+		}
+		if *lowres < 0 {
+			usageFatal("-lowres must be non-negative, got %d", *lowres)
+		}
+		if *tol != 0 || *bpp != 0 || *rmse != 0 || *psnr != 0 || *entropy ||
+			*dimsStr != "" || *chunkStr != "" || *qfactor != 0 {
+			usageFatal("compression flags (-dims, -tol, -bpp, -rmse, -psnr, -entropy, -chunk, -q) apply only to -c")
+		}
+	}
+	if !*info && (*in == "" || *out == "") {
+		usageFatal("-in and -out are required")
+	}
+
+	if *info {
 		runInfo(*in)
 		return
-	}
-	if *compress == *decompress {
-		fatal("exactly one of -c or -d is required")
-	}
-	if *in == "" || *out == "" {
-		fatal("-in and -out are required")
 	}
 	if *compress {
 		runCompress(compressSpec{
@@ -113,6 +161,15 @@ type compressSpec struct {
 func fatal(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "sperr: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usageFatal reports a bad flag combination and exits non-zero with a
+// pointer at the usage text, before any I/O has happened.
+func usageFatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "sperr: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "usage: sperr (-c -dims nx,ny,nz (-tol|-bpp|-rmse|-psnr) | -d [-partial|-lowres|-region] | -info) -in FILE [-out FILE]")
+	fmt.Fprintln(os.Stderr, "run 'sperr -h' for the full flag list")
+	os.Exit(2)
 }
 
 func parseDims(s string) [3]int {

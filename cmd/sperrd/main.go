@@ -1,0 +1,119 @@
+// Command sperrd is the SPERR compression service: a stdlib-only HTTP
+// daemon that streams volumes through the sperr streaming engine with
+// admission control, per-request cancellation, graceful shutdown, and a
+// metrics surface.
+//
+// Endpoints:
+//
+//	POST /v1/compress    raw floats in -> container v2 out
+//	                     (?dims=nx,ny,nz and one of ?tol/?bpp/?rmse;
+//	                      optional ?f32, ?chunk, ?workers, ?q, ?entropy)
+//	POST /v1/decompress  container in -> raw floats out (?f32, ?workers)
+//	POST /v1/describe    container in -> JSON stream info
+//	POST /v1/region      container in -> raw floats of the cutout
+//	                     (?region=x,y,z,nx,ny,nz, optional ?f32, ?workers)
+//	GET  /metrics        Prometheus text exposition
+//	GET  /debug/vars     expvar (includes the sperrd registry)
+//	GET  /healthz        liveness (503 while draining)
+//
+// Example:
+//
+//	sperrd -addr :8080 -budget-mb 512 &
+//	curl -s --data-binary @field.f64 \
+//	  'localhost:8080/v1/compress?dims=256,256,256&tol=1e-6' > field.sperr
+//	curl -s --data-binary @field.sperr localhost:8080/v1/decompress > recon.f64
+//
+// SIGINT/SIGTERM trigger a graceful drain: queued requests are refused
+// with 503, in-flight requests finish (bounded by -drain-timeout), then
+// the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sperr/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile     = flag.String("addr-file", "", "write the bound listen address to this file (for harnesses)")
+		budgetMB     = flag.Int64("budget-mb", 512, "in-flight sample budget, in MiB of worker arenas (8 bytes/sample)")
+		maxQueue     = flag.Int("max-queue", 64, "admission wait-queue length; beyond it requests get 429")
+		queueWait    = flag.Duration("queue-wait", 10*time.Second, "max time a request may wait for admission before 429")
+		workers      = flag.Int("workers", 0, "per-request engine worker cap (default GOMAXPROCS)")
+		chunkStr     = flag.String("chunk", "", "compress-side chunk extent cx,cy,cz (default 256,256,256)")
+		maxContainer = flag.Int64("max-container-mb", 1024, "max buffered container size for describe/region, MiB")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		quiet        = flag.Bool("quiet", false, "suppress per-request logs")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		BudgetSamples:     *budgetMB << 20 / 8,
+		MaxQueue:          *maxQueue,
+		QueueWait:         *queueWait,
+		Workers:           *workers,
+		MaxContainerBytes: *maxContainer << 20,
+	}
+	if !*quiet {
+		cfg.LogWriter = os.Stderr
+	}
+	if *chunkStr != "" {
+		var c [3]int
+		if _, err := fmt.Sscanf(*chunkStr, "%d,%d,%d", &c[0], &c[1], &c[2]); err != nil ||
+			c[0] <= 0 || c[1] <= 0 || c[2] <= 0 {
+			fatal("bad -chunk %q (want cx,cy,cz)", *chunkStr)
+		}
+		cfg.ChunkDims = c
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fatal("write %s: %v", *addrFile, err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sperrd: listening on %s (budget %d samples, queue %d, workers cap %d)\n",
+		bound, cfg.BudgetSamples, cfg.MaxQueue, cfg.Workers)
+
+	s := server.New(cfg)
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "sperrd: %v, draining (up to %v)\n", sig, *drainTimeout)
+		ctx, cancelCtx := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancelCtx()
+		if err := s.Shutdown(ctx); err != nil {
+			fatal("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil {
+			fatal("serve: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "sperrd: drained, bye")
+	case err := <-errc:
+		if err != nil {
+			fatal("serve: %v", err)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sperrd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 package chunk
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -40,6 +41,7 @@ type Reader struct {
 	workers   int
 
 	consumed bool
+	ctx      context.Context // optional cancellation, see SetContext
 
 	inFlight     atomic.Int64
 	peakInFlight atomic.Int64
@@ -87,6 +89,20 @@ func (d *Reader) Version() int { return d.version }
 // SetWorkers adjusts the decode worker budget before ForEach (<= 0 means
 // GOMAXPROCS).
 func (d *Reader) SetWorkers(n int) { d.workers = n }
+
+// SetContext attaches a cancellation context to the Reader: once ctx is
+// done, the frame producer stops reading and workers stop picking up
+// queued decodes, so ForEach returns ctx's error promptly instead of
+// draining the container. Call it before ForEach. The zero state never
+// cancels.
+func (d *Reader) SetContext(ctx context.Context) { d.ctx = ctx }
+
+func (d *Reader) ctxErr() error {
+	if d.ctx == nil {
+		return nil
+	}
+	return d.ctx.Err()
+}
 
 // PeakInFlightSamples reports the maximum number of decoded samples alive
 // at any one time during ForEach — at most workers x chunk size.
@@ -150,6 +166,9 @@ func (d *Reader) ForEach(fn func(index int, ch grid.Chunk, data []float64) error
 			ws := scratchPool.Get().(*workerScratch)
 			defer scratchPool.Put(ws)
 			for job := range jobs {
+				if err := d.ctxErr(); err != nil {
+					fail(err)
+				}
 				if !failed.Load() {
 					ch := d.chunks[job.index]
 					n := int64(ch.Dims.Len())
@@ -174,6 +193,9 @@ func (d *Reader) ForEach(fn func(index int, ch grid.Chunk, data []float64) error
 	off := uint64(fixedHeaderSize)
 	var prefix [4]byte
 	for i := range d.chunks {
+		if err := d.ctxErr(); err != nil {
+			fail(err)
+		}
 		if failed.Load() {
 			break
 		}

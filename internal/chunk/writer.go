@@ -1,6 +1,7 @@
 package chunk
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -11,6 +12,18 @@ import (
 	"sperr/internal/codec"
 	"sperr/internal/grid"
 )
+
+// ctxBox wraps a context.Context so it can sit behind an atomic.Pointer:
+// the producer goroutine publishes it once via SetContext while worker
+// goroutines (already launched) load it per job.
+type ctxBox struct{ ctx context.Context }
+
+func loadCtx(p *atomic.Pointer[ctxBox]) context.Context {
+	if b := p.Load(); b != nil {
+		return b.ctx
+	}
+	return context.Background()
+}
 
 // Writer is the streaming encoder engine: it accepts a volume's samples
 // incrementally in row-major order (x fastest, any Write granularity),
@@ -49,6 +62,8 @@ type Writer struct {
 
 	inFlight     atomic.Int64 // samples held in worker chunk slabs
 	peakInFlight atomic.Int64
+
+	ctx atomic.Pointer[ctxBox] // optional cancellation, see SetContext
 
 	stats  *Stats
 	closed bool
@@ -209,6 +224,7 @@ func (cw *Writer) init(w io.Writer, volDims grid.Dims, opts Options) error {
 	cw.stats = nil
 	cw.inFlight.Store(0)
 	cw.peakInFlight.Store(0)
+	cw.ctx.Store(nil)
 
 	// Mirror the historical scheduling policy: surplus workers beyond the
 	// chunk count become intra-chunk threads (a pure runtime knob — the
@@ -252,11 +268,20 @@ func (cw *Writer) init(w io.Writer, volDims grid.Dims, opts Options) error {
 	return nil
 }
 
+// SetContext attaches a cancellation context to the Writer: once ctx is
+// done, workers stop picking up queued chunk encodes (in-flight chunks
+// finish), and Write/Close return ctx's error. Call it before the first
+// Write; a Reset clears it. The zero state never cancels.
+func (cw *Writer) SetContext(ctx context.Context) { cw.ctx.Store(&ctxBox{ctx: ctx}) }
+
 func (cw *Writer) encodeWorker() {
 	defer cw.wg.Done()
 	ws := scratchPool.Get().(*workerScratch)
 	defer scratchPool.Put(ws)
 	for job := range cw.jobs {
+		if err := loadCtx(&cw.ctx).Err(); err != nil {
+			cw.em.fail(err)
+		}
 		if cw.em.error() != nil {
 			job.cutDone.Done()
 			continue
@@ -324,6 +349,9 @@ func (cw *Writer) Write(p []float64) (int, error) {
 	if cw.closed {
 		return 0, fmt.Errorf("chunk: Write after Close")
 	}
+	if err := loadCtx(&cw.ctx).Err(); err != nil {
+		cw.em.fail(err)
+	}
 	if err := cw.em.error(); err != nil {
 		return 0, err
 	}
@@ -385,6 +413,9 @@ func (cw *Writer) Close() error {
 	short := cw.fed != cw.volDims.Len()
 	close(cw.jobs)
 	cw.wg.Wait()
+	if err := loadCtx(&cw.ctx).Err(); err != nil {
+		cw.em.fail(err)
+	}
 	if err := cw.em.error(); err != nil {
 		cw.err = err
 		return err

@@ -1,0 +1,285 @@
+// Package obs is the observability surface of the serving layer: a small,
+// dependency-free metrics registry (counters, gauges, latency histograms)
+// with a Prometheus-style text exposition and an expvar bridge. It keeps
+// the service boundary (what is measured) separate from the codec (what
+// is computed), mirroring the modular-pipeline split SZ3 argues for.
+//
+// Metric names are free-form strings; a name may embed a label set in the
+// usual brace syntax ("requests_total{endpoint=\"compress\",code=\"200\"}")
+// and the registry treats the full string as the identity. All metric
+// operations are safe for concurrent use and lock-free on the hot path.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exposition to stay meaningful).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) int64 { return g.v.Add(n) }
+
+// RaiseTo lifts the gauge to n if n exceeds its current value — the
+// running-maximum update a peak tracker needs, racing correctly against
+// concurrent raises.
+func (g *Gauge) RaiseTo(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution metric (cumulative buckets,
+// Prometheus semantics: bucket i counts observations <= bounds[i], with
+// an implicit +Inf bucket).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefLatencyBuckets is a decade-spanning latency bucket ladder in seconds,
+// suitable for request and chunk wall times.
+var DefLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// DefRatioBuckets ladders compression ratios (input bytes / output bytes).
+var DefRatioBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 250, 1000}
+
+// Registry holds a process's metrics. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds (must be sorted ascending) on first use.
+// Later calls ignore buckets.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]float64(nil), buckets...),
+			counts: make([]atomic.Int64, len(buckets)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// withLabel splices an extra label (`k="v"`) into a metric name that may
+// or may not already carry a label set.
+func withLabel(name, label string) string {
+	if i := strings.LastIndexByte(name, '}'); i >= 0 && strings.IndexByte(name, '{') >= 0 {
+		return name[:i] + "," + label + name[i:]
+	}
+	return name + "{" + label + "}"
+}
+
+// baseName strips a trailing label set.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// withSuffix appends a name suffix before any label set: withSuffix of
+// (`h{a="b"}`, "_sum") is `h_sum{a="b"}`.
+func withSuffix(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// WriteText writes the registry in the Prometheus text exposition format,
+// deterministically ordered (TYPE lines grouped per metric family).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	type hist struct {
+		name string
+		h    *Histogram
+	}
+	counts := make([]string, 0, len(r.counts))
+	for n := range r.counts {
+		counts = append(counts, n)
+	}
+	gauges := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gauges = append(gauges, n)
+	}
+	hists := make([]hist, 0, len(r.hists))
+	for n, h := range r.hists {
+		hists = append(hists, hist{n, h})
+	}
+	snapC := make(map[string]int64, len(counts))
+	for n, c := range r.counts {
+		snapC[n] = c.Value()
+	}
+	snapG := make(map[string]int64, len(gauges))
+	for n, g := range r.gauges {
+		snapG[n] = g.Value()
+	}
+	r.mu.Unlock()
+
+	sort.Strings(counts)
+	sort.Strings(gauges)
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	var b strings.Builder
+	typed := make(map[string]bool)
+	for _, n := range counts {
+		if fam := baseName(n); !typed[fam] {
+			fmt.Fprintf(&b, "# TYPE %s counter\n", fam)
+			typed[fam] = true
+		}
+		fmt.Fprintf(&b, "%s %d\n", n, snapC[n])
+	}
+	for _, n := range gauges {
+		if fam := baseName(n); !typed[fam] {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", fam)
+			typed[fam] = true
+		}
+		fmt.Fprintf(&b, "%s %d\n", n, snapG[n])
+	}
+	for _, hh := range hists {
+		if fam := baseName(hh.name); !typed[fam] {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", fam)
+			typed[fam] = true
+		}
+		bucket := withSuffix(hh.name, "_bucket")
+		var cum int64
+		for i, bound := range hh.h.bounds {
+			cum += hh.h.counts[i].Load()
+			fmt.Fprintf(&b, "%s %d\n",
+				withLabel(bucket, fmt.Sprintf("le=%q", formatBound(bound))), cum)
+		}
+		cum += hh.h.counts[len(hh.h.bounds)].Load()
+		fmt.Fprintf(&b, "%s %d\n", withLabel(bucket, `le="+Inf"`), cum)
+		fmt.Fprintf(&b, "%s %g\n", withSuffix(hh.name, "_sum"), hh.h.Sum())
+		fmt.Fprintf(&b, "%s %d\n", withSuffix(hh.name, "_count"), hh.h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatBound(v float64) string { return fmt.Sprintf("%g", v) }
+
+// Snapshot returns a flat name -> value map of every counter and gauge
+// plus histogram _sum/_count pairs — the expvar payload.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counts)+len(r.gauges)+2*len(r.hists))
+	for n, c := range r.counts {
+		out[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		out[withSuffix(n, "_sum")] = h.Sum()
+		out[withSuffix(n, "_count")] = h.Count()
+	}
+	return out
+}
+
+// PublishExpvar exposes the registry's Snapshot under the given expvar
+// name (idempotent: re-publishing the same name is a no-op, so tests and
+// restarts in one process do not panic).
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("reqs_total") != c {
+		t.Fatal("Counter not idempotent")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	g.RaiseTo(3)
+	if g.Value() != 5 {
+		t.Fatal("RaiseTo lowered the gauge")
+	}
+	g.RaiseTo(9)
+	if g.Value() != 9 {
+		t.Fatal("RaiseTo did not raise")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 56.05 {
+		t.Fatalf("sum = %g, want 56.05", got)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTextLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`reqs_total{endpoint="compress",code="200"}`).Add(2)
+	r.Counter(`reqs_total{endpoint="compress",code="429"}`).Inc()
+	r.Histogram(`secs{endpoint="c"}`, []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if strings.Count(text, "# TYPE reqs_total counter") != 1 {
+		t.Fatalf("TYPE line should appear once per family:\n%s", text)
+	}
+	for _, want := range []string{
+		`reqs_total{endpoint="compress",code="200"} 2`,
+		`reqs_total{endpoint="compress",code="429"} 1`,
+		`secs_bucket{endpoint="c",le="1"} 1`,
+		`secs_bucket{endpoint="c",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").RaiseTo(int64(j))
+				r.Histogram("h", DefLatencyBuckets).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", r.Counter("c").Value())
+	}
+	if r.Histogram("h", nil).Count() != 8000 {
+		t.Fatalf("hist count = %d, want 8000", r.Histogram("h", nil).Count())
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	r.PublishExpvar("obs_test_registry")
+	r.PublishExpvar("obs_test_registry") // must not panic
+	v := expvar.Get("obs_test_registry")
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	if !strings.Contains(v.String(), `"x"`) {
+		t.Fatalf("expvar payload missing counter: %s", v.String())
+	}
+}

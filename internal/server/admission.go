@@ -1,0 +1,208 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission errors, mapped to HTTP statuses by the handlers (429 for
+// transient overload the client should retry, 503 for requests this
+// configuration can never serve or a draining server).
+var (
+	// ErrTooLarge: the request's sample cost exceeds the whole budget, so
+	// waiting would never help.
+	ErrTooLarge = errors.New("server: request exceeds admission budget")
+	// ErrQueueFull: the FIFO wait queue is at capacity.
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrWaitDeadline: the request waited its full queue deadline without
+	// the budget freeing up.
+	ErrWaitDeadline = errors.New("server: admission wait deadline exceeded")
+	// ErrDraining: the server is shutting down and admits no new work.
+	ErrDraining = errors.New("server: draining, not admitting work")
+)
+
+// waiter is one queued acquisition. ready is closed exactly once, with
+// err set first (nil = granted; the cost is already charged).
+type waiter struct {
+	cost  int64
+	err   error
+	ready chan struct{}
+}
+
+// Admission is the service's bounded in-flight-samples budget, shared
+// across requests. Each request acquires its worst-case in-flight sample
+// count before touching the engine and releases it when done; requests
+// that do not fit wait in a strict FIFO queue (no overtaking — a small
+// request cannot starve a large one) bounded in length and wait time.
+//
+// The budget is a memory bound in disguise: one admitted sample is one
+// float64 held in a chunk-worker arena, so capacity x 8 bytes caps the
+// engines' aggregate arena footprint.
+type Admission struct {
+	mu       sync.Mutex
+	capacity int64
+	maxQueue int
+	inUse    int64
+	peak     int64
+	queue    []*waiter
+	draining bool
+
+	// onChange, when non-nil, observes (inUse, queueDepth) after every
+	// state transition, under the lock — keep it fast (gauge stores).
+	onChange func(inUse int64, queueDepth int)
+}
+
+// NewAdmission builds a controller with the given sample capacity and
+// maximum queue length.
+func NewAdmission(capacity int64, maxQueue int) *Admission {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{capacity: capacity, maxQueue: maxQueue}
+}
+
+func (a *Admission) notifyLocked() {
+	if a.onChange != nil {
+		a.onChange(a.inUse, len(a.queue))
+	}
+}
+
+func (a *Admission) grantLocked(cost int64) {
+	a.inUse += cost
+	if a.inUse > a.peak {
+		a.peak = a.inUse
+	}
+}
+
+// Acquire charges cost samples against the budget, waiting in FIFO order
+// up to maxWait if the budget is currently exhausted. It returns the time
+// spent queued and an admission error (nil on success). ctx abandons the
+// wait early (client gone).
+func (a *Admission) Acquire(ctx context.Context, cost int64, maxWait time.Duration) (time.Duration, error) {
+	if cost <= 0 {
+		cost = 1
+	}
+	a.mu.Lock()
+	switch {
+	case a.draining:
+		a.mu.Unlock()
+		return 0, ErrDraining
+	case cost > a.capacity:
+		a.mu.Unlock()
+		return 0, ErrTooLarge
+	case len(a.queue) == 0 && a.inUse+cost <= a.capacity:
+		a.grantLocked(cost)
+		a.notifyLocked()
+		a.mu.Unlock()
+		return 0, nil
+	case len(a.queue) >= a.maxQueue:
+		a.mu.Unlock()
+		return 0, ErrQueueFull
+	}
+	w := &waiter{cost: cost, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.notifyLocked()
+	a.mu.Unlock()
+
+	start := time.Now()
+	timer := time.NewTimer(maxWait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		return time.Since(start), w.err
+	case <-timer.C:
+		if a.abandon(w) {
+			return time.Since(start), ErrWaitDeadline
+		}
+		// Granted (or rejected) while the timer fired: honor the outcome.
+		<-w.ready
+		return time.Since(start), w.err
+	case <-ctx.Done():
+		if a.abandon(w) {
+			return time.Since(start), ctx.Err()
+		}
+		<-w.ready
+		if w.err == nil {
+			// Granted concurrently with the cancellation; give it back.
+			a.Release(cost)
+		}
+		return time.Since(start), ctx.Err()
+	}
+}
+
+// abandon removes w from the queue if it is still waiting. A false return
+// means the outcome is already decided (w.ready closed or closing).
+func (a *Admission) abandon(w *waiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			a.notifyLocked()
+			return true
+		}
+	}
+	return false
+}
+
+// Release returns cost samples to the budget and grants queued waiters in
+// FIFO order as far as the freed budget reaches.
+func (a *Admission) Release(cost int64) {
+	a.mu.Lock()
+	a.inUse -= cost
+	for len(a.queue) > 0 {
+		head := a.queue[0]
+		if a.inUse+head.cost > a.capacity {
+			break // strict FIFO: nobody overtakes the head
+		}
+		a.queue = a.queue[1:]
+		a.grantLocked(head.cost)
+		close(head.ready)
+	}
+	a.notifyLocked()
+	a.mu.Unlock()
+}
+
+// Drain stops admitting: every queued waiter is rejected with ErrDraining
+// and every future Acquire fails fast. In-flight work is unaffected.
+func (a *Admission) Drain() {
+	a.mu.Lock()
+	a.draining = true
+	for _, w := range a.queue {
+		w.err = ErrDraining
+		close(w.ready)
+	}
+	a.queue = nil
+	a.notifyLocked()
+	a.mu.Unlock()
+}
+
+// InUse returns the currently charged sample count.
+func (a *Admission) InUse() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse
+}
+
+// Peak returns the high-water mark of charged samples — the witness the
+// overload tests assert never exceeds the capacity.
+func (a *Admission) Peak() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// QueueDepth returns the number of requests waiting.
+func (a *Admission) QueueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue)
+}
+
+// Capacity returns the configured budget.
+func (a *Admission) Capacity() int64 { return a.capacity }

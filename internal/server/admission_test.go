@@ -1,0 +1,201 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionImmediateGrant(t *testing.T) {
+	a := NewAdmission(100, 4)
+	wait, err := a.Acquire(context.Background(), 60, time.Second)
+	if err != nil || wait != 0 {
+		t.Fatalf("grant: wait=%v err=%v", wait, err)
+	}
+	if a.InUse() != 60 {
+		t.Fatalf("inUse = %d, want 60", a.InUse())
+	}
+	a.Release(60)
+	if a.InUse() != 0 {
+		t.Fatalf("inUse after release = %d", a.InUse())
+	}
+	if a.Peak() != 60 {
+		t.Fatalf("peak = %d, want 60", a.Peak())
+	}
+}
+
+func TestAdmissionRejects(t *testing.T) {
+	a := NewAdmission(100, 1)
+	if _, err := a.Acquire(context.Background(), 101, time.Second); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized: %v", err)
+	}
+	if _, err := a.Acquire(context.Background(), 100, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits the queue; the second overflows it.
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(context.Background(), 10, 5*time.Second)
+		done <- err
+	}()
+	waitFor(t, "first waiter queued", func() bool { return a.QueueDepth() == 1 })
+	if _, err := a.Acquire(context.Background(), 10, time.Second); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queue overflow: %v", err)
+	}
+	a.Release(100)
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	a.Release(10)
+}
+
+func TestAdmissionWaitDeadline(t *testing.T) {
+	a := NewAdmission(10, 4)
+	if _, err := a.Acquire(context.Background(), 10, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wait, err := a.Acquire(context.Background(), 5, 20*time.Millisecond)
+	if !errors.Is(err, ErrWaitDeadline) {
+		t.Fatalf("deadline: %v", err)
+	}
+	if wait < 20*time.Millisecond {
+		t.Fatalf("reported wait %v shorter than the deadline", wait)
+	}
+	if a.QueueDepth() != 0 {
+		t.Fatalf("expired waiter still queued (depth %d)", a.QueueDepth())
+	}
+	a.Release(10)
+}
+
+func TestAdmissionContextCancel(t *testing.T) {
+	a := NewAdmission(10, 4)
+	if _, err := a.Acquire(context.Background(), 10, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx, 5, 5*time.Second)
+		done <- err
+	}()
+	waitFor(t, "waiter queued", func() bool { return a.QueueDepth() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: %v", err)
+	}
+	if a.QueueDepth() != 0 {
+		t.Fatal("cancelled waiter still queued")
+	}
+	a.Release(10)
+	if a.InUse() != 0 {
+		t.Fatalf("inUse = %d after full release", a.InUse())
+	}
+}
+
+// TestAdmissionFIFO: a small request that fits may not overtake a large
+// one queued ahead of it.
+func TestAdmissionFIFO(t *testing.T) {
+	a := NewAdmission(10, 4)
+	if _, err := a.Acquire(context.Background(), 8, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	grant := func(id int) {
+		mu.Lock()
+		order = append(order, id)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // large request, queued first
+		defer wg.Done()
+		if _, err := a.Acquire(context.Background(), 8, 5*time.Second); err != nil {
+			t.Errorf("large: %v", err)
+			return
+		}
+		grant(1)
+		a.Release(8)
+	}()
+	waitFor(t, "large queued", func() bool { return a.QueueDepth() == 1 })
+	go func() { // small request that would fit right now (2 <= 10-8) but
+		// cannot ride along once the large head is granted (8+3 > 10)
+		defer wg.Done()
+		if _, err := a.Acquire(context.Background(), 3, 5*time.Second); err != nil {
+			t.Errorf("small: %v", err)
+			return
+		}
+		grant(2)
+		a.Release(3)
+	}()
+	waitFor(t, "small queued", func() bool { return a.QueueDepth() == 2 })
+	a.Release(8)
+	wg.Wait()
+	if len(order) != 2 || order[0] != 1 {
+		t.Fatalf("grant order %v, want large (1) first", order)
+	}
+	if a.Peak() > 10 {
+		t.Fatalf("peak %d exceeded capacity", a.Peak())
+	}
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	a := NewAdmission(10, 4)
+	if _, err := a.Acquire(context.Background(), 10, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(context.Background(), 5, 5*time.Second)
+		done <- err
+	}()
+	waitFor(t, "waiter queued", func() bool { return a.QueueDepth() == 1 })
+	a.Drain()
+	if err := <-done; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter on drain: %v", err)
+	}
+	if _, err := a.Acquire(context.Background(), 1, time.Second); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain acquire: %v", err)
+	}
+}
+
+// TestAdmissionPeakBound hammers the controller and asserts the charged
+// total never exceeds capacity.
+func TestAdmissionPeakBound(t *testing.T) {
+	const capacity = 64
+	a := NewAdmission(capacity, 128)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(cost int64) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := a.Acquire(context.Background(), cost, 5*time.Second); err != nil {
+					t.Errorf("acquire(%d): %v", cost, err)
+					return
+				}
+				a.Release(cost)
+			}
+		}(int64(1 + i%7*9))
+	}
+	wg.Wait()
+	if a.Peak() > capacity {
+		t.Fatalf("peak %d exceeded capacity %d", a.Peak(), capacity)
+	}
+	if a.InUse() != 0 {
+		t.Fatalf("inUse = %d after all releases", a.InUse())
+	}
+}

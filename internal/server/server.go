@@ -1,0 +1,343 @@
+// Package server is sperrd's service layer: a stdlib-only net/http
+// boundary around the streaming sperr engine. It owns everything a
+// production serving stack needs that the codec should not know about —
+// admission control over a shared in-flight-samples budget, FIFO queueing
+// with deadlines, per-request cancellation threaded into the chunk
+// workers, graceful drain, structured request logs, and a metrics
+// surface — while volumes stream request-body-to-response-body through
+// sperr.Encoder/Decoder without ever being fully memory-resident.
+package server
+
+import (
+	"context"
+	"expvar"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"sperr"
+	"sperr/internal/obs"
+)
+
+// Config tunes the service layer. The zero value serves with sane
+// defaults (see each field).
+type Config struct {
+	// BudgetSamples caps the aggregate worst-case in-flight samples across
+	// all admitted requests (one sample = one float64 in a chunk-worker
+	// arena, so this times 8 bounds the engines' arena bytes). <= 0
+	// defaults to 64 Mi samples (512 MiB of arenas).
+	BudgetSamples int64
+	// MaxQueue bounds the FIFO admission wait queue; requests beyond it
+	// are rejected with 429 immediately. < 0 means 0 (no queueing);
+	// 0 defaults to 64.
+	MaxQueue int
+	// QueueWait bounds how long an admitted-but-waiting request may queue
+	// before a 429. <= 0 defaults to 10s.
+	QueueWait time.Duration
+	// Workers caps the per-request engine worker budget. <= 0 means
+	// GOMAXPROCS. A request's ?workers= parameter is clamped to this.
+	Workers int
+	// ChunkDims is the compress-side chunk tiling bound (zero components
+	// default to the engine's 256).
+	ChunkDims [3]int
+	// MaxContainerBytes caps the buffered container body of /v1/describe
+	// and /v1/region (those need random access to the index footer, so
+	// they cannot stream). <= 0 defaults to 1 GiB.
+	MaxContainerBytes int64
+	// LogWriter receives one structured (JSON) log line per request.
+	// nil discards logs.
+	LogWriter io.Writer
+	// Registry is the metrics registry to instrument into. nil makes a
+	// fresh one.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.BudgetSamples <= 0 {
+		c.BudgetSamples = 64 << 20
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 10 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxContainerBytes <= 0 {
+		c.MaxContainerBytes = 1 << 30
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is one sperrd instance: handlers plus the shared service state.
+type Server struct {
+	cfg      Config
+	adm      *Admission
+	reg      *obs.Registry
+	log      *slog.Logger
+	mux      *http.ServeMux
+	hs       *http.Server
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		reg: cfg.Registry,
+	}
+	logW := cfg.LogWriter
+	if logW == nil {
+		logW = io.Discard
+	}
+	s.log = slog.New(slog.NewJSONHandler(logW, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	s.adm = NewAdmission(cfg.BudgetSamples, cfg.MaxQueue)
+	inUse := s.reg.Gauge("sperrd_admission_inuse_samples")
+	peak := s.reg.Gauge("sperrd_admission_peak_samples")
+	depth := s.reg.Gauge("sperrd_admission_queue_depth")
+	s.adm.onChange = func(u int64, q int) {
+		inUse.Set(u)
+		peak.RaiseTo(u)
+		depth.Set(int64(q))
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/compress", s.instrumented("compress", s.handleCompress))
+	s.mux.HandleFunc("POST /v1/decompress", s.instrumented("decompress", s.handleDecompress))
+	s.mux.HandleFunc("POST /v1/describe", s.instrumented("describe", s.handleDescribe))
+	s.mux.HandleFunc("POST /v1/region", s.instrumented("region", s.handleRegion))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.reg.PublishExpvar("sperrd")
+	return s
+}
+
+// Handler returns the root handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Admission exposes the admission controller (tests assert on its Peak).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Registry exposes the metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Serve accepts connections on ln until Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.hs = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	err := s.hs.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains gracefully: new work is refused (503 + Retry-After,
+// queued waiters rejected), in-flight requests run to completion bounded
+// by ctx, then the listener closes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.adm.Drain()
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Shutdown(ctx)
+}
+
+// statusWriter records status code and bytes written, and exposes
+// SetTrailer passthrough via the embedded ResponseWriter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// countingReader counts body bytes in.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// reqStats is the per-request scratchpad the handlers fill in for the
+// access log and metrics.
+type reqStats struct {
+	queueWait time.Duration
+	err       error
+	canceled  bool
+}
+
+type handlerFunc func(w *statusWriter, r *http.Request, st *reqStats)
+
+// instrumented wraps a handler with the cross-cutting service concerns:
+// drain refusal, request metrics, latency histogram, and the structured
+// access log.
+func (s *Server) instrumented(endpoint string, h handlerFunc) http.HandlerFunc {
+	reqSec := s.reg.Histogram(`sperrd_request_seconds{endpoint="`+endpoint+`"}`, obs.DefLatencyBuckets)
+	queueSec := s.reg.Histogram("sperrd_queue_wait_seconds", obs.DefLatencyBuckets)
+	inflight := s.reg.Gauge("sperrd_requests_inflight")
+	canceled := s.reg.Counter("sperrd_requests_canceled_total")
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		st := &reqStats{}
+		inflight.Add(1)
+		cr := &countingReader{r: r.Body}
+		r.Body = struct {
+			io.Reader
+			io.Closer
+		}{cr, r.Body}
+
+		if s.draining.Load() {
+			st.err = ErrDraining
+			s.reject(sw, ErrDraining)
+		} else {
+			h(sw, r, st)
+		}
+
+		dur := time.Since(start)
+		inflight.Add(-1)
+		reqSec.Observe(dur.Seconds())
+		if st.queueWait > 0 {
+			queueSec.Observe(st.queueWait.Seconds())
+		}
+		if st.canceled {
+			canceled.Inc()
+		}
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.reg.Counter(`sperrd_requests_total{endpoint="` + endpoint + `",code="` +
+			strconv.Itoa(code) + `"}`).Inc()
+		s.reg.Counter(`sperrd_bytes_in_total{endpoint="` + endpoint + `"}`).Add(cr.n)
+		s.reg.Counter(`sperrd_bytes_out_total{endpoint="` + endpoint + `"}`).Add(sw.bytes)
+
+		attrs := []any{
+			"endpoint", endpoint,
+			"remote", r.RemoteAddr,
+			"status", code,
+			"bytes_in", cr.n,
+			"bytes_out", sw.bytes,
+			"dur_ms", float64(dur.Microseconds()) / 1000,
+		}
+		if st.queueWait > 0 {
+			attrs = append(attrs, "queue_ms", float64(st.queueWait.Microseconds())/1000)
+		}
+		if st.canceled {
+			attrs = append(attrs, "canceled", true)
+		}
+		if st.err != nil {
+			attrs = append(attrs, "err", st.err.Error())
+			s.log.Error("request", attrs...)
+		} else {
+			s.log.Info("request", attrs...)
+		}
+	}
+}
+
+// reject maps an admission error to its HTTP response. Transient overload
+// (queue full, wait deadline) is 429; never-admissible or draining is
+// 503. Both carry Retry-After.
+func (s *Server) reject(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	code := http.StatusServiceUnavailable
+	reason := "draining"
+	switch err {
+	case ErrQueueFull:
+		code, reason = http.StatusTooManyRequests, "queue_full"
+	case ErrWaitDeadline:
+		code, reason = http.StatusTooManyRequests, "wait_deadline"
+	case ErrTooLarge:
+		reason = "too_large"
+	}
+	s.reg.Counter(`sperrd_admission_rejected_total{reason="` + reason + `"}`).Inc()
+	http.Error(w, err.Error(), code)
+}
+
+// admit runs the admission handshake for a request costing cost samples
+// and returns a release func (nil when rejected, with the response
+// already written).
+func (s *Server) admit(w *statusWriter, r *http.Request, st *reqStats, cost int64) func() {
+	wait, err := s.adm.Acquire(r.Context(), cost, s.cfg.QueueWait)
+	st.queueWait = wait
+	if err != nil {
+		if r.Context().Err() != nil {
+			st.canceled = true
+		}
+		st.err = err
+		s.reject(w, err)
+		return nil
+	}
+	return func() { s.adm.Release(cost) }
+}
+
+// engineCost is a request's admission charge: the worst-case sample count
+// its engine holds in worker arenas at once — workers x clamped chunk
+// size, never more than the volume itself. The engines' PeakInFlightSamples
+// witnesses stay at or under this by construction.
+func engineCost(dims, chunkDims [3]int, workers int) int64 {
+	points := int64(dims[0]) * int64(dims[1]) * int64(dims[2])
+	c := int64(1)
+	for i := 0; i < 3; i++ {
+		e := chunkDims[i]
+		if e <= 0 {
+			e = sperr.DefaultChunkDim
+		}
+		if e > dims[i] {
+			e = dims[i]
+		}
+		c *= int64(e)
+	}
+	cost := int64(workers) * c
+	if cost > points {
+		cost = points
+	}
+	return cost
+}
+
+// effWorkers clamps a client-requested worker count to the server cap.
+func (s *Server) effWorkers(req int) int {
+	if req <= 0 || req > s.cfg.Workers {
+		return s.cfg.Workers
+	}
+	return req
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"sperr"
+)
+
+// slabAssembler turns the Decoder's out-of-order chunk deliveries back
+// into an ordered row-major byte stream, so a decompress response can be
+// written to a socket (which cannot seek) without materializing the
+// volume. Chunks land in per-z-slab buffers — a slab is one chunk-height
+// band of the volume, volume XY extent x chunk Z extent — and a slab is
+// flushed the moment its last chunk arrives and every earlier slab is
+// out. Peak buffering is the slabs spanned by the in-flight chunk set
+// (the frame producer reads in index order, so that is ~1-2 slabs plus
+// the decoder's worker arenas), never the volume.
+//
+// add is safe for concurrent use by decoder worker goroutines; the float
+// narrowing/serialization into the slab buffer runs outside the lock, in
+// parallel, on disjoint byte ranges.
+type slabAssembler struct {
+	w       io.Writer
+	dims    [3]int
+	cz      int // chunk Z extent (slab height)
+	width   int // output bytes per sample (4 or 8)
+	perSlab int // chunks per slab
+	nSlabs  int
+
+	mu   sync.Mutex
+	next int // next slab index to flush
+	bufs map[int][]byte
+	left map[int]int
+}
+
+func newSlabAssembler(w io.Writer, dims, chunkDims [3]int, width int) *slabAssembler {
+	cz := chunkDims[2]
+	if cz > dims[2] {
+		cz = dims[2]
+	}
+	cx, cy := chunkDims[0], chunkDims[1]
+	if cx > dims[0] {
+		cx = dims[0]
+	}
+	if cy > dims[1] {
+		cy = dims[1]
+	}
+	return &slabAssembler{
+		w:       w,
+		dims:    dims,
+		cz:      cz,
+		width:   width,
+		perSlab: ceilDiv(dims[0], cx) * ceilDiv(dims[1], cy),
+		nSlabs:  ceilDiv(dims[2], cz),
+		bufs:    make(map[int][]byte),
+		left:    make(map[int]int),
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// add serializes one decoded chunk into its slab and flushes any slabs
+// that just became contiguous with the output cursor.
+func (sa *slabAssembler) add(ch sperr.DecodedChunk) error {
+	s := ch.Origin[2] / sa.cz
+	slabZ0 := s * sa.cz
+	slabNZ := sa.cz
+	if slabZ0+slabNZ > sa.dims[2] {
+		slabNZ = sa.dims[2] - slabZ0
+	}
+	sa.mu.Lock()
+	buf, ok := sa.bufs[s]
+	if !ok {
+		buf = make([]byte, sa.dims[0]*sa.dims[1]*slabNZ*sa.width)
+		sa.bufs[s] = buf
+		sa.left[s] = sa.perSlab
+	}
+	sa.mu.Unlock()
+
+	nx, ny := ch.Dims[0], ch.Dims[1]
+	for z := 0; z < ch.Dims[2]; z++ {
+		zl := ch.Origin[2] - slabZ0 + z
+		for y := 0; y < ny; y++ {
+			row := ch.Data[(z*ny+y)*nx : (z*ny+y+1)*nx]
+			off := ((zl*sa.dims[1]+ch.Origin[1]+y)*sa.dims[0] + ch.Origin[0]) * sa.width
+			putRow(buf[off:], row, sa.width)
+		}
+	}
+
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	sa.left[s]--
+	for sa.next < sa.nSlabs && sa.left[sa.next] == 0 {
+		if _, ok := sa.bufs[sa.next]; !ok {
+			break // zero count but never allocated: not this slab yet
+		}
+		if _, err := sa.w.Write(sa.bufs[sa.next]); err != nil {
+			return err
+		}
+		delete(sa.bufs, sa.next)
+		delete(sa.left, sa.next)
+		sa.next++
+	}
+	return nil
+}
+
+// done verifies every slab was flushed.
+func (sa *slabAssembler) done() error {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if sa.next != sa.nSlabs {
+		return fmt.Errorf("server: %d of %d output slabs unflushed", sa.nSlabs-sa.next, sa.nSlabs)
+	}
+	return nil
+}
+
+// putRow serializes a row of samples as little-endian floats of the given
+// width (4 narrows to float32).
+func putRow(dst []byte, vals []float64, width int) {
+	if width == 4 {
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(dst[i*4:], math.Float32bits(float32(v)))
+		}
+		return
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(v))
+	}
+}

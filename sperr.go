@@ -25,6 +25,7 @@
 package sperr
 
 import (
+	"bytes"
 	"errors"
 	"math"
 	"time"
@@ -324,8 +325,14 @@ func DecompressLowRes(stream []byte, drop int) ([]float64, [3]int, error) {
 // a reader of a large stored volume pays only for the chunks its cutout
 // touches. The reconstruction carries the same guarantees as Decompress.
 func DecompressRegion(stream []byte, origin, dims [3]int) ([]float64, error) {
+	return DecompressRegionWorkers(stream, origin, dims, 0)
+}
+
+// DecompressRegionWorkers is DecompressRegion with an explicit worker
+// budget for the intersecting-chunk decodes (<= 0 means GOMAXPROCS).
+func DecompressRegionWorkers(stream []byte, origin, dims [3]int, workers int) ([]float64, error) {
 	vol, err := chunk.DecompressRegion(stream, origin[0], origin[1], origin[2],
-		grid.Dims{NX: dims[0], NY: dims[1], NZ: dims[2]}, 0)
+		grid.Dims{NX: dims[0], NY: dims[1], NZ: dims[2]}, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -405,13 +412,39 @@ func CompressBPPFloat32(data []float32, dims [3]int, bitsPerPoint float64, opts 
 
 // DecompressFloat32 reconstructs to single precision.
 func DecompressFloat32(stream []byte) ([]float32, [3]int, error) {
-	data, dims, err := Decompress(stream)
+	return DecompressFloat32Workers(stream, 0)
+}
+
+// DecompressFloat32Workers is DecompressFloat32 with an explicit worker
+// budget (<= 0 means GOMAXPROCS) — the float32 twin of DecompressWorkers.
+// Chunks decode in parallel and narrow to float32 on the worker
+// goroutines as they complete, so the float64 intermediate is bounded by
+// the in-flight chunk set, never the volume.
+func DecompressFloat32Workers(stream []byte, workers int) ([]float32, [3]int, error) {
+	dec, err := NewDecoder(bytes.NewReader(stream))
 	if err != nil {
-		return nil, dims, err
+		return nil, [3]int{}, err
 	}
-	out := make([]float32, len(data))
-	for i, v := range data {
-		out[i] = float32(v)
+	dec.SetWorkers(workers)
+	dims := dec.Dims()
+	out := make([]float32, dims[0]*dims[1]*dims[2])
+	err = dec.ForEachChunk(func(ch DecodedChunk) error {
+		// Chunks are disjoint, so concurrent narrowing scatters write
+		// disjoint regions of out.
+		nx, ny := ch.Dims[0], ch.Dims[1]
+		for z := 0; z < ch.Dims[2]; z++ {
+			for y := 0; y < ny; y++ {
+				src := ch.Data[(z*ny+y)*nx : (z*ny+y+1)*nx]
+				off := ((ch.Origin[2]+z)*dims[1]+ch.Origin[1]+y)*dims[0] + ch.Origin[0]
+				for x, v := range src {
+					out[off+x] = float32(v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, [3]int{}, err
 	}
 	return out, dims, nil
 }

@@ -1,6 +1,7 @@
 package sperr
 
 import (
+	"context"
 	"errors"
 	"io"
 
@@ -70,6 +71,13 @@ func NewEncoderRMSE(w io.Writer, dims [3]int, targetRMSE float64, opts *Options)
 	}
 	return newEncoder(w, dims, codec.Params{Mode: codec.ModeRMSE, TargetRMSE: targetRMSE}, opts)
 }
+
+// SetContext attaches a cancellation context to the Encoder: once ctx is
+// done, queued chunk compressions are abandoned (in-flight chunks finish)
+// and Write/Close return ctx's error. This is the hook a serving layer
+// threads a per-request context through so a dropped client stops chunk
+// workers promptly. Call it before the first Write; Reset clears it.
+func (e *Encoder) SetContext(ctx context.Context) { e.w.SetContext(ctx) }
 
 // Write feeds the next samples of the volume in row-major order. The
 // total across all Writes must equal the volume extent by Close time. It
@@ -146,6 +154,13 @@ func (d *Decoder) Dims() [3]int {
 	return [3]int{v.NX, v.NY, v.NZ}
 }
 
+// ChunkDims returns the chunk tiling bound declared by the container
+// header (chunks at the high boundaries may be smaller).
+func (d *Decoder) ChunkDims() [3]int {
+	c := d.r.ChunkDims()
+	return [3]int{c.NX, c.NY, c.NZ}
+}
+
 // NumChunks returns the number of chunks in the container.
 func (d *Decoder) NumChunks() int { return d.r.NumChunks() }
 
@@ -155,6 +170,12 @@ func (d *Decoder) FormatVersion() int { return d.r.Version() }
 // SetWorkers adjusts the decode worker budget before ForEachChunk (<= 0
 // means GOMAXPROCS).
 func (d *Decoder) SetWorkers(n int) { d.r.SetWorkers(n) }
+
+// SetContext attaches a cancellation context to the Decoder: once ctx is
+// done, the frame producer stops reading and queued chunk decodes are
+// abandoned, so ForEachChunk/DecodeAll return ctx's error promptly. Call
+// it before ForEachChunk.
+func (d *Decoder) SetContext(ctx context.Context) { d.r.SetContext(ctx) }
 
 // ForEachChunk streams every chunk through fn. fn runs concurrently on
 // worker goroutines (chunks are disjoint, so concurrent writes to
