@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz bench bench-kernels cover experiments examples serve-smoke clean
+.PHONY: all build vet test test-race faultinject fuzz bench bench-kernels cover experiments examples serve-smoke clean
 
 all: build vet test
 
@@ -23,6 +23,13 @@ test-log:
 # instrumentation delivery all run under the race detector.
 test-race:
 	$(GO) test -race ./...
+
+# Deterministic corruption campaign over the golden fixtures: every
+# frame-boundary truncation plus stratified byte flips and zeroed runs,
+# asserting no panic, bounded time and allocation, and exact salvage
+# recovery of the checksum-intact chunks.
+faultinject:
+	$(GO) test -race -count=1 -v -run 'TestCampaign' ./internal/faultinject/
 
 # Short fuzz smoke over the decoder-facing targets; raise FUZZTIME for a
 # longer exploration.

@@ -11,10 +11,16 @@
 //	sperr -d -in field.sperr -partial 0.1 -out preview.f64   # 10% prefix
 //	sperr -d -in field.sperr -lowres 2 -out coarse.f64       # 2 levels coarser
 //	sperr -d -in field.sperr -region 0,0,0,64,64,64 -out cut.f64
+//	sperr fsck field.sperr                    # verify every frame, print damage map
+//	sperr repair damaged.sperr fixed.sperr    # keep verified frames, rebuild index
+//
+// Exit codes: 0 success, 1 I/O or internal error, 2 bad usage, 3 corrupt
+// input (including an fsck that found damage).
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,7 +33,27 @@ import (
 	"sperr/internal/rawio"
 )
 
+// The tool's standardized exit codes. Scripts branch on these: a backup
+// validator distinguishes "archive damaged" (run repair) from "disk
+// trouble" (retry).
+const (
+	exitOK      = 0
+	exitIO      = 1
+	exitUsage   = 2
+	exitCorrupt = 3
+)
+
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "fsck":
+			runFsck(os.Args[2:])
+			return
+		case "repair":
+			runRepair(os.Args[2:])
+			return
+		}
+	}
 	var (
 		compress   = flag.Bool("c", false, "compress")
 		decompress = flag.Bool("d", false, "decompress")
@@ -130,7 +156,7 @@ func runInfo(in string) {
 	}
 	fi, err := sperr.Describe(stream)
 	if err != nil {
-		fatal("describe: %v", err)
+		fatalStream("describe", err)
 	}
 	n := fi.Dims[0] * fi.Dims[1] * fi.Dims[2]
 	fmt.Printf("volume      %dx%dx%d (%d points)\n", fi.Dims[0], fi.Dims[1], fi.Dims[2], n)
@@ -160,7 +186,17 @@ type compressSpec struct {
 
 func fatal(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "sperr: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(exitIO)
+}
+
+// fatalStream reports a failure whose cause may be a corrupt container,
+// mapping it to exit 3 (corrupt input) versus 1 (other I/O).
+func fatalStream(context string, err error) {
+	fmt.Fprintf(os.Stderr, "sperr: %s: %v\n", context, err)
+	if errors.Is(err, sperr.ErrCorrupt) {
+		os.Exit(exitCorrupt)
+	}
+	os.Exit(exitIO)
 }
 
 // usageFatal reports a bad flag combination and exits non-zero with a
@@ -168,8 +204,9 @@ func fatal(format string, args ...interface{}) {
 func usageFatal(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "sperr: "+format+"\n", args...)
 	fmt.Fprintln(os.Stderr, "usage: sperr (-c -dims nx,ny,nz (-tol|-bpp|-rmse|-psnr) | -d [-partial|-lowres|-region] | -info) -in FILE [-out FILE]")
+	fmt.Fprintln(os.Stderr, "       sperr fsck FILE | sperr repair IN OUT")
 	fmt.Fprintln(os.Stderr, "run 'sperr -h' for the full flag list")
-	os.Exit(2)
+	os.Exit(exitUsage)
 }
 
 func parseDims(s string) [3]int {
@@ -366,7 +403,7 @@ func runDecompress(in, out string, f32 bool, partial float64, lowres int, region
 		data, dims, err = sperr.DecompressPartial(stream, partial)
 	}
 	if err != nil {
-		fatal("decompress: %v", err)
+		fatalStream("decompress", err)
 	}
 	if err := rawio.WriteFloats(out, data, width); err != nil {
 		fatal("write %s: %v", out, err)
@@ -387,7 +424,7 @@ func runStreamDecompress(in, out string, width, workers int, quiet bool) {
 	defer inF.Close()
 	dec, err := sperr.NewDecoder(bufio.NewReaderSize(inF, 1<<20))
 	if err != nil {
-		fatal("decompress: %v", err)
+		fatalStream("decompress", err)
 	}
 	dec.SetWorkers(workers)
 	vd := dec.Dims()
@@ -414,7 +451,7 @@ func runStreamDecompress(in, out string, width, workers int, quiet bool) {
 		return nil
 	})
 	if err != nil {
-		fatal("decompress: %v", err)
+		fatalStream("decompress", err)
 	}
 	if err := outF.Close(); err != nil {
 		fatal("write %s: %v", out, err)

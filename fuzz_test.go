@@ -67,6 +67,16 @@ func FuzzDecompress(f *testing.F) {
 		f.Add(v1)
 		f.Add(v1[:len(v1)/2])
 	}
+	// Checked-in mutants from the fault-injection campaign
+	// (internal/faultinject, regenerated via -update-seeds): corruption
+	// shapes the campaign proved interesting for the salvage path.
+	if mutants, err := filepath.Glob(filepath.Join("testdata", "mutant_*.sperr")); err == nil {
+		for _, path := range mutants {
+			if seed, err := os.ReadFile(path); err == nil {
+				f.Add(seed)
+			}
+		}
+	}
 	// v2 structural damage: truncations at the frame and index-footer
 	// boundaries, and bit flips inside the index entries and tail.
 	for _, cut := range []int{len(multi) - 20, len(multi) - 21, len(multi) - 52} {
@@ -118,6 +128,26 @@ func FuzzDecompress(f *testing.F) {
 		_, _, _ = DecompressPartial(in, 0.5)
 		_, _, _ = DecompressLowRes(in, 1)
 		_, _ = Describe(in)
+		// The fault-tolerant surfaces share the no-panic invariant, with
+		// one more clause: when the strict decode succeeds, salvage must
+		// agree (same shape, zero skipped chunks).
+		sdata, sdims, rep, serr := DecompressSalvage(in)
+		if err == nil {
+			if serr != nil {
+				t.Fatalf("strict decode ok but salvage failed: %v", serr)
+			}
+			if sdims != dims || len(sdata) != len(rec) || rep.Skipped != 0 {
+				t.Fatalf("salvage disagrees with strict decode: dims %v/%v skipped %d",
+					sdims, dims, rep.Skipped)
+			}
+		}
+		_, _ = Audit(in)
+		if fixed, _, rerr := Repair(in); rerr == nil {
+			// A successful repair must produce a strictly decodable stream.
+			if _, _, derr := Decompress(fixed); derr != nil {
+				t.Fatalf("repaired stream rejected by strict decode: %v", derr)
+			}
+		}
 	})
 }
 

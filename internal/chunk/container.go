@@ -70,36 +70,51 @@ func validateGeometry(volDims, chunkDims grid.Dims, nchunks int) ([]grid.Chunk, 
 	return grid.SplitChunks(volDims, chunkDims), nil
 }
 
+// parseFixedHeader decodes and validates the 36-byte fixed header shared
+// by v1 and v2, returning the declared geometry and the chunk split. It is
+// the common entry of the strict parser (parseContainer) and the salvage
+// path, which must keep going on streams whose frame region is damaged.
+func parseFixedHeader(stream []byte) (version int, volDims, chunkDims grid.Dims, chunks []grid.Chunk, err error) {
+	if len(stream) < fixedHeaderSize {
+		return 0, volDims, chunkDims, nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	switch {
+	case [8]byte(stream[:8]) == magicV1:
+		version = 1
+	case [8]byte(stream[:8]) == magicV2:
+		version = 2
+	default:
+		return 0, volDims, chunkDims, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	u32 := func(off int) int { return int(binary.LittleEndian.Uint32(stream[off:])) }
+	volDims = grid.Dims{NX: u32(8), NY: u32(12), NZ: u32(16)}
+	chunkDims = grid.Dims{NX: u32(20), NY: u32(24), NZ: u32(28)}
+	chunks, err = validateGeometry(volDims, chunkDims, u32(32))
+	if err != nil {
+		return 0, volDims, chunkDims, nil, err
+	}
+	return version, volDims, chunkDims, chunks, nil
+}
+
 // parseContainer validates and indexes a container stream without
 // decoding (or, for v2, even checksumming) any chunk payloads.
 func parseContainer(stream []byte) (*container, error) {
 	if len(stream) < fixedHeaderSize {
 		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
 	}
-	c := &container{}
-	switch {
-	case [8]byte(stream[:8]) == magicV1:
-		c.version = 1
-	case [8]byte(stream[:8]) == magicV2:
-		c.version = 2
-	default:
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	u32 := func(off int) int { return int(binary.LittleEndian.Uint32(stream[off:])) }
-	c.volDims = grid.Dims{NX: u32(8), NY: u32(12), NZ: u32(16)}
-	c.chunkDims = grid.Dims{NX: u32(20), NY: u32(24), NZ: u32(28)}
-	nchunks := u32(32)
-	// Every chunk costs at least a 4-byte length prefix, so nchunks is
-	// bounded by the bytes that remain — checked before validateGeometry's
-	// products so a lying count cannot size the chunk slice either.
+	// Every chunk costs at least a 4-byte length prefix, so the declared
+	// chunk count is bounded by the bytes that remain — checked before
+	// validateGeometry's products so a lying count cannot size the chunk
+	// slice either.
+	nchunks := int(binary.LittleEndian.Uint32(stream[32:]))
 	if nchunks > (len(stream)-fixedHeaderSize)/4 {
 		return nil, fmt.Errorf("%w: chunk count %d exceeds stream capacity", ErrCorrupt, nchunks)
 	}
-	chunks, err := validateGeometry(c.volDims, c.chunkDims, nchunks)
+	version, volDims, chunkDims, chunks, err := parseFixedHeader(stream)
 	if err != nil {
 		return nil, err
 	}
-	c.chunks = chunks
+	c := &container{version: version, volDims: volDims, chunkDims: chunkDims, chunks: chunks}
 	if c.version >= 2 {
 		return c, c.parseV2(stream, nchunks)
 	}
@@ -109,7 +124,7 @@ func parseContainer(stream []byte) (*container, error) {
 		if off+4 > len(stream) {
 			return nil, fmt.Errorf("%w: truncated at chunk %d", ErrCorrupt, i)
 		}
-		n := u32(off)
+		n := int(binary.LittleEndian.Uint32(stream[off:]))
 		off += 4
 		if n < 0 || off+n > len(stream) {
 			return nil, fmt.Errorf("%w: chunk %d payload truncated", ErrCorrupt, i)

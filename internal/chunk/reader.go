@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,11 @@ type Reader struct {
 	consumed bool
 	ctx      context.Context // optional cancellation, see SetContext
 
+	policy Policy
+	fill   float64
+	report *SalvageReport
+	remain int64 // input bytes past the header when seekable, else -1
+
 	inFlight     atomic.Int64
 	peakInFlight atomic.Int64
 }
@@ -54,7 +60,19 @@ func NewReader(r io.Reader, workers int) (*Reader, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
 	}
-	d := &Reader{r: r, workers: workers}
+	d := &Reader{r: r, workers: workers, fill: math.NaN(), remain: -1}
+	// When the input can report its size, remember how many bytes remain
+	// past the header: a forged length prefix is then rejected before any
+	// allocation instead of after a bounded-step read fails.
+	if s, ok := r.(io.Seeker); ok {
+		if cur, err := s.Seek(0, io.SeekCurrent); err == nil {
+			if end, err := s.Seek(0, io.SeekEnd); err == nil {
+				if _, err := s.Seek(cur, io.SeekStart); err == nil {
+					d.remain = end - cur
+				}
+			}
+		}
+	}
 	switch {
 	case [8]byte(hdr[:8]) == magicV1:
 		d.version = 1
@@ -108,6 +126,25 @@ func (d *Reader) ctxErr() error {
 // at any one time during ForEach — at most workers x chunk size.
 func (d *Reader) PeakInFlightSamples() int { return int(d.peakInFlight.Load()) }
 
+// SetPolicy selects how ForEach reacts to damaged frames. The default,
+// PolicyFailFast, aborts on the first damaged byte. PolicySkip decodes
+// and delivers the intact chunks and records the damaged ones in the
+// report; PolicyFill additionally delivers fill-valued samples for every
+// damaged chunk, so the callback still observes each chunk exactly once.
+// Under either tolerant policy, frame-level damage no longer makes
+// ForEach return an error — consult Report afterwards. Context
+// cancellation and callback errors always fail. Call before ForEach.
+func (d *Reader) SetPolicy(p Policy) { d.policy = p }
+
+// SetFill sets the sample value synthesized for damaged chunks under
+// PolicyFill. The default is NaN. Call before ForEach.
+func (d *Reader) SetFill(v float64) { d.fill = v }
+
+// Report returns the per-chunk outcomes of a ForEach run under PolicySkip
+// or PolicyFill. It is nil before ForEach completes and under
+// PolicyFailFast.
+func (d *Reader) Report() *SalvageReport { return d.report }
+
 // decJob is one compressed frame payload awaiting decode.
 type decJob struct {
 	index   int
@@ -124,6 +161,11 @@ func (d *Reader) ForEach(fn func(index int, ch grid.Chunk, data []float64) error
 		return fmt.Errorf("chunk: Reader already consumed")
 	}
 	d.consumed = true
+
+	tolerant := d.policy != PolicyFailFast
+	if tolerant {
+		d.report = newSalvageReport(d.version, d.chunks)
+	}
 
 	workers := d.workers
 	if workers <= 0 {
@@ -173,18 +215,71 @@ func (d *Reader) ForEach(fn func(index int, ch grid.Chunk, data []float64) error
 					ch := d.chunks[job.index]
 					n := int64(ch.Dims.Len())
 					raisePeak(&d.peakInFlight, d.inFlight.Add(n))
-					data, err := codec.DecodeChunkScratchThreads(job.payload, ch.Dims, ws.codec, intra)
-					if err != nil {
+					// A nil payload is a fill-synthesis job queued by the
+					// producer for a chunk whose frame was damaged
+					// (PolicyFill only).
+					var (
+						data []float64
+						err  error
+					)
+					if job.payload != nil {
+						data, err = codec.DecodeChunkScratchThreads(job.payload, ch.Dims, ws.codec, intra)
+					}
+					switch {
+					case job.payload != nil && err == nil:
+						if tolerant {
+							d.report.Chunks[job.index].Recovered = true
+							d.report.Chunks[job.index].Reason = ""
+						}
+					case !tolerant:
 						fail(fmt.Errorf("chunk %d: %w", job.index, err))
-					} else if err := fn(job.index, ch, data); err != nil {
-						fail(err)
+						data = nil
+					default:
+						// Tolerant decode failure, or a fill job. Workers
+						// touch disjoint report slots, so no lock.
+						if job.payload != nil {
+							d.report.Chunks[job.index].Reason = ReasonDecode
+						}
+						data = nil
+						if d.policy == PolicyFill {
+							data = make([]float64, ch.Dims.Len())
+							for i := range data {
+								data[i] = d.fill
+							}
+						}
+					}
+					if data != nil && !failed.Load() {
+						if err := fn(job.index, ch, data); err != nil {
+							fail(err)
+						}
 					}
 					d.inFlight.Add(-n)
 				}
-				buf := job.payload[:0]
-				bufPool.Put(&buf)
+				if job.payload != nil {
+					buf := job.payload[:0]
+					bufPool.Put(&buf)
+				}
 			}
 		}()
+	}
+
+	// degradeRest marks chunks from i on as lost — once framing is gone a
+	// sequential reader cannot attribute another byte — and, under
+	// PolicyFill, queues fill-synthesis jobs so the callback still sees
+	// every chunk. Tolerant policies only.
+	framingLost := false
+	degradeRest := func(i int, reason string) {
+		framingLost = true
+		for j := i; j < len(d.chunks); j++ {
+			r := reason
+			if j > i {
+				r = ReasonFramingLost
+			}
+			d.report.Chunks[j].Reason = r
+			if d.policy == PolicyFill {
+				jobs <- decJob{index: j, payload: nil}
+			}
+		}
 	}
 
 	// Producer: read frames sequentially, recording what the index footer
@@ -200,28 +295,84 @@ func (d *Reader) ForEach(fn func(index int, ch grid.Chunk, data []float64) error
 			break
 		}
 		if _, err := io.ReadFull(d.r, prefix[:]); err != nil {
-			fail(fmt.Errorf("%w: truncated at frame %d: %v", ErrCorrupt, i, err))
+			if tolerant {
+				degradeRest(i, ReasonTruncated)
+			} else {
+				fail(fmt.Errorf("%w: truncated at frame %d: %v", ErrCorrupt, i, err))
+			}
 			break
+		}
+		if d.remain >= 0 {
+			d.remain -= 4
 		}
 		n := int(binary.LittleEndian.Uint32(prefix[:]))
 		if n > maxFrame {
-			fail(fmt.Errorf("%w: frame %d claims %d bytes (cap %d)", ErrCorrupt, i, n, maxFrame))
+			if tolerant {
+				degradeRest(i, ReasonFramingLost)
+			} else {
+				fail(fmt.Errorf("%w: frame %d claims %d bytes (cap %d)", ErrCorrupt, i, n, maxFrame))
+			}
+			break
+		}
+		if d.remain >= 0 && int64(n) > d.remain {
+			// The input's size is known and the claim exceeds it: reject
+			// before allocating anything (a forged prefix must not drive a
+			// large up-front allocation just to fail the read).
+			if tolerant {
+				degradeRest(i, ReasonTruncated)
+			} else {
+				fail(fmt.Errorf("%w: frame %d claims %d bytes with %d remaining",
+					ErrCorrupt, i, n, d.remain))
+			}
 			break
 		}
 		bp := bufPool.Get().(*[]byte)
 		payload, err := readFrame(d.r, *bp, n)
 		if err != nil {
-			fail(fmt.Errorf("%w: frame %d payload: %v", ErrCorrupt, i, err))
+			if tolerant {
+				degradeRest(i, ReasonTruncated)
+			} else {
+				fail(fmt.Errorf("%w: frame %d payload: %v", ErrCorrupt, i, err))
+			}
 			break
+		}
+		if d.remain >= 0 {
+			d.remain -= int64(n)
+		}
+		if tolerant {
+			d.report.Chunks[i].Offset = int64(off)
+			d.report.Chunks[i].Length = n
 		}
 		crc := frameCRC(payload)
 		if d.version >= 2 {
 			var post [4]byte
 			if _, err := io.ReadFull(d.r, post[:]); err != nil {
-				fail(fmt.Errorf("%w: frame %d checksum truncated: %v", ErrCorrupt, i, err))
+				if tolerant {
+					degradeRest(i, ReasonTruncated)
+				} else {
+					fail(fmt.Errorf("%w: frame %d checksum truncated: %v", ErrCorrupt, i, err))
+				}
 				break
 			}
+			if d.remain >= 0 {
+				d.remain -= 4
+			}
 			if got := binary.LittleEndian.Uint32(post[:]); got != crc {
+				if tolerant {
+					// The frame's bytes were all read, so framing plausibly
+					// survives: record the loss and keep going. If the
+					// length prefix itself was the damaged byte, the next
+					// frame fails too and the stream degrades from there.
+					d.report.Chunks[i].Reason = ReasonBadCRC
+					if d.policy == PolicyFill {
+						jobs <- decJob{index: i, payload: nil}
+					}
+					buf := payload[:0]
+					bufPool.Put(&buf)
+					entries[i] = indexEntry{offset: off, length: uint32(n), crc: crc}
+					off += 4 + uint64(n) + 4
+					continue
+				}
 				fail(fmt.Errorf("%w: frame %d checksum mismatch", ErrCorrupt, i))
 				break
 			}
@@ -236,26 +387,43 @@ func (d *Reader) ForEach(fn func(index int, ch grid.Chunk, data []float64) error
 	}
 	close(jobs)
 	wg.Wait()
+	if tolerant {
+		defer d.report.tally()
+	}
 	if firstErr != nil {
 		return firstErr
 	}
 
 	if d.version >= 2 {
 		// Consume and corroborate the index footer: every entry must match
-		// the frames just decoded.
-		idxLen := len(d.chunks)*indexEntrySize + aggregateSize + tailSize
-		idx := make([]byte, idxLen)
-		if _, err := io.ReadFull(d.r, idx); err != nil {
-			return fmt.Errorf("%w: truncated index footer: %v", ErrCorrupt, err)
-		}
-		got, _, err := parseIndex(idx, len(d.chunks), off, int(off)+idxLen)
-		if err != nil {
-			return err
-		}
-		for i := range got {
-			if got[i] != entries[i] {
-				return fmt.Errorf("%w: index entry %d disagrees with frame", ErrCorrupt, i)
+		// the frames just decoded. Under a tolerant policy a damaged or
+		// unreachable footer is recorded, not fatal — the frames already
+		// vouched for themselves via their own CRCs.
+		corroborate := func() error {
+			if framingLost {
+				return fmt.Errorf("%w: footer unreachable after framing loss", ErrCorrupt)
 			}
+			idxLen := len(d.chunks)*indexEntrySize + aggregateSize + tailSize
+			idx := make([]byte, idxLen)
+			if _, err := io.ReadFull(d.r, idx); err != nil {
+				return fmt.Errorf("%w: truncated index footer: %v", ErrCorrupt, err)
+			}
+			got, _, err := parseIndex(idx, len(d.chunks), off, int(off)+idxLen)
+			if err != nil {
+				return err
+			}
+			for i := range got {
+				if got[i] != entries[i] {
+					return fmt.Errorf("%w: index entry %d disagrees with frame", ErrCorrupt, i)
+				}
+			}
+			return nil
+		}
+		err := corroborate()
+		if tolerant {
+			d.report.IndexIntact = err == nil
+		} else if err != nil {
+			return err
 		}
 	}
 	return nil

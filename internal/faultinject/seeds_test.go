@@ -1,0 +1,86 @@
+package faultinject
+
+// Seed export: a handful of campaign mutants are checked into testdata/
+// as fuzz seeds (mutant_*.sperr), so the fuzzer starts from corruption
+// shapes the campaign already proved interesting. Regenerate with
+//
+//	go test ./internal/faultinject/ -run TestSeedMutants -update-seeds
+//
+// after changing the golden fixture or the campaign generator; the test
+// fails whenever the checked-in seeds drift from the campaign.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateSeeds = flag.Bool("update-seeds", false, "rewrite testdata/mutant_*.sperr fuzz seeds")
+
+// seedMutants picks one representative mutant per damage shape, by
+// campaign order (deterministic): the first truncation that leaves the
+// header intact, a mid-stream truncation, and the first flip and zero
+// run landing in each region.
+func seedMutants(muts []Mutant) map[string][]byte {
+	seeds := map[string][]byte{}
+	put := func(key string, m Mutant) {
+		if _, ok := seeds[key]; !ok {
+			seeds[key] = m.Data
+		}
+	}
+	var cuts []Mutant
+	for _, m := range muts {
+		op := m.Name[:strings.IndexByte(m.Name, '@')]
+		if op == "truncate" {
+			if m.HeaderIntact {
+				cuts = append(cuts, m)
+			}
+			continue
+		}
+		put(fmt.Sprintf("mutant_%s_%s.sperr", m.Region, op), m)
+	}
+	if len(cuts) > 0 {
+		put("mutant_cut_frame.sperr", cuts[0])
+		put("mutant_cut_mid.sperr", cuts[len(cuts)/2])
+	}
+	return seeds
+}
+
+func TestSeedMutantsCurrent(t *testing.T) {
+	stream := loadFixture(t, "golden_pwe_24x17x9_v2.sperr")
+	muts, err := Campaign(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := seedMutants(muts)
+	if len(seeds) < 6 {
+		t.Fatalf("only %d seed shapes selected", len(seeds))
+	}
+	names := make([]string, 0, len(seeds))
+	for name := range seeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join("..", "..", "testdata", name)
+		if *updateSeeds {
+			if err := os.WriteFile(path, seeds[name], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d bytes)", name, len(seeds[name]))
+			continue
+		}
+		have, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with -update-seeds)", name, err)
+		}
+		if !bytes.Equal(have, seeds[name]) {
+			t.Errorf("%s drifted from the campaign (regenerate with -update-seeds)", name)
+		}
+	}
+}

@@ -257,17 +257,43 @@ func (s *Server) chunkInstrument(dir string) func(sperr.ChunkEvent) {
 
 // handleDecompress streams a container from the request body through the
 // streaming Decoder and writes the volume as raw little-endian floats in
-// row-major order. Parameters: f32, workers.
+// row-major order. Parameters: f32, workers, salvage, fill.
+//
+// With salvage=1 (query or X-Sperr-salvage header) the client opts into
+// degraded decompression: damaged chunks are delivered filled (NaN, or
+// the fill parameter: "zero" or any float) instead of failing the stream,
+// and the X-Sperr-Status trailer reports "degraded: skipped i,j,..."
+// naming the lost chunks. The response body keeps its full declared
+// extent either way — a degraded volume is the same shape, with holes.
 func (s *Server) handleDecompress(w *statusWriter, r *http.Request, st *reqStats) {
 	workersReq, err := paramInt(r, "workers")
 	if err != nil {
 		badRequest(w, st, err)
 		return
 	}
+	salvage := paramBool(r, "salvage")
 	dec, err := sperr.NewDecoder(bufio.NewReaderSize(r.Body, 256<<10))
 	if err != nil {
 		badRequest(w, st, err)
 		return
+	}
+	if salvage {
+		// The slab assembler needs every chunk delivered to keep the
+		// response body well-formed, so degraded serving always fills —
+		// skip-chunk would leave holes in the byte stream itself.
+		dec.SetErrorPolicy(sperr.FillChunk)
+		switch fv := strings.ToLower(param(r, "fill")); fv {
+		case "", "nan":
+		case "zero":
+			dec.SetFillValue(0)
+		default:
+			f, err := strconv.ParseFloat(fv, 64)
+			if err != nil {
+				badRequest(w, st, fmt.Errorf("bad fill %q", fv))
+				return
+			}
+			dec.SetFillValue(f)
+		}
 	}
 	dims := dec.Dims()
 	chunkDims := dec.ChunkDims()
@@ -300,8 +326,33 @@ func (s *Server) handleDecompress(w *statusWriter, r *http.Request, st *reqStats
 		s.streamFail(w, r, st, finish, err)
 		return
 	}
+	if salvage {
+		s.reg.Counter("sperrd_salvage_requests_total").Inc()
+		if rep := dec.SalvageReport(); rep != nil {
+			s.reg.Counter("sperrd_salvage_chunks_recovered_total").Add(int64(rep.Recovered))
+			s.reg.Counter("sperrd_salvage_chunks_lost_total").Add(int64(rep.Skipped))
+			if rep.Degraded() {
+				s.reg.Counter("sperrd_salvage_degraded_total").Inc()
+				w.Header().Set("X-Sperr-Status", "degraded: skipped "+intList(rep.SkippedIndices()))
+				s.reg.Gauge("sperrd_engine_peak_inflight_samples").RaiseTo(int64(dec.PeakInFlightSamples()))
+				return
+			}
+		}
+	}
 	finish(nil)
 	s.reg.Gauge("sperrd_engine_peak_inflight_samples").RaiseTo(int64(dec.PeakInFlightSamples()))
+}
+
+// intList renders chunk indices as "1,3,7" for the degraded trailer.
+func intList(xs []int) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
 }
 
 // readContainer buffers a container body (describe/region need random

@@ -43,18 +43,59 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	return s, ts
 }
 
+// testDeadline bounds every e2e request: a server regression that stalls
+// a stream fails the test with a context error instead of hanging CI.
+const testDeadline = 30 * time.Second
+
 func postRaw(t *testing.T, url string, body []byte) (*http.Response, []byte) {
 	t.Helper()
-	res, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	out, err := io.ReadAll(res.Body)
-	res.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), testDeadline)
+	defer cancel()
+	res, out, err := postCtx(ctx, url, body)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return res, out
+}
+
+// postCtx is the deadline-carrying POST all e2e tests go through.
+func postCtx(ctx context.Context, url string, body []byte) (*http.Response, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, out, nil
+}
+
+// getBody fetches url under the standard test deadline.
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), testDeadline)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
 }
 
 const testTol = 1e-4
@@ -128,26 +169,24 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), testDeadline)
+			defer cancel()
 			data := field(dims[0], dims[1], dims[2], seed)
 			raw, _ := rawio.EncodeFloats(data, 8)
-			res, err := http.Post(compressURL(ts.URL, dims), "application/octet-stream", bytes.NewReader(raw))
+			res, stream, err := postCtx(ctx, compressURL(ts.URL, dims), raw)
 			if err != nil {
 				errs <- err
 				return
 			}
-			stream, _ := io.ReadAll(res.Body)
-			res.Body.Close()
 			if res.StatusCode != 200 {
 				errs <- fmt.Errorf("compress status %d", res.StatusCode)
 				return
 			}
-			res, err = http.Post(ts.URL+"/v1/decompress", "application/octet-stream", bytes.NewReader(stream))
+			res, rawOut, err := postCtx(ctx, ts.URL+"/v1/decompress", stream)
 			if err != nil {
 				errs <- err
 				return
 			}
-			rawOut, _ := io.ReadAll(res.Body)
-			res.Body.Close()
 			if res.StatusCode != 200 {
 				errs <- fmt.Errorf("decompress status %d", res.StatusCode)
 				return
@@ -317,7 +356,9 @@ func startStalledCompress(t *testing.T, ts *httptest.Server, dims [3]int, data [
 	pr, pw := io.Pipe()
 	raw, _ := rawio.EncodeFloats(data, 8)
 	half := len(raw) / 2
-	req, err := http.NewRequest("POST", compressURL(ts.URL, dims), pr)
+	ctx, cancel := context.WithTimeout(context.Background(), testDeadline)
+	t.Cleanup(cancel)
+	req, err := http.NewRequestWithContext(ctx, "POST", compressURL(ts.URL, dims), pr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,12 +440,7 @@ func TestOverloadAdmission(t *testing.T) {
 	waitFor(t, "budget drained", func() bool { return s.Admission().InUse() == 0 })
 
 	// The rejections must be visible on the metrics surface.
-	res, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	text, _ := io.ReadAll(res.Body)
-	res.Body.Close()
+	text := getBody(t, ts.URL+"/metrics")
 	if !strings.Contains(string(text), `sperrd_admission_rejected_total{reason="queue_full"} 2`) {
 		t.Fatalf("metrics missing queue_full rejections:\n%s", text)
 	}
@@ -419,7 +455,7 @@ func TestClientDisconnectCancels(t *testing.T) {
 	data := field(dims[0], dims[1], dims[2], 13)
 	raw, _ := rawio.EncodeFloats(data, 8)
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), testDeadline)
 	pr, pw := io.Pipe()
 	req, err := http.NewRequestWithContext(ctx, "POST", compressURL(ts.URL, dims), pr)
 	if err != nil {
@@ -474,7 +510,13 @@ func TestShutdownDrains(t *testing.T) {
 	if res.Header.Get("Retry-After") == "" {
 		t.Fatal("post-drain response missing Retry-After")
 	}
-	hres, err := http.Get(ts.URL + "/healthz")
+	ctx, cancel := context.WithTimeout(context.Background(), testDeadline)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := http.DefaultClient.Do(hreq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -494,12 +536,7 @@ func TestMetricsAndExpvar(t *testing.T) {
 	if res, _ := postRaw(t, compressURL(ts.URL, dims), raw); res.StatusCode != 200 {
 		t.Fatalf("compress status %d", res.StatusCode)
 	}
-	res, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	text, _ := io.ReadAll(res.Body)
-	res.Body.Close()
+	text := getBody(t, ts.URL+"/metrics")
 	for _, want := range []string{
 		`sperrd_requests_total{endpoint="compress",code="200"} 1`,
 		"sperrd_request_seconds",
@@ -512,12 +549,7 @@ func TestMetricsAndExpvar(t *testing.T) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
-	res, err = http.Get(ts.URL + "/debug/vars")
-	if err != nil {
-		t.Fatal(err)
-	}
-	vars, _ := io.ReadAll(res.Body)
-	res.Body.Close()
+	vars := getBody(t, ts.URL+"/debug/vars")
 	if !strings.Contains(string(vars), "sperrd") {
 		t.Error("/debug/vars missing the sperrd registry")
 	}

@@ -1,0 +1,77 @@
+package sperr
+
+import (
+	"math"
+
+	"sperr/internal/chunk"
+)
+
+// ErrorPolicy selects how a decode reacts to damaged frames. The default
+// everywhere is fail-fast, the historical behavior: the first damaged
+// byte aborts the decode with ErrCorrupt.
+type ErrorPolicy = chunk.Policy
+
+const (
+	// FailFast aborts the decode on the first damaged byte.
+	FailFast = chunk.PolicyFailFast
+	// SkipChunk drops damaged chunks and keeps decoding the intact ones.
+	SkipChunk = chunk.PolicySkip
+	// FillChunk delivers fill-valued samples (NaN unless overridden) for
+	// damaged chunks, preserving the volume's full extent.
+	FillChunk = chunk.PolicyFill
+)
+
+// SalvageReport describes the outcome of a fault-tolerant decode: one
+// ChunkOutcome per chunk (recovered, or skipped with a reason and the
+// frame's byte range), whether the index footer was intact, and which
+// byte ranges of the container could not be attributed to any verified
+// frame.
+type SalvageReport = chunk.SalvageReport
+
+// ChunkOutcome is one chunk's entry in a SalvageReport.
+type ChunkOutcome = chunk.ChunkOutcome
+
+// DecompressSalvage reconstructs as much of a damaged stream as its
+// intact frames allow. Where Decompress fails on the first damaged byte,
+// DecompressSalvage locates every frame that still verifies — through the
+// index footer when it survives, or by a resynchronizing scan of the
+// frame region when the footer or the framing itself is damaged — and
+// decodes exactly those; the samples of lost chunks are NaN. The report
+// says which chunks were recovered and which were lost, and why. The
+// error is non-nil only when the container's fixed header is unusable
+// (without the geometry nothing can be attributed); all frame- and
+// footer-level damage is absorbed into the report.
+func DecompressSalvage(stream []byte) ([]float64, [3]int, *SalvageReport, error) {
+	return DecompressSalvageWorkers(stream, math.NaN(), 0)
+}
+
+// DecompressSalvageWorkers is DecompressSalvage with an explicit fill
+// value for lost chunks' samples and a worker budget (<= 0 means
+// GOMAXPROCS).
+func DecompressSalvageWorkers(stream []byte, fill float64, workers int) ([]float64, [3]int, *SalvageReport, error) {
+	vol, rep, err := chunk.Salvage(stream, fill, workers)
+	if err != nil {
+		return nil, [3]int{}, nil, err
+	}
+	return vol.Data, [3]int{vol.Dims.NX, vol.Dims.NY, vol.Dims.NZ}, rep, nil
+}
+
+// Audit verifies a stream's integrity without decoding any samples: every
+// frame is checked against its CRC-32C (container v2) and its chunk
+// header cross-checked against the geometry. In the returned report,
+// Recovered means "verified recoverable". The `sperr fsck` command is a
+// thin wrapper over this.
+func Audit(stream []byte) (*SalvageReport, error) {
+	return chunk.Audit(stream)
+}
+
+// Repair rewrites a damaged stream as a clean container v2: frames that
+// verify are kept byte-for-byte (their chunks later decompress
+// bit-identically), lost chunks are replaced by placeholder frames
+// encoding all-zero samples, and the index footer is regenerated. v1
+// input is upgraded to v2. The report describes the input's damage.
+// Repair fails when the fixed header is unusable or no frame at all
+// verified. The `sperr repair` command wraps this.
+func Repair(stream []byte) ([]byte, *SalvageReport, error) {
+	return chunk.Repair(stream)
+}
