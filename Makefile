@@ -52,6 +52,7 @@ bench-kernels:
 	$(GO) test -run='^$$' -bench='BitsReadWrite' -benchmem ./internal/bits/
 	$(GO) test -run='^$$' -bench='CompressPWE64|CompressPWEIntra64|Decompress64' -benchmem .
 	$(GO) test -run='^$$' -bench='StreamCompress|StreamDecompress' -benchmem .
+	$(GO) test -run='^$$' -bench='RegionCached|RegionUncached' -benchmem ./internal/store/
 
 bench-log:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

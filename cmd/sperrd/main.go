@@ -12,6 +12,18 @@
 //	POST /v1/describe    container in -> JSON stream info
 //	POST /v1/region      container in -> raw floats of the cutout
 //	                     (?region=x,y,z,nx,ny,nz, optional ?f32, ?workers)
+//
+// With -store-dir set, the content-addressed volume store is enabled:
+//
+//	PUT    /v1/volumes             ingest a container; verified, stored
+//	                               once, named by content address
+//	                               (X-Sperr-Volume-Id, 201/200 idempotent)
+//	GET    /v1/volumes/{id}        manifest entry (geometry, checksum)
+//	DELETE /v1/volumes/{id}        drop blob, manifest entry, cached slabs
+//	GET    /v1/volumes/{id}/region cutout served through the decoded-slab
+//	                               cache (?region=..., ?f32, ?workers;
+//	                               X-Sperr-Cache: hit|partial|miss)
+//
 //	GET  /metrics        Prometheus text exposition
 //	GET  /debug/vars     expvar (includes the sperrd registry)
 //	GET  /healthz        liveness (503 while draining)
@@ -53,6 +65,8 @@ func main() {
 		maxContainer = flag.Int64("max-container-mb", 1024, "max buffered container size for describe/region, MiB")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 		quiet        = flag.Bool("quiet", false, "suppress per-request logs")
+		storeDir     = flag.String("store-dir", "", "content-addressed volume store directory (empty disables /v1/volumes)")
+		cacheMB      = flag.Int64("cache-mb", 0, "decoded-slab cache residency cap, MiB (8 bytes/sample; 0 = budget/4)")
 	)
 	flag.Parse()
 
@@ -62,6 +76,8 @@ func main() {
 		QueueWait:         *queueWait,
 		Workers:           *workers,
 		MaxContainerBytes: *maxContainer << 20,
+		StoreDir:          *storeDir,
+		CacheSamples:      *cacheMB << 20 / 8,
 	}
 	if !*quiet {
 		cfg.LogWriter = os.Stderr
@@ -88,7 +104,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "sperrd: listening on %s (budget %d samples, queue %d, workers cap %d)\n",
 		bound, cfg.BudgetSamples, cfg.MaxQueue, cfg.Workers)
 
-	s := server.New(cfg)
+	s, err := server.New(cfg)
+	if err != nil {
+		fatal("init: %v", err)
+	}
+	if *storeDir != "" {
+		fmt.Fprintf(os.Stderr, "sperrd: volume store at %s (%d volumes, cache cap %d samples)\n",
+			*storeDir, s.Store().Len(), s.Store().Cache().Cap())
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- s.Serve(ln) }()
 

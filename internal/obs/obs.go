@@ -96,6 +96,13 @@ var DefLatencyBuckets = []float64{
 // DefRatioBuckets ladders compression ratios (input bytes / output bytes).
 var DefRatioBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 250, 1000}
 
+// DefBytesBuckets ladders payload sizes in bytes, 4 KiB to 4 GiB in
+// decade-ish steps — ingest and container size distributions.
+var DefBytesBuckets = []float64{
+	4 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20,
+	256 << 20, 1 << 30, 4 << 30,
+}
+
 // Registry holds a process's metrics. The zero value is not usable; call
 // NewRegistry.
 type Registry struct {

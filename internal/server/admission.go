@@ -52,6 +52,12 @@ type Admission struct {
 	// onChange, when non-nil, observes (inUse, queueDepth) after every
 	// state transition, under the lock — keep it fast (gauge stores).
 	onChange func(inUse int64, queueDepth int)
+
+	// reclaim, when non-nil, is asked — outside the lock — to free up to
+	// need samples when an Acquire does not fit. The decoded-slab cache
+	// registers its Shed here: under admission pressure, cold cached
+	// slabs yield their budget to in-flight decodes before anyone queues.
+	reclaim func(need int64) int64
 }
 
 // NewAdmission builds a controller with the given sample capacity and
@@ -79,35 +85,80 @@ func (a *Admission) grantLocked(cost int64) {
 	}
 }
 
-// Acquire charges cost samples against the budget, waiting in FIFO order
-// up to maxWait if the budget is currently exhausted. It returns the time
-// spent queued and an admission error (nil on success). ctx abandons the
-// wait early (client gone).
-func (a *Admission) Acquire(ctx context.Context, cost int64, maxWait time.Duration) (time.Duration, error) {
+// SetReclaimer registers the shed callback Acquire invokes (outside the
+// lock) before queueing a request that does not fit.
+func (a *Admission) SetReclaimer(f func(need int64) int64) {
+	a.mu.Lock()
+	a.reclaim = f
+	a.mu.Unlock()
+}
+
+// TryAcquire charges cost without waiting. It succeeds only when the
+// budget fits right now and nobody is queued — a background consumer
+// (the decoded-slab cache) must never overtake waiting requests. The
+// charge is returned with Release, like any other.
+func (a *Admission) TryAcquire(cost int64) bool {
 	if cost <= 0 {
 		cost = 1
 	}
 	a.mu.Lock()
-	switch {
-	case a.draining:
-		a.mu.Unlock()
-		return 0, ErrDraining
-	case cost > a.capacity:
-		a.mu.Unlock()
-		return 0, ErrTooLarge
-	case len(a.queue) == 0 && a.inUse+cost <= a.capacity:
-		a.grantLocked(cost)
+	defer a.mu.Unlock()
+	if a.draining || cost > a.capacity || len(a.queue) > 0 || a.inUse+cost > a.capacity {
+		return false
+	}
+	a.grantLocked(cost)
+	a.notifyLocked()
+	return true
+}
+
+// Acquire charges cost samples against the budget, waiting in FIFO order
+// up to maxWait if the budget is currently exhausted. It returns the time
+// spent queued and an admission error (nil on success). ctx abandons the
+// wait early (client gone). When a reclaimer is registered, a request
+// that does not fit first asks it to shed (cache residency yields to
+// in-flight work) and retries once before queueing.
+func (a *Admission) Acquire(ctx context.Context, cost int64, maxWait time.Duration) (time.Duration, error) {
+	if cost <= 0 {
+		cost = 1
+	}
+	var w *waiter
+	reclaimed := false
+	for w == nil {
+		a.mu.Lock()
+		switch {
+		case a.draining:
+			a.mu.Unlock()
+			return 0, ErrDraining
+		case cost > a.capacity:
+			a.mu.Unlock()
+			return 0, ErrTooLarge
+		case len(a.queue) == 0 && a.inUse+cost <= a.capacity:
+			a.grantLocked(cost)
+			a.notifyLocked()
+			a.mu.Unlock()
+			return 0, nil
+		}
+		if rec := a.reclaim; rec != nil && !reclaimed {
+			need := a.inUse + cost - a.capacity
+			if need < cost {
+				// A non-empty queue can block us with budget nominally
+				// free; shed a full cost's worth so the FIFO drains.
+				need = cost
+			}
+			a.mu.Unlock()
+			reclaimed = true
+			rec(need)
+			continue
+		}
+		if len(a.queue) >= a.maxQueue {
+			a.mu.Unlock()
+			return 0, ErrQueueFull
+		}
+		w = &waiter{cost: cost, ready: make(chan struct{})}
+		a.queue = append(a.queue, w)
 		a.notifyLocked()
 		a.mu.Unlock()
-		return 0, nil
-	case len(a.queue) >= a.maxQueue:
-		a.mu.Unlock()
-		return 0, ErrQueueFull
 	}
-	w := &waiter{cost: cost, ready: make(chan struct{})}
-	a.queue = append(a.queue, w)
-	a.notifyLocked()
-	a.mu.Unlock()
 
 	start := time.Now()
 	timer := time.NewTimer(maxWait)

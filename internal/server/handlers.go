@@ -396,27 +396,32 @@ func (s *Server) handleDescribe(w *statusWriter, r *http.Request, st *reqStats) 
 	}
 }
 
-// handleRegion decodes only the chunks intersecting the requested cutout
-// (region=x,y,z,nx,ny,nz) and returns the region as raw floats.
-// Parameters: region (required), f32, workers.
-func (s *Server) handleRegion(w *statusWriter, r *http.Request, st *reqStats) {
-	spec := param(r, "region")
+// parseRegionSpec parses "x,y,z,nx,ny,nz" into an origin and an extent.
+func parseRegionSpec(spec string) (origin, dims [3]int, err error) {
 	parts := strings.Split(spec, ",")
 	if len(parts) != 6 {
-		badRequest(w, st, fmt.Errorf("region must be x,y,z,nx,ny,nz, got %q", spec))
-		return
+		return origin, dims, fmt.Errorf("region must be x,y,z,nx,ny,nz, got %q", spec)
 	}
 	var vals [6]int
 	for i, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || v < 0 || (i >= 3 && v <= 0) {
-			badRequest(w, st, fmt.Errorf("bad region component %q", p))
-			return
+			return origin, dims, fmt.Errorf("bad region component %q", p)
 		}
 		vals[i] = v
 	}
-	origin := [3]int{vals[0], vals[1], vals[2]}
-	rdims := [3]int{vals[3], vals[4], vals[5]}
+	return [3]int{vals[0], vals[1], vals[2]}, [3]int{vals[3], vals[4], vals[5]}, nil
+}
+
+// handleRegion decodes only the chunks intersecting the requested cutout
+// (region=x,y,z,nx,ny,nz) and returns the region as raw floats.
+// Parameters: region (required), f32, workers.
+func (s *Server) handleRegion(w *statusWriter, r *http.Request, st *reqStats) {
+	origin, rdims, err := parseRegionSpec(param(r, "region"))
+	if err != nil {
+		badRequest(w, st, err)
+		return
+	}
 	workersReq, err := paramInt(r, "workers")
 	if err != nil {
 		badRequest(w, st, err)

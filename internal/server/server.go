@@ -22,6 +22,7 @@ import (
 
 	"sperr"
 	"sperr/internal/obs"
+	"sperr/internal/store"
 )
 
 // Config tunes the service layer. The zero value serves with sane
@@ -55,6 +56,15 @@ type Config struct {
 	// Registry is the metrics registry to instrument into. nil makes a
 	// fresh one.
 	Registry *obs.Registry
+	// StoreDir, when non-empty, enables the content-addressed volume
+	// store (PUT /v1/volumes, GET /v1/volumes/{id}/region, ...) rooted at
+	// that directory.
+	StoreDir string
+	// CacheSamples caps the decoded-slab cache residency in samples.
+	// <= 0 defaults to BudgetSamples/4. The residency is charged against
+	// the admission budget, so the cache and in-flight decodes share one
+	// ceiling regardless of this cap.
+	CacheSamples int64
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +89,9 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.CacheSamples <= 0 {
+		c.CacheSamples = c.BudgetSamples / 4
+	}
 	return c
 }
 
@@ -90,11 +103,13 @@ type Server struct {
 	log      *slog.Logger
 	mux      *http.ServeMux
 	hs       *http.Server
+	store    *store.Store
 	draining atomic.Bool
 }
 
-// New builds a Server from cfg.
-func New(cfg Config) *Server {
+// New builds a Server from cfg. The error is non-nil only when the
+// configured volume store cannot be opened.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg: cfg,
@@ -115,17 +130,72 @@ func New(cfg Config) *Server {
 		depth.Set(int64(q))
 	}
 
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, store.Options{
+			CacheSamples: cfg.CacheSamples,
+			Charge:       s.adm.TryAcquire,
+			Release:      s.adm.Release,
+			Hooks:        s.storeHooks(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		// Under admission pressure, cold cached slabs yield their budget
+		// to in-flight decodes before any request queues.
+		s.adm.SetReclaimer(st.Cache().Shed)
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/compress", s.instrumented("compress", s.handleCompress))
 	s.mux.HandleFunc("POST /v1/decompress", s.instrumented("decompress", s.handleDecompress))
 	s.mux.HandleFunc("POST /v1/describe", s.instrumented("describe", s.handleDescribe))
 	s.mux.HandleFunc("POST /v1/region", s.instrumented("region", s.handleRegion))
+	s.mux.HandleFunc("PUT /v1/volumes", s.instrumented("ingest", s.handleVolumePut))
+	s.mux.HandleFunc("GET /v1/volumes/{id}", s.instrumented("volume", s.handleVolumeGet))
+	s.mux.HandleFunc("DELETE /v1/volumes/{id}", s.instrumented("volume_delete", s.handleVolumeDelete))
+	s.mux.HandleFunc("GET /v1/volumes/{id}/region", s.instrumented("region_cached", s.handleVolumeRegion))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.reg.PublishExpvar("sperrd")
-	return s
+	return s, nil
 }
+
+// storeHooks wires store and cache events into the metrics registry.
+func (s *Server) storeHooks() store.Hooks {
+	ingests := s.reg.Counter("sperrd_store_ingests_total")
+	rejected := s.reg.Counter("sperrd_store_ingest_rejected_total")
+	ingestBytes := s.reg.Histogram("sperrd_store_ingest_bytes", obs.DefBytesBuckets)
+	deletes := s.reg.Counter("sperrd_store_deletes_total")
+	hits := s.reg.Counter("sperrd_cache_hits_total")
+	misses := s.reg.Counter("sperrd_cache_misses_total")
+	decodes := s.reg.Counter("sperrd_store_chunk_decodes_total")
+	evictions := s.reg.Counter("sperrd_cache_evictions_total")
+	resident := s.reg.Gauge("sperrd_cache_resident_samples")
+	peak := s.reg.Gauge("sperrd_cache_peak_samples")
+	return store.Hooks{
+		OnIngest: func(bytes int64, created bool) {
+			ingests.Inc()
+			if created {
+				ingestBytes.Observe(float64(bytes))
+			}
+		},
+		OnReject: func() { rejected.Inc() },
+		OnDelete: func() { deletes.Inc() },
+		OnHit:    func(chunks int) { hits.Add(int64(chunks)) },
+		OnMiss:   func(chunks int) { misses.Add(int64(chunks)) },
+		OnDecode: func(chunks int) { decodes.Add(int64(chunks)) },
+		OnEvict:  func(samples int64) { evictions.Inc() },
+		OnResident: func(samples int64) {
+			resident.Set(samples)
+			peak.RaiseTo(samples)
+		},
+	}
+}
+
+// Store exposes the content-addressed volume store (nil when disabled).
+func (s *Server) Store() *store.Store { return s.store }
 
 // Handler returns the root handler (also usable under httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -151,14 +221,30 @@ func (s *Server) Serve(ln net.Listener) error {
 
 // Shutdown drains gracefully: new work is refused (503 + Retry-After,
 // queued waiters rejected), in-flight requests run to completion bounded
-// by ctx, then the listener closes.
+// by ctx, then the listener closes and the volume store flushes its
+// manifest.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.adm.Drain()
-	if s.hs == nil {
-		return nil
+	var err error
+	if s.hs != nil {
+		err = s.hs.Shutdown(ctx)
 	}
-	return s.hs.Shutdown(ctx)
+	if s.store != nil {
+		if cerr := s.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Close releases server resources without the HTTP drain — the teardown
+// path for handler-only (httptest) servers.
+func (s *Server) Close() error {
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
 }
 
 // statusWriter records status code and bytes written, and exposes

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"sperr/internal/rawio"
+	"sperr/internal/store"
+)
+
+// storeUnavailable answers requests against a disabled volume store.
+func (s *Server) storeUnavailable(w *statusWriter, st *reqStats) {
+	st.err = errors.New("server: volume store disabled (start sperrd with -store-dir)")
+	http.Error(w, st.err.Error(), http.StatusServiceUnavailable)
+}
+
+// notFound answers a lookup for an unknown content address.
+func notFound(w *statusWriter, st *reqStats, err error) {
+	st.err = err
+	http.Error(w, err.Error(), http.StatusNotFound)
+}
+
+// setStoreGauges refreshes the store-size gauges after a mutation.
+func (s *Server) setStoreGauges() {
+	s.reg.Gauge("sperrd_store_volumes").Set(int64(s.store.Len()))
+	s.reg.Gauge("sperrd_store_disk_bytes").Set(s.store.TotalBytes())
+}
+
+// handleVolumePut ingests a container into the content-addressed store:
+// the body is integrity-verified (frame checksums cross-checked against
+// the v2 index footer), written to the compressed tier, and its manifest
+// entry durably flushed. The response is the manifest entry as JSON, 201
+// on first ingest and 200 on an idempotent re-ingest; the content
+// address also rides the X-Sperr-Volume-Id header.
+func (s *Server) handleVolumePut(w *statusWriter, r *http.Request, st *reqStats) {
+	if s.store == nil {
+		s.storeUnavailable(w, st)
+		return
+	}
+	body, ok := s.readContainer(w, r, st)
+	if !ok {
+		return
+	}
+	meta, created, err := s.store.Put(body)
+	if err != nil {
+		st.err = err
+		code := http.StatusBadRequest
+		if errors.Is(err, store.ErrCorrupt) {
+			code = http.StatusUnprocessableEntity
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	s.setStoreGauges()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Sperr-Volume-Id", meta.ID)
+	if created {
+		w.WriteHeader(http.StatusCreated)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(meta); err != nil {
+		st.err = err
+	}
+}
+
+// handleVolumeGet returns a volume's manifest entry (no data decode, no
+// disk read).
+func (s *Server) handleVolumeGet(w *statusWriter, r *http.Request, st *reqStats) {
+	if s.store == nil {
+		s.storeUnavailable(w, st)
+		return
+	}
+	meta, ok := s.store.Describe(r.PathValue("id"))
+	if !ok {
+		notFound(w, st, store.ErrNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(meta); err != nil {
+		st.err = err
+	}
+}
+
+// handleVolumeDelete removes a volume from the store (manifest first,
+// then blob, then cached slabs).
+func (s *Server) handleVolumeDelete(w *statusWriter, r *http.Request, st *reqStats) {
+	if s.store == nil {
+		s.storeUnavailable(w, st)
+		return
+	}
+	err := s.store.Delete(r.PathValue("id"))
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		notFound(w, st, err)
+		return
+	case err != nil:
+		st.err = err
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.setStoreGauges()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleVolumeRegion serves a cutout of an ingested volume from the
+// two-tier store (region=x,y,z,nx,ny,nz, optional f32, workers). Chunks
+// resident in the decoded cache are copied out with zero decode work;
+// only missing intersecting frames are decoded (and offered to the
+// cache). A fully cached read skips admission entirely — its memory is
+// the cache's residency, already charged; a read with misses is admitted
+// for its worst-case decode arena like any other decode. The
+// X-Sperr-Cache header reports hit, partial or miss.
+func (s *Server) handleVolumeRegion(w *statusWriter, r *http.Request, st *reqStats) {
+	if s.store == nil {
+		s.storeUnavailable(w, st)
+		return
+	}
+	id := r.PathValue("id")
+	origin, rdims, err := parseRegionSpec(param(r, "region"))
+	if err != nil {
+		badRequest(w, st, err)
+		return
+	}
+	workersReq, err := paramInt(r, "workers")
+	if err != nil {
+		badRequest(w, st, err)
+		return
+	}
+	workers := s.effWorkers(workersReq)
+	width := widthOf(r)
+
+	plan, err := s.store.PlanRegion(id, origin, rdims)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		notFound(w, st, err)
+		return
+	case err != nil:
+		badRequest(w, st, err)
+		return
+	}
+	if plan.MissingChunks > 0 {
+		cost := int64(min(workers, plan.MissingChunks)) * plan.MaxChunkSamples
+		if cost > plan.MissingSamples {
+			cost = plan.MissingSamples
+		}
+		release := s.admit(w, r, st, cost)
+		if release == nil {
+			return
+		}
+		defer release()
+	}
+
+	data, stats, err := s.store.Region(r.Context(), id, origin, rdims, workers)
+	switch {
+	case errors.Is(err, store.ErrNotFound): // deleted between plan and read
+		notFound(w, st, err)
+		return
+	case err != nil:
+		st.err = err
+		if r.Context().Err() != nil {
+			st.canceled = true
+			http.Error(w, err.Error(), 499)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	raw, err := rawio.EncodeFloats(data, width)
+	if err != nil {
+		badRequest(w, st, err)
+		return
+	}
+	outcome := "miss"
+	switch {
+	case stats.Cached():
+		outcome = "hit"
+	case stats.Hits > 0:
+		outcome = "partial"
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+	w.Header().Set("X-Sperr-Dims", fmt.Sprintf("%d,%d,%d", rdims[0], rdims[1], rdims[2]))
+	w.Header().Set("X-Sperr-Cache", outcome)
+	if _, err := w.Write(raw); err != nil {
+		st.err = err
+	}
+}

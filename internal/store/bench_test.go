@@ -1,0 +1,68 @@
+package store
+
+import (
+	"context"
+	"testing"
+)
+
+// benchStore ingests one 64^3 volume tiled into 32^3 chunks and returns
+// the store plus the content address.
+func benchStore(b *testing.B, cacheSamples int64) (*Store, string) {
+	b.Helper()
+	dims := [3]int{64, 64, 64}
+	s := openTestStore(b, Options{CacheSamples: cacheSamples})
+	c := makeContainer(b, dims, [3]int{32, 32, 32}, 1e-4, 9)
+	m, _, err := s.Put(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, m.ID
+}
+
+// BenchmarkRegionCached measures the decoded-slab hit path: after one
+// warming read, every iteration serves the cutout purely by copying out
+// of resident slabs — zero decode work. The cutout spans all 8 chunks.
+func BenchmarkRegionCached(b *testing.B) {
+	s, id := benchStore(b, 64*64*64)
+	origin, dims := [3]int{8, 8, 8}, [3]int{48, 48, 48}
+	if _, st, err := s.Region(context.Background(), id, origin, dims, 4); err != nil || st.Misses == 0 {
+		b.Fatalf("warmup: err=%v stats=%+v", err, st)
+	}
+	before := s.Decodes()
+	n := dims[0] * dims[1] * dims[2]
+	b.SetBytes(int64(n) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := s.Region(context.Background(), id, origin, dims, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.Cached() {
+			b.Fatalf("iteration decoded: %+v", st)
+		}
+	}
+	b.StopTimer()
+	if s.Decodes() != before {
+		b.Fatalf("hit path decoded %d chunks", s.Decodes()-before)
+	}
+}
+
+// BenchmarkRegionUncached is the same cutout with caching disabled: every
+// iteration re-decodes all intersecting chunk frames from the blob — the
+// cost the cache removes.
+func BenchmarkRegionUncached(b *testing.B) {
+	s, id := benchStore(b, 0) // decoded tier disabled
+	origin, dims := [3]int{8, 8, 8}, [3]int{48, 48, 48}
+	n := dims[0] * dims[1] * dims[2]
+	b.SetBytes(int64(n) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := s.Region(context.Background(), id, origin, dims, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Decoded == 0 {
+			b.Fatal("uncached iteration decoded nothing")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestPropertyManifestMatchesDisk drives the store through seeded random
+// ingest / delete / region-read / shed sequences and audits the manifest
+// against the on-disk contents after every single step: no orphan blobs,
+// no missing blobs, no checksum drift, ever. A final reopen must recover
+// exactly the surviving set.
+func TestPropertyManifestMatchesDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short")
+	}
+	for _, seed := range []int64{1, 7, 1234} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			runManifestProperty(t, seed)
+		})
+	}
+}
+
+func runManifestProperty(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CacheSamples: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A small pool of distinct containers; the sequence ingests and
+	// deletes them in random order, sometimes redundantly.
+	dims := [3]int{12, 11, 7}
+	const pool = 6
+	containers := make([][]byte, pool)
+	for i := range containers {
+		containers[i] = makeContainer(t, dims, [3]int{8, 8, 8}, 1e-4, seed*100+int64(i))
+	}
+	live := make(map[int]string) // pool index -> id while ingested
+
+	audit := func(step int, op string) {
+		t.Helper()
+		rep, err := s.AuditDisk()
+		if err != nil {
+			t.Fatalf("step %d (%s): audit: %v", step, op, err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("step %d (%s): audit dirty: orphans=%v missing=%v corrupt=%v drift=%v",
+				step, op, rep.Orphans, rep.Missing, rep.Corrupt, rep.Drift)
+		}
+		if got, want := s.Len(), len(live); got != want {
+			t.Fatalf("step %d (%s): store holds %d volumes, model says %d", step, op, got, want)
+		}
+	}
+
+	const steps = 120
+	for step := 0; step < steps; step++ {
+		i := rng.Intn(pool)
+		var op string
+		switch rng.Intn(4) {
+		case 0: // ingest (possibly idempotent re-ingest)
+			op = "put"
+			m, created, err := s.Put(containers[i])
+			if err != nil {
+				t.Fatalf("step %d: put %d: %v", step, i, err)
+			}
+			if _, wasLive := live[i]; wasLive == created {
+				t.Fatalf("step %d: put %d created=%v but model live=%v", step, i, created, wasLive)
+			}
+			live[i] = m.ID
+		case 1: // delete
+			op = "delete"
+			id, wasLive := live[i]
+			if !wasLive {
+				if err := s.Delete("0000beef"); err != ErrNotFound {
+					t.Fatalf("step %d: phantom delete returned %v", step, err)
+				}
+				break
+			}
+			if err := s.Delete(id); err != nil {
+				t.Fatalf("step %d: delete %d: %v", step, i, err)
+			}
+			delete(live, i)
+		case 2: // region read (warms the cache for later evictions)
+			op = "read"
+			id, wasLive := live[i]
+			if !wasLive {
+				break
+			}
+			o := [3]int{rng.Intn(dims[0]), rng.Intn(dims[1]), rng.Intn(dims[2])}
+			d := [3]int{1 + rng.Intn(dims[0]-o[0]), 1 + rng.Intn(dims[1]-o[1]), 1 + rng.Intn(dims[2]-o[2])}
+			if _, _, err := s.Region(context.Background(), id, o, d, 2); err != nil {
+				t.Fatalf("step %d: region %d: %v", step, i, err)
+			}
+		case 3: // pressure: shed cached slabs (must never touch the disk tier)
+			op = "shed"
+			s.Cache().Shed(int64(rng.Intn(1500)))
+		}
+		audit(step, op)
+	}
+
+	// Reopen: the recovered manifest serves exactly the surviving set.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, want := s2.Len(), len(live); got != want {
+		t.Fatalf("reopen: %d volumes, model says %d", got, want)
+	}
+	for i, id := range live {
+		_, b, err := s2.Get(id)
+		if err != nil {
+			t.Fatalf("reopen: get %d: %v", i, err)
+		}
+		if !bytes.Equal(b, containers[i]) {
+			t.Fatalf("reopen: volume %d bytes drifted", i)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 // Command servesmoke is the `make serve-smoke` harness: it builds the
 // sperrd binary, starts it on a kernel-assigned localhost port, round
 // trips a small volume over HTTP (compress -> decompress, PWE bound
-// verified), checks /metrics and /healthz, then sends SIGTERM and
-// requires a clean graceful-shutdown exit. Exit status 0 means the
-// daemon serves, measures, and drains.
+// verified), ingests the container into the content-addressed store and
+// reads a region through the decoded cache twice (second read must be a
+// hit with the chunk-decode counter flat), checks /metrics and /healthz,
+// then sends SIGTERM and requires a clean graceful-shutdown exit. Exit
+// status 0 means the daemon serves, caches, measures, and drains.
 package main
 
 import (
@@ -55,6 +57,8 @@ func run() error {
 		"-addr-file", addrFile,
 		"-budget-mb", "64",
 		"-chunk", "16,16,16",
+		"-store-dir", filepath.Join(tmp, "store"),
+		"-cache-mb", "8",
 		"-quiet")
 	daemon.Stderr = os.Stderr
 	if err := daemon.Start(); err != nil {
@@ -120,6 +124,54 @@ func run() error {
 		return fmt.Errorf("describe response missing mode: %s", desc)
 	}
 
+	// Content-addressed serving: ingest the container, then read the same
+	// region twice. The first read decodes and warms the cache; the repeat
+	// must be a full hit that moves no decode work.
+	id, err := ingest(base, stream)
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	fmt.Println("serve-smoke: ingested volume", id[:12])
+	regionURL := fmt.Sprintf("%s/v1/volumes/%s/region?region=4,3,2,24,16,8", base, id)
+	cut1, outcome1, err := getRegion(regionURL)
+	if err != nil {
+		return fmt.Errorf("cold region: %w", err)
+	}
+	decodesAfterCold, err := metricValue(base, "sperrd_store_chunk_decodes_total")
+	if err != nil {
+		return err
+	}
+	cut2, outcome2, err := getRegion(regionURL)
+	if err != nil {
+		return fmt.Errorf("warm region: %w", err)
+	}
+	decodesAfterWarm, err := metricValue(base, "sperrd_store_chunk_decodes_total")
+	if err != nil {
+		return err
+	}
+	if outcome2 != "hit" {
+		return fmt.Errorf("repeat region read was %q, want hit (first was %q)", outcome2, outcome1)
+	}
+	if decodesAfterWarm != decodesAfterCold {
+		return fmt.Errorf("chunk decode counter moved %g -> %g across a cache hit",
+			decodesAfterCold, decodesAfterWarm)
+	}
+	if !bytes.Equal(cut1, cut2) {
+		return fmt.Errorf("cached region bytes differ from the decoded read")
+	}
+	if decodesAfterCold == 0 {
+		return fmt.Errorf("cold region read decoded nothing")
+	}
+	hits, err := metricValue(base, "sperrd_cache_hits_total")
+	if err != nil {
+		return err
+	}
+	if hits == 0 {
+		return fmt.Errorf("sperrd_cache_hits_total stayed zero after a hit")
+	}
+	fmt.Printf("serve-smoke: cached region ok (%s then %s, %g decodes, %g slab hits)\n",
+		outcome1, outcome2, decodesAfterCold, hits)
+
 	// Metrics must be non-empty and carry the request counters.
 	res, err := http.Get(base + "/metrics")
 	if err != nil {
@@ -128,7 +180,8 @@ func run() error {
 	mt, _ := io.ReadAll(res.Body)
 	res.Body.Close()
 	if !strings.Contains(string(mt), "sperrd_requests_total") ||
-		!strings.Contains(string(mt), "sperrd_admission_inuse_samples") {
+		!strings.Contains(string(mt), "sperrd_admission_inuse_samples") ||
+		!strings.Contains(string(mt), "sperrd_cache_resident_samples") {
 		return fmt.Errorf("/metrics missing expected series:\n%s", mt)
 	}
 	fmt.Printf("serve-smoke: /metrics ok (%d bytes)\n", len(mt))
@@ -194,6 +247,68 @@ func get(url, want string) error {
 		return fmt.Errorf("body %q missing %q", out, want)
 	}
 	return nil
+}
+
+// ingest PUTs a container into the volume store and returns its content
+// address.
+func ingest(base string, container []byte) (string, error) {
+	req, err := http.NewRequest("PUT", base+"/v1/volumes", bytes.NewReader(container))
+	if err != nil {
+		return "", err
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer res.Body.Close()
+	out, _ := io.ReadAll(res.Body)
+	if res.StatusCode != 201 && res.StatusCode != 200 {
+		return "", fmt.Errorf("status %d: %s", res.StatusCode, out)
+	}
+	id := res.Header.Get("X-Sperr-Volume-Id")
+	if id == "" {
+		return "", fmt.Errorf("missing X-Sperr-Volume-Id header")
+	}
+	return id, nil
+}
+
+// getRegion fetches a cached-region URL, returning the body and the
+// X-Sperr-Cache outcome.
+func getRegion(url string) ([]byte, string, error) {
+	res, err := http.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer res.Body.Close()
+	out, err := io.ReadAll(res.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if res.StatusCode != 200 {
+		return nil, "", fmt.Errorf("status %d: %s", res.StatusCode, out)
+	}
+	return out, res.Header.Get("X-Sperr-Cache"), nil
+}
+
+// metricValue scrapes one un-labelled series from /metrics.
+func metricValue(base, name string) (float64, error) {
+	res, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer res.Body.Close()
+	text, _ := io.ReadAll(res.Body)
+	for _, line := range strings.Split(string(text), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			var v float64
+			if _, err := fmt.Sscanf(fields[1], "%g", &v); err != nil {
+				return 0, fmt.Errorf("metric %s: bad value %q", name, fields[1])
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found in /metrics", name)
 }
 
 func post(url string, body []byte) ([]byte, error) {

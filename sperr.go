@@ -361,6 +361,16 @@ type StreamInfo struct {
 	// SpeckBits and OutlierBits total the embedded stream sizes across
 	// chunks (pre-lossless).
 	SpeckBits, OutlierBits uint64
+	// Chunks gives each chunk's box in container order — the tiling a
+	// random-access reader (or a chunk-granularity cache) needs to map a
+	// cutout onto frames without decoding anything.
+	Chunks []ChunkBox
+}
+
+// ChunkBox is one chunk's extent in volume coordinates.
+type ChunkBox struct {
+	Origin [3]int
+	Dims   [3]int
 }
 
 // Describe inspects a compressed stream — volume geometry, mode,
@@ -395,6 +405,10 @@ func Describe(stream []byte) (*StreamInfo, error) {
 	}
 	for _, c := range info.Chunks {
 		out.FrameBytes = append(out.FrameBytes, c.CompressedBytes)
+		out.Chunks = append(out.Chunks, ChunkBox{
+			Origin: c.Origin,
+			Dims:   [3]int{c.Dims.NX, c.Dims.NY, c.Dims.NZ},
+		})
 	}
 	return out, nil
 }
