@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race faultinject fuzz bench bench-kernels cover experiments examples serve-smoke clean
+.PHONY: all build vet test test-race faultinject fuzz bench bench-kernels profile-kernels cover experiments examples serve-smoke clean
 
 all: build vet test
 
@@ -47,6 +47,7 @@ bench:
 # also reports peak-inflight-bytes, its bounded-memory witness).
 # BENCH_KERNELS.json records the before/after table for these.
 bench-kernels:
+	$(GO) test -run='TestParallelCoderMatchesSerialGolden' -count=1 .
 	$(GO) test -run='^$$' -bench='WaveletForward3D|WaveletInverse3D' -benchmem ./internal/wavelet/
 	$(GO) test -run='^$$' -bench='SpeckEncode|SpeckDecode' -benchmem ./internal/speck/
 	$(GO) test -run='^$$' -bench='BitsReadWrite' -benchmem ./internal/bits/
@@ -56,6 +57,18 @@ bench-kernels:
 
 bench-log:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# CPU and heap profiles of the hot coding kernels, written under
+# profiles/ for `go tool pprof`. End-to-end runs can be profiled instead
+# via `sperr -c/-d -cpuprofile=... -memprofile=...`.
+profile-kernels:
+	mkdir -p profiles
+	$(GO) test -run='^$$' -bench='SpeckEncode$$|SpeckDecode$$' -benchtime=5x \
+		-cpuprofile=profiles/speck.cpu.pprof -memprofile=profiles/speck.mem.pprof \
+		-o profiles/speck.test ./internal/speck/
+	$(GO) test -run='^$$' -bench='WaveletForward3D|WaveletInverse3D' -benchtime=5x \
+		-cpuprofile=profiles/wavelet.cpu.pprof -memprofile=profiles/wavelet.mem.pprof \
+		-o profiles/wavelet.test ./internal/wavelet/
 
 cover:
 	$(GO) test -cover ./...

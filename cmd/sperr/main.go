@@ -26,6 +26,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -74,6 +76,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel chunk workers (default GOMAXPROCS)")
 		qfactor    = flag.Float64("q", 0, "quantization step as a multiple of tol (default 1.5)")
 		quiet      = flag.Bool("quiet", false, "suppress the stats summary")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the compress/decompress run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the compress/decompress run to this file")
 	)
 	flag.Parse()
 
@@ -134,9 +138,13 @@ func main() {
 	}
 
 	if *info {
+		if *cpuprofile != "" || *memprofile != "" {
+			usageFatal("-cpuprofile and -memprofile apply only to -c and -d")
+		}
 		runInfo(*in)
 		return
 	}
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 	if *compress {
 		runCompress(compressSpec{
 			in: *in, out: *out, dims: *dimsStr,
@@ -146,6 +154,47 @@ func main() {
 		})
 	} else {
 		runDecompress(*in, *out, *f32, *partial, *lowres, *region, *workers, *quiet)
+	}
+	stopProfiles()
+}
+
+// startProfiles begins CPU profiling and/or arranges a heap profile for
+// the core compress/decompress run; the returned stop function finalizes
+// both. Profiles cover only successful runs — the fatal paths exit
+// without flushing, which is fine for their purpose (profiling the
+// kernels, not the error handling).
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal("create %s: %v", cpuPath, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("start cpu profile: %v", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fatal("close %s: %v", cpuPath, err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal("create %s: %v", memPath, err)
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("write heap profile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatal("close %s: %v", memPath, err)
+			}
+		}
 	}
 }
 

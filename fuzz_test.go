@@ -52,6 +52,27 @@ func FuzzDecompress(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(bpp)
+	// SPECK-AC coverage: an arith-coded container, truncated arith tails
+	// (the range decoder must treat byte exhaustion as stream end, not
+	// read past it), and flips in the chunk-header region where the
+	// entropy-mode byte lives (a forged mode must fail as ErrCorrupt).
+	ac, _, err := CompressPWE(multiData, [3]int{20, 13, 9}, 1e-4, &Options{Entropy: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ac)
+	for _, cut := range []int{len(ac) - 1, len(ac) - 3, len(ac) * 3 / 4, len(ac) / 2} {
+		if cut > 0 && cut < len(ac) {
+			f.Add(ac[:cut])
+		}
+	}
+	for _, pos := range []int{40, 41, 42, 43, 44, len(ac) / 2, len(ac) - 5} {
+		if pos >= 0 && pos < len(ac) {
+			mut := append([]byte(nil), ac...)
+			mut[pos] ^= 0x03
+			f.Add(mut)
+		}
+	}
 	if len(deep) > 50 {
 		f.Add(deep[:len(deep)/3])
 		trunc := append([]byte(nil), deep...)

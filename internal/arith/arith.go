@@ -87,6 +87,18 @@ func (e *Encoder) Bytes() []byte {
 // Bytes flushes; the flush adds at most 5 bytes).
 func (e *Encoder) Len() int { return len(e.out) }
 
+// Reset returns the encoder to its initial state while retaining the
+// output buffer's capacity, so a pooled encoder codes many streams
+// without reallocating.
+func (e *Encoder) Reset() {
+	e.low = 0
+	e.rng = 0xFFFFFFFF
+	e.cache = 0
+	e.hasCache = true
+	e.pending = 0
+	e.out = e.out[:0]
+}
+
 // Decoder is the matching binary range decoder. Reads past the end of the
 // stream behave as zero bytes, so truncated streams decode without error
 // (producing arbitrary bits, exactly like the raw-bit reader).
@@ -114,6 +126,16 @@ func (d *Decoder) next() byte {
 	b := d.in[d.pos]
 	d.pos++
 	return b
+}
+
+// Reset reinitializes the decoder over data, the pooled counterpart of
+// NewDecoder.
+func (d *Decoder) Reset(data []byte) {
+	*d = Decoder{rng: 0xFFFFFFFF, in: data}
+	d.next()
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
 }
 
 // DecodeBit decodes one bit under the adaptive probability p, updating p.

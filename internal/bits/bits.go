@@ -7,6 +7,7 @@
 package bits
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -16,12 +17,15 @@ import (
 var ErrBudget = errors.New("bits: budget exhausted")
 
 // Writer accumulates individual bits into a byte slice, LSB-first within
-// each byte. The zero value is ready to use.
+// each byte. Bits collect in a 64-bit accumulator and spill to the buffer
+// a whole word at a time, so the per-bit hot path is two shifts and a
+// branch taken once per 64 bits; buf is therefore always a whole number
+// of little-endian words. The zero value is ready to use.
 type Writer struct {
 	buf  []byte
 	n    uint64 // number of bits written
-	cur  byte   // partial byte being filled
-	fill uint   // bits used in cur (0..7)
+	cur  uint64 // partial word being filled
+	fill uint   // bits used in cur (0..63)
 }
 
 // NewWriter returns a Writer with capacity preallocated for sizeHint bits.
@@ -40,15 +44,15 @@ func (w *Writer) WriteBit(b bool) {
 	}
 	w.fill++
 	w.n++
-	if w.fill == 8 {
-		w.buf = append(w.buf, w.cur)
+	if w.fill == 64 {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, w.cur)
 		w.cur = 0
 		w.fill = 0
 	}
 }
 
 // WriteBits appends the low n bits of v (n <= 64), least significant
-// first. Whole bytes are emitted with word-level operations, so runs of
+// first. Whole words are emitted with a single append, so runs of
 // refinement bits cost far less than n WriteBit calls.
 func (w *Writer) WriteBits(v uint64, n uint) {
 	if n == 0 {
@@ -58,27 +62,73 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 		v &= (uint64(1) << n) - 1
 	}
 	w.n += uint64(n)
-	if w.fill > 0 {
-		// Top up the partial byte from the low bits of v.
-		w.cur |= byte(v) << w.fill
-		space := 8 - w.fill
-		if n < space {
-			w.fill += n
-			return
+	w.cur |= v << w.fill
+	if w.fill+n >= 64 {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, w.cur)
+		// Shifts of 64 yield 0 in Go, so fill==0 with n==64 lands cur=0.
+		w.cur = v >> (64 - w.fill)
+		w.fill = w.fill + n - 64
+	} else {
+		w.fill += n
+	}
+}
+
+// WriteZeros appends n zero bits. Long runs of insignificance decisions
+// cost a memclr instead of n WriteBit calls.
+func (w *Writer) WriteZeros(n int) {
+	if n <= 0 {
+		return
+	}
+	w.n += uint64(n)
+	total := w.fill + uint(n)
+	if total < 64 {
+		w.fill = total
+		return
+	}
+	// Zeros complete the partial word; the rest are whole zero words.
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, w.cur)
+	w.cur = 0
+	total -= 64
+	if nb := int(total>>6) * 8; nb > 0 {
+		l := len(w.buf)
+		if cap(w.buf)-l >= nb {
+			w.buf = w.buf[:l+nb]
+		} else {
+			w.buf = append(w.buf, make([]byte, nb)...)
 		}
-		w.buf = append(w.buf, w.cur)
-		w.cur, w.fill = 0, 0
-		v >>= space
-		n -= space
+		z := w.buf[l:]
+		for i := range z {
+			z[i] = 0
+		}
 	}
-	for n >= 8 {
-		w.buf = append(w.buf, byte(v))
-		v >>= 8
-		n -= 8
+	w.fill = total & 63
+}
+
+// WriteStream appends every bit written to src so far, preserving order,
+// as if each had been passed to w.WriteBit individually. The source
+// buffer is always whole little-endian words, so splicing moves 64 bits
+// per step regardless of the destination's alignment. src is not
+// modified.
+func (w *Writer) WriteStream(src *Writer) {
+	if src.n == 0 {
+		return
 	}
-	if n > 0 {
-		w.cur = byte(v)
-		w.fill = n
+	if w.fill == 0 {
+		// Word-aligned destination: a straight copy of src's whole words
+		// plus adoption of its partial word.
+		w.buf = append(w.buf, src.buf...)
+		w.cur = src.cur
+		w.fill = src.fill
+		w.n += src.n
+		return
+	}
+	b := src.buf
+	for len(b) >= 8 {
+		w.WriteBits(binary.LittleEndian.Uint64(b), 64)
+		b = b[8:]
+	}
+	if src.fill > 0 {
+		w.WriteBits(src.cur, src.fill)
 	}
 }
 
@@ -88,10 +138,11 @@ func (w *Writer) Len() uint64 { return w.n }
 // Bytes returns the stream padded with zero bits to a whole byte.
 // The Writer remains usable; Bytes may be called repeatedly.
 func (w *Writer) Bytes() []byte {
-	out := make([]byte, len(w.buf), len(w.buf)+1)
+	nb := int((w.n + 7) / 8)
+	out := make([]byte, len(w.buf), nb)
 	copy(out, w.buf)
-	if w.fill > 0 {
-		out = append(out, w.cur)
+	for cur := w.cur; len(out) < nb; cur >>= 8 {
+		out = append(out, byte(cur))
 	}
 	return out
 }
@@ -110,11 +161,12 @@ func (w *Writer) Reset() {
 // aliases the writer: it is valid only until the next Reset, and the
 // writer must be Reset before any further writes.
 func (w *Writer) Close() []byte {
-	if w.fill > 0 {
-		w.buf = append(w.buf, w.cur)
-		w.cur = 0
-		w.fill = 0
+	nb := int((w.n + 7) / 8)
+	for cur := w.cur; len(w.buf) < nb; cur >>= 8 {
+		w.buf = append(w.buf, byte(cur))
 	}
+	w.cur = 0
+	w.fill = 0
 	return w.buf
 }
 

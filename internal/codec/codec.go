@@ -234,6 +234,16 @@ func parseHeader(b []byte) (*header, error) {
 	if h.mode != ModePWE && h.mode != ModeBPP && h.mode != ModeRMSE {
 		return nil, fmt.Errorf("%w: unknown mode %d", ErrCorrupt, h.mode)
 	}
+	// The entropy byte is a mode enum, not a flag word: 0 (raw bits) and 1
+	// (SPECK-AC) are the only values any encoder has ever written. A forged
+	// or damaged value must fail loudly here rather than select a bit layer
+	// that does not exist; likewise AC is only ever produced under ModePWE.
+	if b[3] > 1 {
+		return nil, fmt.Errorf("%w: unknown entropy mode %d", ErrCorrupt, b[3])
+	}
+	if h.entropy && h.mode != ModePWE {
+		return nil, fmt.Errorf("%w: entropy bit set outside PWE mode", ErrCorrupt)
+	}
 	if !(h.q > 0) || math.IsInf(h.q, 0) {
 		return nil, fmt.Errorf("%w: invalid quantization step %g", ErrCorrupt, h.q)
 	}
@@ -336,9 +346,9 @@ func EncodeChunkScratch(data []float64, dims grid.Dims, p Params, s *Scratch) ([
 	}
 	var sres *speck.Result
 	if p.Entropy {
-		sres = speck.EncodeEntropy(coeffs, dims, q)
+		sres = speck.EncodeEntropyScratch(coeffs, dims, q, &s.speck)
 	} else {
-		sres = speck.EncodeScratch(coeffs, dims, q, maxBits, &s.speck)
+		sres = speck.EncodeScratchWorkers(coeffs, dims, q, maxBits, p.threads(), &s.speck)
 	}
 	if p.Mode == ModeRMSE {
 		// Truncate the embedded stream at the first plane boundary whose
@@ -374,13 +384,13 @@ func EncodeChunkScratch(data []float64, dims grid.Dims, p Params, s *Scratch) ([
 		// will see (SPECK decode + inverse transform) and compare.
 		t0 = time.Now()
 		var recon []float64
-		if p.Entropy {
-			recon = speck.DecodeEntropy(sres.Stream, dims, q, sres.NumPlanes)
-		} else if r, ok := speck.ReplayScratch(dims, q, &s.speck); ok {
-			// Integer-path encode: the decoder's reconstruction is
-			// synthesized bit-identically from the quantized magnitudes,
-			// skipping the decode traversal entirely.
+		if r, ok := speck.ReplayScratch(dims, q, &s.speck); ok {
+			// Integer-path encode (raw or SPECK-AC): the decoder's
+			// reconstruction is synthesized bit-identically from the
+			// quantized magnitudes, skipping the decode traversal entirely.
 			recon = r
+		} else if p.Entropy {
+			recon = speck.DecodeEntropyScratch(sres.Stream, dims, q, sres.NumPlanes, p.threads(), &s.speck)
 		} else {
 			// The SPECK scratch is shared between the encode above and this
 			// decode: the decoder resets only the list state, leaving the
@@ -474,9 +484,9 @@ func DecodeChunkScratchThreads(stream []byte, dims grid.Dims, s *Scratch, thread
 	speckBytes := int((h.speckBits + 7) / 8)
 	var coeffs []float64
 	if h.entropy {
-		coeffs = speck.DecodeEntropy(body[:speckBytes], dims, h.q, int(h.planes))
+		coeffs = speck.DecodeEntropyScratch(body[:speckBytes], dims, h.q, int(h.planes), threads, &s.speck)
 	} else {
-		coeffs = speck.DecodeScratch(body[:speckBytes], h.speckBits, dims, h.q, int(h.planes), &s.speck)
+		coeffs = speck.DecodeScratchWorkers(body[:speckBytes], h.speckBits, dims, h.q, int(h.planes), threads, &s.speck)
 	}
 	s.planFor(dims).InverseScratchThreads(coeffs, &s.wav, threads)
 

@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -51,6 +52,50 @@ func TestEntropyModeRejectsOtherModes(t *testing.T) {
 	}
 	if _, _, err := EncodeChunk(data, d, Params{Mode: ModeRMSE, TargetRMSE: 1, Entropy: true}); err == nil {
 		t.Error("entropy + RMSE should fail")
+	}
+}
+
+// TestForgedEntropyMode pins the decoder's handling of a tampered
+// entropy-mode byte: values no encoder ever wrote must be rejected as
+// ErrCorrupt (not silently decoded with a bit layer that does not
+// exist), and the AC flag on a mode that cannot produce it likewise.
+func TestForgedEntropyMode(t *testing.T) {
+	d := grid.D3(12, 12, 12)
+	data := smoothField(d, 17)
+	// DisableLossless keeps the chunk header addressable at a fixed
+	// offset: stream[0] is the raw marker, the header starts at 1, and
+	// the entropy byte is header byte 3.
+	const entropyOff = 1 + 3
+	stream, _, err := EncodeChunk(data, d, Params{Mode: ModePWE, Tol: 0.01, DisableLossless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, forged := range []byte{2, 3, 0x80, 0xFF} {
+		mut := append([]byte(nil), stream...)
+		mut[entropyOff] = forged
+		if _, err := DecodeChunk(mut, d); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("entropy byte %#x: got %v, want ErrCorrupt", forged, err)
+		}
+	}
+	// The AC bit on a size-bounded stream: no encoder can write this
+	// combination (Validate rejects Entropy outside PWE), so the decoder
+	// must treat it as corruption.
+	bppStream, _, err := EncodeChunk(data, d, Params{Mode: ModeBPP, BitsPerPoint: 2, DisableLossless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), bppStream...)
+	mut[entropyOff] = 1
+	if _, err := DecodeChunk(mut, d); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("entropy bit on BPP stream: got %v, want ErrCorrupt", err)
+	}
+	// A legitimate AC stream still decodes after the tightened parse.
+	acStream, _, err := EncodeChunk(data, d, Params{Mode: ModePWE, Tol: 0.01, DisableLossless: true, Entropy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeChunk(acStream, d); err != nil {
+		t.Errorf("valid AC stream rejected: %v", err)
 	}
 }
 

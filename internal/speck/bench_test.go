@@ -46,18 +46,104 @@ func BenchmarkSpeckEncode(b *testing.B) {
 }
 
 // BenchmarkSpeckDecode is the decoder-side counterpart, also exercised by
-// the encoder's outlier-locate stage.
+// the encoder's outlier-locate stage. MB/s is reported over the decoded
+// sample bytes (dims.Len() float64s), the same denominator the encode
+// benchmark uses for its input, so the two rows are directly comparable.
 func BenchmarkSpeckDecode(b *testing.B) {
 	coeffs, dims := benchCoeffs(64)
 	const q = 1.5e-3
 	res := Encode(coeffs, dims, q, 0)
 	var s Scratch
-	b.SetBytes(int64(len(coeffs) * 8))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := DecodeScratch(res.Stream, res.Bits, dims, q, res.NumPlanes, &s)
 		if len(out) != dims.Len() {
 			b.Fatal("short decode")
+		}
+		if i == 0 {
+			b.SetBytes(int64(len(out) * 8))
+		}
+	}
+}
+
+// BenchmarkSpeckEncodePar is the speculative subband coder at four
+// workers; its stream is byte-identical to BenchmarkSpeckEncode's.
+func BenchmarkSpeckEncodePar(b *testing.B) {
+	coeffs, dims := benchCoeffs(64)
+	const q = 1.5e-3
+	var s Scratch
+	b.SetBytes(int64(len(coeffs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := EncodeScratchWorkers(coeffs, dims, q, 0, 4, &s)
+		if r.Bits == 0 {
+			b.Fatal("no output bits")
+		}
+	}
+}
+
+// BenchmarkSpeckEncodeAC / DecodeAC measure the SPECK-AC entropy mode:
+// the same decision sequence as the raw coder, routed through the
+// adaptive range coder's contexts.
+func BenchmarkSpeckEncodeAC(b *testing.B) {
+	coeffs, dims := benchCoeffs(64)
+	const q = 1.5e-3
+	var s Scratch
+	b.SetBytes(int64(len(coeffs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := EncodeEntropyScratch(coeffs, dims, q, &s)
+		if r.Bits == 0 {
+			b.Fatal("no output bits")
+		}
+	}
+}
+
+func BenchmarkSpeckDecodeAC(b *testing.B) {
+	coeffs, dims := benchCoeffs(64)
+	const q = 1.5e-3
+	res := EncodeEntropy(coeffs, dims, q)
+	var s Scratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := DecodeEntropyScratch(res.Stream, dims, q, res.NumPlanes, 1, &s)
+		if len(out) != dims.Len() {
+			b.Fatal("short decode")
+		}
+		if i == 0 {
+			b.SetBytes(int64(len(out) * 8))
+		}
+	}
+}
+
+// BenchmarkSpeckEncodeSI / DecodeSI cover the classic S/I-initialized
+// traversal (si.go), which shares none of the octree fast path and keeps
+// the historical coder honest in the same table.
+func BenchmarkSpeckEncodeSI(b *testing.B) {
+	coeffs, dims := benchCoeffs(64)
+	const q = 1.5e-3
+	b.SetBytes(int64(len(coeffs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := EncodeSI(coeffs, dims, q)
+		if r.Bits == 0 {
+			b.Fatal("no output bits")
+		}
+	}
+}
+
+func BenchmarkSpeckDecodeSI(b *testing.B) {
+	coeffs, dims := benchCoeffs(64)
+	const q = 1.5e-3
+	res := EncodeSI(coeffs, dims, q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := DecodeSI(res.Stream, res.Bits, dims, q, res.NumPlanes)
+		if len(out) != dims.Len() {
+			b.Fatal("short decode")
+		}
+		if i == 0 {
+			b.SetBytes(int64(len(out) * 8))
 		}
 	}
 }

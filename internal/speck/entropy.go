@@ -113,14 +113,64 @@ func newACSource(data []byte) *acSource {
 func (s *acSource) get(ctx int) bool { return s.dec.DecodeBit(&s.probs[ctx]) }
 func (s *acSource) exhausted() bool  { return false }
 
+// reset returns a pooled sink to its initial state.
+func (s *acSink) reset() {
+	s.enc.Reset()
+	for i := range s.probs {
+		s.probs[i] = arith.NewProb()
+	}
+	s.n = 0
+}
+
+// acSinkReset returns the scratch's pooled arithmetic sink, reset.
+func (s *Scratch) acSinkReset() *acSink {
+	if s.acs == nil {
+		s.acs = newACSink()
+		s.Grows++
+	} else {
+		s.acs.reset()
+	}
+	return s.acs
+}
+
+// acSourceReset returns the scratch's pooled arithmetic source,
+// reinitialized over data.
+func (s *Scratch) acSourceReset(data []byte) *acSource {
+	if s.acsrc == nil {
+		s.acsrc = newACSource(data)
+		s.Grows++
+		return s.acsrc
+	}
+	s.acsrc.dec.Reset(data)
+	for i := range s.acsrc.probs {
+		s.acsrc.probs[i] = arith.NewProb()
+	}
+	return s.acsrc
+}
+
 // EncodeEntropy is Encode with the arithmetic-coded bit layer (SPECK-AC).
 // Quality-bounded mode only: entropy-coded streams are not bit-exactly
 // truncatable, so there is no size-bounded variant.
 func EncodeEntropy(coeffs []float64, dims grid.Dims, q float64) *Result {
-	return encode(coeffs, dims, q, 0, true, nil)
+	return encode(coeffs, dims, q, 0, true, 1, nil)
+}
+
+// EncodeEntropyScratch is EncodeEntropy with pooled buffers. On the
+// integer-eligible path the decision sequence is produced by the
+// octree-driven traversal, so SPECK-AC encode shares the raw path's
+// preprocessing; the output is byte-identical to EncodeEntropy's.
+func EncodeEntropyScratch(coeffs []float64, dims grid.Dims, q float64, s *Scratch) *Result {
+	return encode(coeffs, dims, q, 0, true, 1, s)
 }
 
 // DecodeEntropy decodes a stream produced by EncodeEntropy.
 func DecodeEntropy(stream []byte, dims grid.Dims, q float64, planes int) []float64 {
-	return decode(stream, 0, dims, q, planes, true, nil)
+	return decode(stream, 0, dims, q, planes, true, 1, nil)
+}
+
+// DecodeEntropyScratch is DecodeEntropy with pooled buffers; the returned
+// slice aliases s. workers splits the final reconstruction scatter (the
+// range decode itself is a serial chain).
+func DecodeEntropyScratch(stream []byte, dims grid.Dims, q float64, planes int, workers int, s *Scratch) []float64 {
+	return decode(stream, 0, dims, q, planes, true, workers, s)
 }

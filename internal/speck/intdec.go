@@ -1,0 +1,441 @@
+package speck
+
+import (
+	"math"
+	mbits "math/bits"
+
+	"sperr/internal/grid"
+	"sperr/internal/par"
+)
+
+// Fast phase-separated decoder. The general decoder (speck.go) interleaves
+// float reconstruction updates with bit reads through a source interface;
+// this path instead accumulates each discovered pixel's quantized
+// magnitude u as integer bits — the discovery plane sets bit n, each
+// refinement bit ORs into place — and materializes the float values once
+// at the end with the same expressions, in the same per-pixel order, the
+// general decoder would have used (discovery at 1.5*thr, then +-thr/2 per
+// plane, descending). The final reconstruction is therefore bit-identical
+// while the per-bit hot loop touches only the octree tables and two flat
+// arrays, with no interface dispatch, and the final scatter parallelizes
+// over disjoint output positions.
+//
+// The path covers complete streams and streams truncated exactly at a
+// plane boundary (quality-bounded and ModeRMSE chunks). A stream that
+// runs out mid-pass (arbitrary bit budgets, corrupt input) aborts and the
+// caller re-runs the general decoder, whose partial-plane semantics are
+// the contract; u accumulation cannot represent a half-applied plane.
+// Streams with more than 64 planes exceed uint64 magnitudes and use the
+// general decoder as well.
+
+type intDecoder struct {
+	tree *octree
+	dims grid.Dims
+	r    rawCursor
+	ac   *acSource // nil = raw mode
+
+	lis [][]int32
+	nd  int
+	// lspPos packs each discovered pixel's position with its sign bit in
+	// bit 31 (positions are volume indexes, well under 2^31); one append
+	// per leaf and a branch-free sign apply in reconstruct.
+	lspPos []int32
+	lspU   []uint64
+}
+
+// rawCursor is an inline bit reader over the stream: a budget compare and
+// a shift per bit, no method values or interface headers on the hot path.
+type rawCursor struct {
+	buf    []byte
+	pos    uint64
+	budget uint64
+	over   bool
+}
+
+func (c *rawCursor) bit() bool {
+	if c.pos >= c.budget {
+		c.over = true
+		return false
+	}
+	b := c.buf[c.pos>>3]&(1<<(c.pos&7)) != 0
+	c.pos++
+	return b
+}
+
+// peek returns at least the next 57 readable bits (zero-padded past the
+// data) without advancing. One unaligned load plus a shift in the common
+// case; the caller must not consume more than 57 of them.
+func (c *rawCursor) peek() uint64 {
+	i := c.pos >> 3
+	if i+8 <= uint64(len(c.buf)) {
+		b := c.buf[i : i+8 : i+8]
+		v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		return v >> (c.pos & 7)
+	}
+	var v uint64
+	sh := uint(0)
+	for j := i; j < uint64(len(c.buf)); j++ {
+		v |= uint64(c.buf[j]) << sh
+		sh += 8
+	}
+	return v >> (c.pos & 7)
+}
+
+// bits64 reads nb bits LSB-first; the caller has checked the budget.
+func (c *rawCursor) bits64(nb uint) uint64 {
+	pos := c.pos
+	c.pos += uint64(nb)
+	var v uint64
+	got := uint(0)
+	for got < nb {
+		b := uint64(c.buf[pos>>3] >> (pos & 7))
+		take := 8 - uint(pos&7)
+		if take > nb-got {
+			take = nb - got
+			b &= (uint64(1) << take) - 1
+		}
+		v |= b << got
+		got += take
+		pos += uint64(take)
+	}
+	return v
+}
+
+// decodeFast reconstructs from the stream with the phase-separated path.
+// It reports ok=false — with scratch state safe to reuse — when the
+// stream requires the general decoder's partial-pass semantics.
+func decodeFast(stream []byte, bitsAvail uint64, dims grid.Dims, q float64, planes int, entropy bool, workers int, s *Scratch) ([]float64, bool) {
+	n := dims.Len()
+	d := &intDecoder{dims: dims, tree: s.octreeFor(dims)}
+	if entropy {
+		d.ac = s.acSourceReset(stream)
+	} else {
+		max := uint64(len(stream)) * 8
+		if bitsAvail > max {
+			bitsAvail = max
+		}
+		d.r = rawCursor{buf: stream, budget: bitsAvail}
+	}
+	d.lis, _ = s.resetLISI()
+	d.nd = 1
+	d.lspPos = s.lspI[:0]
+	d.lspU = s.ulsp[:0]
+	d.lis[0] = append(d.lis[0], 0)
+	floor := 0
+	for p := planes - 1; p >= 0; p-- {
+		if d.ac == nil && d.r.pos >= d.r.budget {
+			// The stream ended exactly at a plane boundary: every decoded
+			// plane is complete, so u-reconstruction with this floor equals
+			// the general decoder's truncated result.
+			floor = p + 1
+			break
+		}
+		n0 := len(d.lspPos)
+		if !d.sortingPass(p) || !d.refinementPass(p, n0) {
+			d.save(s)
+			return nil, false
+		}
+	}
+	out := d.reconstruct(n, q, floor, planes, workers, s)
+	d.save(s)
+	return out, true
+}
+
+func (d *intDecoder) save(s *Scratch) {
+	s.lisI = d.lis
+	s.lspI = d.lspPos
+	s.ulsp = d.lspU
+}
+
+func (d *intDecoder) ensureDepth(depth int) {
+	for len(d.lis) <= depth {
+		d.lis = append(d.lis, nil)
+	}
+	if d.nd <= depth {
+		d.nd = depth + 1
+	}
+}
+
+// sortingPass dispatches to the raw-specialized or AC traversal. On raw
+// exhaustion it reports false with state discarded: the caller reruns the
+// general decoder for partial-pass semantics. Raw mode consumes runs of
+// zero decisions — the common case on every plane — a word-peek at a
+// time: trailing-zero counts turn per-bit reads into bulk keeps.
+func (d *intDecoder) sortingPass(n int) bool {
+	for depth := d.nd - 1; depth >= 0; depth-- {
+		bucket := d.lis[depth]
+		kept := bucket[:0]
+		if d.ac == nil {
+			i, m := 0, len(bucket)
+			for i < m {
+				take := m - i
+				if take > 56 {
+					take = 56
+				}
+				if avail := d.r.budget - d.r.pos; uint64(take) > avail {
+					take = int(avail)
+					if take == 0 {
+						d.r.over = true
+						return false
+					}
+				}
+				word := d.r.peek()
+				tz := mbits.TrailingZeros64(word | 1<<uint(take))
+				if tz > 0 {
+					kept = append(kept, bucket[i:i+tz]...)
+					i += tz
+					d.r.pos += uint64(tz)
+				}
+				if tz < take {
+					d.r.pos++ // the significance 1-bit
+					node := bucket[i]
+					i++
+					if !d.descend(node, depth, n) {
+						return false
+					}
+				}
+			}
+		} else {
+			for _, node := range bucket {
+				if d.ac.get(sigCtx(depth)) {
+					d.descendAC(node, depth, n)
+				} else {
+					kept = append(kept, node)
+				}
+			}
+		}
+		d.lis[depth] = kept
+	}
+	return true
+}
+
+// descend is the raw-mode mirror of the encoder's traversal, reading the
+// inline cursor directly. A brood's zero run — every child bit up to the
+// next significant child — is consumed from one word peek instead of
+// per-bit reads; the significant child's bits and recursive output stay
+// interleaved in stream order. Before the first significant child only
+// k-1-i bits are guaranteed present (the last child's bit is implied when
+// it is the sole significant one), so the peek is capped accordingly and
+// the implied case falls out as an all-zeros run.
+func (d *intDecoder) descend(node int32, depth, n int) bool {
+	t := d.tree
+	nd := t.nod[node]
+outer:
+	for !nd.leaf() {
+		first, k := nd.kids()
+		childDepth := depth + 1
+		depth = childDepth
+		d.ensureDepth(childDepth)
+		i := 0
+		anySig := false
+		for {
+			take := k - i
+			if !anySig {
+				take-- // last child's bit may be implied
+			}
+			capped := false
+			if avail := d.r.budget - d.r.pos; uint64(take) > avail {
+				take = int(avail)
+				capped = true
+			}
+			word := d.r.peek()
+			tz := mbits.TrailingZeros64(word | 1<<uint(take))
+			if tz > 0 {
+				bucket := d.lis[childDepth]
+				for j := 0; j < tz; j++ {
+					bucket = append(bucket, first+int32(i+j))
+				}
+				d.lis[childDepth] = bucket
+				i += tz
+				d.r.pos += uint64(tz)
+			}
+			if tz == take {
+				if capped {
+					d.r.over = true
+					return false
+				}
+				if !anySig {
+					// All explicit bits were zero: the last child is the
+					// sole significant one, its bit implied.
+					node = first + int32(k-1)
+					nd = t.nod[node]
+					continue outer
+				}
+				return true
+			}
+			d.r.pos++ // the significance 1-bit
+			if i == k-1 {
+				node = first + int32(i)
+				nd = t.nod[node]
+				continue outer
+			}
+			anySig = true
+			if !d.descend(first+int32(i), childDepth, n) {
+				return false
+			}
+			i++
+		}
+	}
+	neg := d.r.bit()
+	if d.r.over {
+		return false
+	}
+	pos := uint32(nd.pos())
+	if neg {
+		pos |= 1 << 31
+	}
+	d.lspPos = append(d.lspPos, int32(pos))
+	d.lspU = append(d.lspU, uint64(1)<<uint(n))
+	return true
+}
+
+// descendAC mirrors descend through the range decoder, which never
+// exhausts (reads past the end synthesize zero bytes).
+func (d *intDecoder) descendAC(node int32, depth, n int) {
+	t := d.tree
+	nd := t.nod[node]
+	if nd.leaf() {
+		pos := uint32(nd.pos())
+		if d.ac.get(ctxSign) {
+			pos |= 1 << 31
+		}
+		d.lspPos = append(d.lspPos, int32(pos))
+		d.lspU = append(d.lspU, uint64(1)<<uint(n))
+		return
+	}
+	first, k := nd.kids()
+	childDepth := depth + 1
+	d.ensureDepth(childDepth)
+	anySig := false
+	for i := 0; i < k; i++ {
+		c := first + int32(i)
+		if i == k-1 && !anySig {
+			d.descendAC(c, childDepth, n)
+			return
+		}
+		if d.ac.get(sigCtx(childDepth)) {
+			anySig = true
+			d.descendAC(c, childDepth, n)
+		} else {
+			d.lis[childDepth] = append(d.lis[childDepth], c)
+		}
+	}
+}
+
+// refinementPass ORs plane n's refinement bits into the first n0 pixels'
+// magnitudes (the pixels discovered before this plane), word-batched in
+// raw mode.
+func (d *intDecoder) refinementPass(n, n0 int) bool {
+	shift := uint(n)
+	if d.ac != nil {
+		for i := 0; i < n0; i++ {
+			if d.ac.get(ctxRefine) {
+				d.lspU[i] |= 1 << shift
+			}
+		}
+		return true
+	}
+	if d.r.budget-d.r.pos < uint64(n0) {
+		return false // plane cut mid-refinement: general decoder territory
+	}
+	i := 0
+	for ; i+64 <= n0; i += 64 {
+		word := d.r.bits64(64)
+		for j := 0; j < 64; j++ {
+			d.lspU[i+j] |= (word & 1) << shift
+			word >>= 1
+		}
+	}
+	if rem := n0 - i; rem > 0 {
+		word := d.r.bits64(uint(rem))
+		for j := 0; j < rem; j++ {
+			d.lspU[i+j] |= (word & 1) << shift
+			word >>= 1
+		}
+	}
+	return true
+}
+
+// reconstruct materializes the output: zeros everywhere, and for each
+// discovered pixel the decoder's float value rebuilt from its magnitude
+// bits in the decoder's op order (1.5*thr at the top plane, +-thr/2 per
+// refined plane descending to floor). Pixels scatter to disjoint
+// positions, so the loop splits across workers.
+func (d *intDecoder) reconstruct(n int, q float64, floor, planes, workers int, s *Scratch) []float64 {
+	if cap(s.out) < n {
+		s.out = make([]float64, n)
+		s.Grows++
+	}
+	out := s.out[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	var thrs, halfs [64]float64
+	for p := floor; p < planes; p++ {
+		thr := q * math.Pow(2, float64(p))
+		thrs[p] = thr
+		halfs[p] = thr / 2
+	}
+	sign := [2]float64{-1, 1}
+	npix := len(d.lspPos)
+
+	// Memoized reconstruction: val(u) depends only on u's bit pattern (and
+	// floor), and obeys val(u) = fl(2*val(u>>1) +- halfs[floor]) — doubling
+	// every intermediate of the shorter chain is exact and commutes with
+	// each addition's rounding as long as no intermediate at either scale
+	// is subnormal, so the table entry is bit-identical to the scalar
+	// chain. Wavelet coefficients concentrate at small magnitudes, so a
+	// table over u < 2^min(planes,16) covers almost every pixel with one
+	// load instead of a serial FP add chain; larger magnitudes (the few
+	// early discoveries) take the scalar loop. The subnormal guard keeps
+	// the deepest half-scale chain normal (values stay above
+	// halfs[floor]*2^-17 through 16 halvings).
+	tb := planes
+	if tb > 16 {
+		tb = 16
+	}
+	tsize := 0
+	var tab []float64
+	if halfs[floor] >= 0x1p-1000 && npix >= 1<<uint(tb-4) {
+		tsize = 1 << uint(tb)
+		if cap(s.reconT) < tsize {
+			s.reconT = make([]float64, tsize)
+			s.Grows++
+		}
+		tab = s.reconT[:tsize]
+		hb := halfs[floor]
+		for w := 1; w < tsize; w++ {
+			if t := mbits.Len64(uint64(w)) - 1; t <= floor {
+				tab[w] = 1.5 * thrs[t]
+			} else if (w>>uint(floor))&1 != 0 {
+				tab[w] = 2*tab[w>>1] + hb
+			} else {
+				tab[w] = 2*tab[w>>1] - hb
+			}
+		}
+	}
+
+	th := par.Workers(workers, npix, 1<<13)
+	par.Spans(npix, th, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := d.lspU[i]
+			var val float64
+			if u < uint64(tsize) {
+				val = tab[u]
+			} else {
+				top := mbits.Len64(u) - 1
+				val = 1.5 * thrs[top]
+				for p := top - 1; p >= floor; p-- {
+					val += halfs[p] * sign[(u>>uint(p))&1]
+				}
+			}
+			// val > 0 always, so ORing the packed sign bit into the float
+			// is an exact branch-free negate.
+			pe := uint32(d.lspPos[i])
+			vb := math.Float64bits(val) | uint64(pe>>31)<<63
+			out[pe&0x7fffffff] = math.Float64frombits(vb)
+		}
+	})
+	return out
+}

@@ -1,0 +1,103 @@
+package speck
+
+import (
+	"math"
+	"testing"
+
+	"sperr/internal/grid"
+)
+
+// decodeGeneralRef runs the reference list-based decoder — the general
+// path decode() falls back to — directly, bypassing decodeFast's
+// dispatch, so the fast path has an in-package oracle at any truncation
+// point.
+func decodeGeneralRef(stream []byte, bitsAvail uint64, dims grid.Dims, q float64, planes int, entropy bool) []float64 {
+	s := &Scratch{}
+	var src source
+	if entropy {
+		src = newACSource(stream)
+	} else {
+		s.r.Reset(stream, bitsAvail)
+		src = &rawSource{r: &s.r}
+	}
+	d := &decoder{dims: dims, src: src}
+	d.lis = s.resetLIS()
+	d.nd = 1
+	d.lsp = s.lsp[:0]
+	d.lspNew = s.lspNew[:0]
+	out := make([]float64, dims.Len())
+	if planes <= 0 {
+		return out
+	}
+	d.run(q, planes)
+	for _, p := range d.lsp {
+		v := p.val
+		if p.neg {
+			v = -v
+		}
+		out[p.pos] = v
+	}
+	for _, p := range d.lspNew {
+		v := p.val
+		if p.neg {
+			v = -v
+		}
+		out[p.pos] = v
+	}
+	return out
+}
+
+// TestFastDecodeMatchesGeneral sweeps truncation points — plane
+// boundaries, their neighbors, mid-pass cuts, and the degenerate 0/1-bit
+// prefixes — asserting the phase-separated fast decoder reconstructs
+// bit-identically to the reference traversal at every one.
+func TestFastDecodeMatchesGeneral(t *testing.T) {
+	for _, tc := range []struct {
+		dims grid.Dims
+		q    float64
+	}{
+		{grid.D3(16, 16, 16), 1e-3},
+		{grid.D3(24, 17, 9), 1e-4},
+		{grid.D2(31, 13), 1e-3},
+	} {
+		coeffs := parTestField(tc.dims, 11)
+		res := Encode(coeffs, tc.dims, tc.q, 0)
+		cuts := map[uint64]bool{0: true, 1: true, res.Bits: true}
+		for _, pb := range res.PlaneBits {
+			for _, d := range []int64{-7, -1, 0, 1, 7} {
+				c := int64(pb) + d
+				if c >= 0 && uint64(c) <= res.Bits {
+					cuts[uint64(c)] = true
+				}
+			}
+		}
+		for f := 1; f < 8; f++ {
+			cuts[res.Bits*uint64(f)/8] = true
+		}
+		for cut := range cuts {
+			got := Decode(res.Stream, cut, tc.dims, tc.q, res.NumPlanes)
+			want := decodeGeneralRef(res.Stream, cut, tc.dims, tc.q, res.NumPlanes, false)
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%v cut=%d: out[%d]=%x, want %x", tc.dims, cut, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestACDecodeMatchesGeneral pins the SPECK-AC decoder against the
+// reference traversal fed by the same range-decoder source.
+func TestACDecodeMatchesGeneral(t *testing.T) {
+	dims := grid.D3(20, 20, 20)
+	const q = 1e-3
+	coeffs := parTestField(dims, 13)
+	res := EncodeEntropy(coeffs, dims, q)
+	got := DecodeEntropy(res.Stream, dims, q, res.NumPlanes)
+	want := decodeGeneralRef(res.Stream, 0, dims, q, res.NumPlanes, true)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("out[%d]=%x, want %x", i, got[i], want[i])
+		}
+	}
+}

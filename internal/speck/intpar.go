@@ -1,0 +1,253 @@
+package speck
+
+import (
+	"math"
+
+	"sperr/internal/bits"
+	"sperr/internal/par"
+)
+
+// Speculative parallel passes for the integer encoder. A sorting pass
+// decomposes exactly over a snapshot of the LIS: every item (set still in
+// a bucket at pass start) is tested and, if significant, descended
+// independently — descent touches only the item's own subtree, and the
+// children it inserts land in buckets the pass has already visited, so no
+// item's processing can observe another's output. The items, flattened in
+// the serial pass's canonical order (deepest bucket first, bucket order
+// within a depth), are split into contiguous spans via par.Split; each
+// span encodes into a private bit buffer and records its side effects
+// (kept sets, new LIS children per depth, discovered pixels, subtracted
+// energies) in private lists. Splicing the buffers and replaying the side
+// effects in span order then reproduces the serial coder's stream, LIS,
+// LSP, and float accumulation order bit-for-bit — the merge is pure
+// concatenation, so output is byte-identical at any worker count. The
+// refinement pass is a trivially disjoint map over the LSP and splices
+// the same way. Speculative passes run only in quality-bounded raw mode:
+// size-bounded encodes stop mid-pass at the bit budget (inherently
+// sequential), and the range coder's adaptive state is a serial chain.
+
+// Minimum work per pass before the spawn-and-splice overhead pays off.
+const (
+	minSortPar   = 2048
+	minRefinePar = 4096
+)
+
+// encSpan is one worker's private output for a speculative pass. The
+// writer is held by value so pooled spans carry their buffers across
+// calls.
+type encSpan struct {
+	w       bits.Writer
+	kept    [][]int32 // insignificant items to keep, per depth
+	keptT   [][]uint8 // top bytes parallel to kept
+	newLIS  [][]int32 // insignificant children discovered, per depth
+	newLIST [][]uint8 // top bytes parallel to newLIS
+	lspNew  []int32
+	uNew    []uint64
+	valNew  []float64
+	m2      []float64 // m*m of discovered pixels, in discovery order
+	maxd    int       // deepest depth a split reached (serial nd update)
+}
+
+func (sp *encSpan) reset(depths int) {
+	sp.w.Reset()
+	for len(sp.kept) < depths {
+		sp.kept = append(sp.kept, nil)
+		sp.keptT = append(sp.keptT, nil)
+		sp.newLIS = append(sp.newLIS, nil)
+		sp.newLIST = append(sp.newLIST, nil)
+	}
+	for d := 0; d < depths; d++ {
+		sp.kept[d] = sp.kept[d][:0]
+		sp.keptT[d] = sp.keptT[d][:0]
+		sp.newLIS[d] = sp.newLIS[d][:0]
+		sp.newLIST[d] = sp.newLIST[d][:0]
+	}
+	sp.lspNew = sp.lspNew[:0]
+	sp.uNew = sp.uNew[:0]
+	sp.valNew = sp.valNew[:0]
+	sp.m2 = sp.m2[:0]
+	sp.maxd = 0
+}
+
+// sortingPassPar runs the sorting pass speculatively across workers and
+// merges deterministically. It reports false — leaving all state
+// untouched — when the pass must run serially (AC mode, size-bounded
+// mode, too little work, or a single worker).
+func (e *intEncoder) sortingPassPar(n int, thr float64) bool {
+	if e.ac != nil || e.budget != math.MaxUint64 {
+		return false
+	}
+	total := 0
+	for d := 0; d < e.nd; d++ {
+		total += len(e.lis[d])
+	}
+	th := par.Workers(e.workers, total, minSortPar)
+	if th <= 1 {
+		return false
+	}
+	// Flatten the LIS snapshot in canonical pass order: depth high to low,
+	// bucket order within a depth. Each packed item is (depth<<40 |
+	// top<<32 | node) — carrying the top byte keeps the span loop's
+	// significance test off the shared tops table.
+	items := e.items[:0]
+	for depth := e.nd - 1; depth >= 0; depth-- {
+		bt := e.lisT[depth]
+		for bi, node := range e.lis[depth] {
+			items = append(items, uint64(depth)<<40|uint64(bt[bi])<<32|uint64(uint32(node)))
+		}
+	}
+	e.items = items
+	e.cuts = par.Split(e.cuts[:0], total, th)
+	nspans := len(e.cuts) - 1
+	for len(e.spans) < nspans {
+		e.spans = append(e.spans, encSpan{})
+	}
+	depths := len(e.tree.levels)
+	p1 := uint8(n + 1)
+	par.Spans(total, th, func(w, lo, hi int) {
+		sp := &e.spans[w]
+		sp.reset(depths)
+		for _, it := range items[lo:hi] {
+			node := int32(uint32(it))
+			top := uint8(it >> 32)
+			depth := int(it >> 40)
+			if top == p1 {
+				sp.w.WriteBit(true)
+				e.descendSpan(sp, node, depth, p1, thr)
+			} else {
+				sp.w.WriteBit(false)
+				sp.kept[depth] = append(sp.kept[depth], node)
+				sp.keptT[depth] = append(sp.keptT[depth], top)
+			}
+		}
+	})
+	// Deterministic merge in span order: the concatenations below are the
+	// serial pass's outputs in the serial pass's order.
+	for w := 0; w < nspans; w++ {
+		e.w.WriteStream(&e.spans[w].w)
+	}
+	maxd := e.nd - 1
+	for w := 0; w < nspans; w++ {
+		if m := e.spans[w].maxd; m > maxd {
+			maxd = m
+		}
+	}
+	for d := 0; d <= maxd; d++ {
+		e.ensureDepth(d)
+		dst := e.lis[d][:0]
+		dstT := e.lisT[d][:0]
+		for w := 0; w < nspans; w++ {
+			if d < len(e.spans[w].kept) {
+				dst = append(dst, e.spans[w].kept[d]...)
+				dstT = append(dstT, e.spans[w].keptT[d]...)
+			}
+		}
+		for w := 0; w < nspans; w++ {
+			if d < len(e.spans[w].newLIS) {
+				dst = append(dst, e.spans[w].newLIS[d]...)
+				dstT = append(dstT, e.spans[w].newLIST[d]...)
+			}
+		}
+		e.lis[d] = dst
+		e.lisT[d] = dstT
+	}
+	if e.nd <= maxd {
+		e.nd = maxd + 1
+	}
+	for w := 0; w < nspans; w++ {
+		sp := &e.spans[w]
+		e.lsp = append(e.lsp, sp.lspNew...)
+		e.ulsp = append(e.ulsp, sp.uNew...)
+		e.vals = append(e.vals, sp.valNew...)
+		for _, m2 := range sp.m2 {
+			e.insigE2 -= m2
+		}
+	}
+	return true
+}
+
+// descendSpan is descend writing to a span's private output instead of
+// the encoder's shared state. The shared fields it reads (tree, tops,
+// pix) are immutable during the pass.
+func (e *intEncoder) descendSpan(sp *encSpan, node int32, depth int, p1 uint8, thr float64) {
+	t := e.tree
+	nd := t.nod[node]
+	if nd.leaf() {
+		pos := nd.pos()
+		px := e.pix[pos]
+		sp.w.WriteBit(e.tops[node]&0x80 != 0)
+		m := math.Abs(px.c)
+		sp.lspNew = append(sp.lspNew, pos)
+		sp.uNew = append(sp.uNew, px.u)
+		sp.valNew = append(sp.valNew, m-thr)
+		sp.m2 = append(sp.m2, m*m)
+		return
+	}
+	first, k := nd.kids()
+	childDepth := depth + 1
+	if sp.maxd < childDepth {
+		sp.maxd = childDepth
+	}
+	anySig := false
+	for i := 0; i < k; i++ {
+		c := first + int32(i)
+		sig := e.tops[c]&0x7f == p1
+		if i == k-1 && !anySig {
+			e.descendSpan(sp, c, childDepth, p1, thr)
+			return
+		}
+		if sig {
+			anySig = true
+			sp.w.WriteBit(true)
+			e.descendSpan(sp, c, childDepth, p1, thr)
+		} else {
+			sp.w.WriteBit(false)
+			sp.newLIS[childDepth] = append(sp.newLIS[childDepth], c)
+			sp.newLIST[childDepth] = append(sp.newLIST[childDepth], e.tops[c]&0x7f)
+		}
+	}
+}
+
+// refinementPassPar emits the refinement plane across workers: bit
+// extraction and the exact residual updates are elementwise over the LSP,
+// so spans write disjoint slices and private bit buffers spliced in span
+// order equal the serial stream. Reports false when the pass must run
+// serially.
+func (e *intEncoder) refinementPassPar(n int, thr float64, n0 int) bool {
+	if e.ac != nil || e.budget != math.MaxUint64 {
+		return false
+	}
+	th := par.Workers(e.workers, n0, minRefinePar)
+	if th <= 1 {
+		return false
+	}
+	e.cuts = par.Split(e.cuts[:0], n0, th)
+	nspans := len(e.cuts) - 1
+	for len(e.spans) < nspans {
+		e.spans = append(e.spans, encSpan{})
+	}
+	shift := uint(n)
+	par.Spans(n0, th, func(w, lo, hi int) {
+		sp := &e.spans[w]
+		sp.w.Reset()
+		var word uint64
+		var nb uint
+		for i := lo; i < hi; i++ {
+			bit := (e.ulsp[i] >> shift) & 1
+			word |= bit << nb
+			nb++
+			if nb == 64 {
+				sp.w.WriteBits(word, 64)
+				word, nb = 0, 0
+			}
+			e.vals[i] -= thr * float64(bit)
+		}
+		if nb > 0 {
+			sp.w.WriteBits(word, nb)
+		}
+	})
+	for w := 0; w < nspans; w++ {
+		e.w.WriteStream(&e.spans[w].w)
+	}
+	return true
+}

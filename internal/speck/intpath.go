@@ -1,22 +1,30 @@
 package speck
 
 import (
+	"bytes"
 	"math"
 	mbits "math/bits"
 
 	"sperr/internal/bits"
 	"sperr/internal/grid"
+	"sperr/internal/par"
 )
 
-// Integer bit-plane path. The raw (non-entropy) encoder quantizes every
+// Integer bit-plane path. The quality-bounded encoder quantizes every
 // coefficient magnitude once into u = floor(|c|/q) and drives the whole
-// bit-plane traversal off uint64 magnitudes: set significance at plane n
-// is umax >= 1<<n, a refinement bit is (u>>n)&1, and boxMax is an integer
-// max-reduce. Decision bits go straight to the bit writer (no sink
-// indirection), and refinement bits are emitted word-at-a-time.
+// bit-plane traversal off uint64 magnitudes: a set first turns significant
+// at the plane indexed by the top bit of its box maximum, and a refinement
+// bit is (u>>n)&1. Set tops come from the significance octree (octree.go):
+// the topology is materialized once per shape and the per-node one-byte
+// top table filled in a single bottom-up pass, so per-plane traversal is
+// byte-equality tests against a cache-resident table instead of
+// re-scanning coefficient boxes — O(coeffs) preprocessing replaces the
+// former O(planes x coeffs) scan. Decision bits go straight to the bit writer in
+// raw mode (no sink indirection) or through the adaptive range coder's
+// contexts in SPECK-AC mode; refinement bits are emitted word-at-a-time.
 //
-// The streams are bit-identical to the float path's. In the float path
-// every residual subtraction val -= thr happens when val is in [thr,
+// The raw streams are bit-identical to the float path's. In the float
+// path every residual subtraction val -= thr happens when val is in [thr,
 // 2*thr), so by Sterbenz's lemma it is exact, and the thresholds q*2^n are
 // exact power-of-two scalings of q; the float path therefore computes
 // exact real arithmetic throughout, and its significance and refinement
@@ -28,14 +36,17 @@ import (
 // |c| - q*v is computed exactly by FMA because the real value — a
 // multiple of 2^-1074 when q is normal — never rounds across zero.
 // Eligibility therefore requires planes <= 52 and normal q; anything else
-// falls back to the float path, which doubles as the test oracle.
+// falls back to the float path, which doubles as the test oracle. The
+// SPECK-AC stream is likewise byte-identical to feeding the float path's
+// decisions through the range coder, since the decision sequence and
+// context ids are identical.
 //
 // For the PlaneErr2 record the integer path maintains the same exact
 // residuals the float path does (val = |c| - thr at discovery, val -= thr
 // on refinement, both Sterbenz-exact), driven by the integer decisions,
 // so plane records — and with them ModeRMSE truncation points — match
-// bitwise. Mid-riser reconstruction is unaffected: the decoder is
-// unchanged and sees the same bits.
+// bitwise. Mid-riser reconstruction is unaffected: the decoder sees the
+// same bits.
 
 // intPathEligible reports whether the integer path reproduces the float
 // path exactly for this (q, planes) pair.
@@ -43,7 +54,8 @@ func intPathEligible(q float64, planes int) bool {
 	return planes > 0 && planes <= 52 && q >= 0x1p-1022
 }
 
-// uset is set with an integer magnitude cache.
+// uset is a set box with an integer magnitude cache; the octree build
+// uses it transiently to enumerate the topology.
 type uset struct {
 	x, y, z    int32
 	nx, ny, nz int32
@@ -74,102 +86,224 @@ func splitSetU(s *uset, dst *[8]uset) int {
 	return k
 }
 
-type intEncoder struct {
-	dims   grid.Dims
-	q      float64
-	umags  []uint64
-	mags   []float64
-	neg    []bool
-	w      *bits.Writer // direct writer: no sink indirection on the hot path
-	budget uint64
+// cpix is one coefficient's per-pixel record for the integer path: the
+// signed coefficient and its quantized magnitude floor(|c|/q), packed
+// side by side so pixel discovery reads one cache line instead of
+// gathering from three parallel arrays. The sign lives in c's sign bit.
+type cpix struct {
+	c float64
+	u uint64
+}
 
-	lis    [][]uset
-	nd     int
-	lsp    []int32   // positions of significant pixels, in discovery order
-	vals   []float64 // residuals parallel to lsp (the float path's pixel.val)
-	lspNew []int32
-	valNew []float64
+type intEncoder struct {
+	dims    grid.Dims
+	q       float64
+	tree    *octree
+	tops    []uint8 // per-node significance tops (octree.fillTops)
+	pix     []cpix
+	w       *bits.Writer // raw mode: direct writer, no sink indirection
+	ac      *acSink      // SPECK-AC mode: adaptive range coder (nil = raw)
+	budget  uint64
+	workers int
+
+	lis  [][]int32 // LIS buckets of octree node ids, indexed by depth
+	lisT [][]uint8 // per-entry top bytes parallel to lis (sequential scans)
+	nd   int
+	// The LSP arrays share one index space: positions in discovery order,
+	// with ulsp/vals lagging lsp during a sorting pass (descend appends
+	// positions only; gatherNew fills the tail in afterwards, so the
+	// traversal never waits on a pixel-record load and nothing is staged
+	// through separate "new" arrays).
+	lsp  []int32   // positions of significant pixels, in discovery order
+	ulsp []uint64  // quantized magnitudes parallel to lsp (sequential refinement reads)
+	vals []float64 // residuals parallel to lsp (the float path's pixel.val)
 
 	insigE2   float64
 	planeBits []uint64
 	planeErr2 []float64
+	// Serial refinement folds the plane-record error sum into its vals
+	// sweep (same additions, same order); recordPlane then only covers the
+	// entries promoted after the pass. refFused marks refErr2/refN valid.
+	refFused bool
+	refErr2  float64
+	refN     int
+
+	// Speculative-pass scratch (see intpar.go).
+	items []uint64
+	cuts  []int
+	spans []encSpan
 }
 
-// resetLISU truncates the pooled integer LIS buckets.
-func (s *Scratch) resetLISU() [][]uset {
-	for i := range s.lisU {
-		s.lisU[i] = s.lisU[i][:0]
+// resetLISI truncates the pooled node-id LIS buckets and their parallel
+// top-byte buckets.
+func (s *Scratch) resetLISI() ([][]int32, [][]uint8) {
+	for i := range s.lisI {
+		s.lisI[i] = s.lisI[i][:0]
 	}
-	if len(s.lisU) == 0 {
-		s.lisU = make([][]uset, 1, 16)
+	if len(s.lisI) == 0 {
+		s.lisI = make([][]int32, 1, 24)
 		s.Grows++
 	}
-	return s.lisU
+	for i := range s.lisTI {
+		s.lisTI[i] = s.lisTI[i][:0]
+	}
+	for len(s.lisTI) < len(s.lisI) {
+		s.lisTI = append(s.lisTI, nil)
+	}
+	return s.lisI, s.lisTI[:len(s.lisI)]
 }
 
 func (e *intEncoder) setup(s *Scratch, n int) {
-	if cap(s.umags) < n {
-		s.umags = make([]uint64, n)
+	if cap(s.pixI) < n {
+		s.pixI = make([]cpix, n)
 		s.Grows++
 	}
-	if cap(s.mags) < n {
-		s.mags = make([]float64, n)
-		s.neg = make([]bool, n)
+	e.pix = s.pixI[:n]
+	e.tree = s.octreeFor(e.dims)
+	if cap(s.topsT) < e.tree.nodes() {
+		s.topsT = make([]uint8, e.tree.nodes())
 		s.Grows++
 	}
-	e.umags, e.mags, e.neg = s.umags[:n], s.mags[:n], s.neg[:n]
-	e.lis = s.resetLISU()
+	e.tops = s.topsT[:e.tree.nodes()]
+	e.lis, e.lisT = s.resetLISI()
 	e.nd = 1
 	e.lsp = s.lspI[:0]
+	e.ulsp = s.ulsp[:0]
 	e.vals = s.valsI[:0]
-	e.lspNew = s.lspINew[:0]
-	e.valNew = s.valsINew[:0]
 	e.planeBits = s.planeBits[:0]
 	e.planeErr2 = s.planeErr2[:0]
+	e.items = s.itemsI[:0]
+	e.cuts = s.cutsI[:0]
+	e.spans = s.spansI
 }
 
 func (e *intEncoder) save(s *Scratch) {
-	s.lisU = e.lis
+	s.lisI = e.lis
+	s.lisTI = e.lisT
 	s.lspI = e.lsp
+	s.ulsp = e.ulsp
 	s.valsI = e.vals
-	s.lspINew = e.lspNew
-	s.valsINew = e.valNew
 	s.planeBits = e.planeBits
 	s.planeErr2 = e.planeErr2
+	s.itemsI = e.items
+	s.cutsI = e.cuts
+	s.spansI = e.spans
 }
 
-// quantize fills umags/mags/neg from coeffs and accumulates insigE2 in the
-// float path's order (index order, sum of m*m).
+// quantize fills the pixel records from coeffs and accumulates insigE2 in
+// the float path's order (index order, sum of m*m — bitwise the same as
+// the magnitudes' squares). It also scatters each coefficient's leaf top
+// byte (bits.Len64 of u, sign in bit 7) through tree.leafOf while the
+// value is in registers — stores retire without stalling, where a
+// separate leaf pass would take a cache miss per gather. With surplus
+// workers the fills run on parallel spans (each element independent;
+// leafOf is a bijection so the scatters are disjoint) and the float
+// accumulation stays a serial index-order loop, so the sum is bitwise the
+// same as the single-thread fused loop.
 func (e *intEncoder) quantize(coeffs []float64) {
-	q := e.q
-	for i, c := range coeffs {
-		m := math.Abs(c)
-		e.mags[i] = m
-		e.neg[i] = math.Signbit(c)
-		u := uint64(m / q)
-		if math.FMA(-q, float64(u+1), m) >= 0 {
-			u++
-		} else if u > 0 && math.FMA(-q, float64(u), m) < 0 {
-			u--
+	r := quantizeRecip(e.q)
+	var leafOf []int32
+	if e.tree != nil {
+		leafOf = e.tree.leafOf
+	}
+	th := par.Workers(e.workers, len(coeffs), 1<<14)
+	if th <= 1 {
+		q := e.q
+		for i, c := range coeffs {
+			m := math.Abs(c)
+			u := quantizeOne(m, q, r)
+			e.pix[i] = cpix{c: c, u: u}
+			if leafOf != nil {
+				e.tops[leafOf[i]] = leafTop(c, u)
+			}
+			e.insigE2 += m * m
 		}
-		e.umags[i] = u
+		return
+	}
+	par.Spans(len(coeffs), th, func(_, lo, hi int) {
+		q := e.q
+		for i := lo; i < hi; i++ {
+			c := coeffs[i]
+			u := quantizeOne(math.Abs(c), q, r)
+			e.pix[i] = cpix{c: c, u: u}
+			if leafOf != nil {
+				e.tops[leafOf[i]] = leafTop(c, u)
+			}
+		}
+	})
+	for i := range e.pix {
+		m := math.Abs(e.pix[i].c)
 		e.insigE2 += m * m
 	}
 }
 
-// encodeInt runs the integer traversal; (q, planes) must satisfy
-// intPathEligible.
-func encodeInt(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, planes int, maxMag float64, s *Scratch) *Result {
-	n := dims.Len()
-	if s.w == nil {
-		s.w = bits.NewWriter(n / 2)
-		s.Grows++
-	} else {
-		s.w.Reset()
+// leafTop is the tops-table byte for one coefficient: the 1-based top bit
+// plane of its quantized magnitude, with the sign in bit 7.
+func leafTop(c float64, u uint64) uint8 {
+	b := uint8(mbits.Len64(u))
+	if math.Signbit(c) {
+		b |= 0x80
 	}
+	return b
+}
+
+// quantizeRecip returns 1/q for the multiply-based quotient guess, or 0
+// to force per-element division when the reciprocal is subnormal and the
+// guess could stray beyond the one-step corrections.
+func quantizeRecip(q float64) float64 {
+	r := 1 / q
+	if r < 0x1p-1022 {
+		return 0
+	}
+	return r
+}
+
+// quantizeOne computes floor(m/q) exactly: the rounded quotient guess —
+// one multiply by the precomputed normal reciprocal, or a division when
+// r is the zero sentinel — is off by at most one (the real quotient is
+// below 2^52 under intPathEligible, so two roundings move it less than
+// one), and the FMA residual sign test corrects it.
+func quantizeOne(m, q, r float64) uint64 {
+	var u uint64
+	if r != 0 {
+		u = uint64(m * r)
+	} else {
+		u = uint64(m / q)
+	}
+	// u < 2^52, so fu+1 is exactly float64(u+1): one int-to-float
+	// conversion feeds both correction tests.
+	fu := float64(u)
+	if math.FMA(-q, fu+1, m) >= 0 {
+		u++
+	} else if u > 0 && math.FMA(-q, fu, m) < 0 {
+		u--
+	}
+	return u
+}
+
+// encodeInt runs the integer traversal; (q, planes) must satisfy
+// intPathEligible. With entropy set the same decision sequence goes
+// through the adaptive range coder (SPECK-AC) instead of the raw writer;
+// entropy excludes size-bounded mode (enforced by encode). workers > 1
+// enables the speculative parallel passes in quality-bounded raw mode;
+// output is byte-identical at any worker count.
+func encodeInt(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, planes int, maxMag float64, entropy bool, workers int, s *Scratch) *Result {
+	n := dims.Len()
 	e := &intEncoder{
-		dims: dims, q: q, w: s.w,
-		budget: maxBits,
+		dims: dims, q: q,
+		budget:  maxBits,
+		workers: workers,
+	}
+	if entropy {
+		e.ac = s.acSinkReset()
+	} else {
+		if s.w == nil {
+			s.w = bits.NewWriter(n / 2)
+			s.Grows++
+		} else {
+			s.w.Reset()
+		}
+		e.w = s.w
 	}
 	if maxBits == 0 {
 		e.budget = math.MaxUint64
@@ -185,7 +319,13 @@ func encodeInt(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, plan
 		s.replayN = n
 		s.replayPlanes = planes
 	}
-	stream, bitsUsed := s.w.Close(), s.w.Len()
+	var stream []byte
+	var bitsUsed uint64
+	if entropy {
+		stream, bitsUsed = e.ac.finish()
+	} else {
+		stream, bitsUsed = s.w.Close(), s.w.Len()
+	}
 	if maxBits > 0 && bitsUsed > maxBits {
 		bitsUsed = maxBits
 	}
@@ -207,7 +347,9 @@ func encodeInt(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, plan
 // refinement bit) in the decoder's order, so the result is bit-identical
 // to an actual decode. It reports ok=false — and the caller must fall
 // back to a real decode — when the preceding encode did not take the
-// integer path, was size-truncated, or does not match (dims, q).
+// integer path, was size-truncated, or does not match (dims, q). The
+// decoder's reconstruction depends only on the decision sequence, not on
+// how the bits were entropy-coded, so replay covers SPECK-AC encodes too.
 //
 // This is what makes the encoder-side outlier-location stage cheap: the
 // pipeline needs "exactly what the decoder will see" and gets it here
@@ -230,17 +372,17 @@ func ReplayScratch(dims grid.Dims, q float64, s *Scratch) ([]float64, bool) {
 		halfs[p] = thr / 2
 	}
 	sign := [2]float64{-1, 1} // exact +-1 multipliers: branch-free refinement
-	for i, u := range s.umags[:n] {
-		if u == 0 {
+	for i, px := range s.pixI[:n] {
+		if px.u == 0 {
 			out[i] = 0
 			continue
 		}
-		top := mbits.Len64(u) - 1 // discovery plane
+		top := mbits.Len64(px.u) - 1 // discovery plane
 		val := 1.5 * thrs[top]
 		for p := top - 1; p >= 0; p-- {
-			val += halfs[p] * sign[(u>>uint(p))&1]
+			val += halfs[p] * sign[(px.u>>uint(p))&1]
 		}
-		if s.neg[i] {
+		if math.Signbit(px.c) {
 			val = -val
 		}
 		out[i] = val
@@ -251,150 +393,382 @@ func ReplayScratch(dims grid.Dims, q float64, s *Scratch) ([]float64, bool) {
 func (e *intEncoder) ensureDepth(d int) {
 	for len(e.lis) <= d {
 		e.lis = append(e.lis, nil)
+		e.lisT = append(e.lisT, nil)
 	}
 	if e.nd <= d {
 		e.nd = d + 1
 	}
 }
 
-func (e *intEncoder) boxMax(s *uset) uint64 {
-	d := e.dims
-	var m uint64
-	for z := s.z; z < s.z+s.nz; z++ {
-		for y := s.y; y < s.y+s.ny; y++ {
-			off := (int(z)*d.NY + int(y)) * d.NX
-			row := e.umags[off+int(s.x) : off+int(s.x)+int(s.nx)]
-			for _, v := range row {
-				if v > m {
-					m = v
-				}
-			}
-		}
+// bits returns the exact output position in decision bits (raw mode) or
+// the byte-granular compressed size (AC mode, budget checks unused there).
+func (e *intEncoder) bits() uint64 {
+	if e.ac != nil {
+		return e.ac.bits()
 	}
-	return m
+	return e.w.Len()
 }
 
 func (e *intEncoder) run(planes int) {
-	root := uset{nx: int32(e.dims.NX), ny: int32(e.dims.NY), nz: int32(e.dims.NZ)}
-	root.umax = e.boxMax(&root)
-	// bits.Len64(root.umax) == planes always: NumPlanes picks the nmax with
+	e.tree.fillTops(e.tops, e.workers)
+	// The root top == planes always: NumPlanes picks the nmax with
 	// q*2^nmax <= maxMag < q*2^(nmax+1), i.e. 2^nmax <= floor(maxMag/q) <
 	// 2^(nmax+1).
-	if mbits.Len64(root.umax) != planes {
+	if int(e.tops[0]&0x7f) != planes {
 		panic("speck: integer plane count disagrees with NumPlanes")
 	}
-	e.lis[0] = append(e.lis[0], root)
+	e.lis[0] = append(e.lis[0], 0)
+	e.lisT[0] = append(e.lisT[0], e.tops[0]&0x7f)
 	for n := planes - 1; n >= 0; n-- {
 		thr := e.q * math.Pow(2, float64(n))
-		e.sortingPass(n, thr)
-		if e.w.Len() >= e.budget {
+		n0 := len(e.ulsp) // LSP size before this plane's discoveries
+		if !e.sortingPassPar(n, thr) {
+			e.sortingPass(n, thr)
+		}
+		e.gatherNew(thr)
+		if e.bits() >= e.budget {
 			return
 		}
-		e.refinementPass(n, thr)
+		if !e.refinementPassPar(n, thr, n0) {
+			e.refinementPass(n, thr, n0)
+		}
 		e.recordPlane(thr)
-		if e.w.Len() >= e.budget {
+		if e.bits() >= e.budget {
 			return
 		}
 	}
 }
 
 // recordPlane mirrors the float encoder's plane record exactly: vals holds
-// the same exact residuals, accumulated in the same LSP order.
+// the same exact residuals, accumulated in the same LSP order. When the
+// serial refinement pass already folded the pre-promotion prefix into
+// refErr2, only the newly promoted tail remains; the addition sequence
+// (insigE2 first, then r*r in index order) is identical either way.
 func (e *intEncoder) recordPlane(thr float64) {
-	err2 := e.insigE2
 	half := thr / 2
-	for _, v := range e.vals {
+	err2 := e.insigE2
+	start := 0
+	if e.refFused {
+		err2, start = e.refErr2, e.refN
+		e.refFused = false
+	}
+	for _, v := range e.vals[start:] {
 		r := v - half
 		err2 += r * r
 	}
-	e.planeBits = append(e.planeBits, e.w.Len())
+	e.planeBits = append(e.planeBits, e.bits())
 	e.planeErr2 = append(e.planeErr2, err2)
 }
 
+// sortingPass dispatches to the raw-specialized or AC traversal; the two
+// emit the identical decision sequence, differing only in the bit layer.
+// In raw mode runs of insignificant entries — the common case on every
+// plane — are emitted as batched zero bits, and a bucket's untouched
+// prefix is kept in place rather than recopied.
 func (e *intEncoder) sortingPass(n int, thr float64) {
-	thrU := uint64(1) << uint(n)
+	p1 := uint8(n + 1) // tops value of a set significant at this plane
 	for depth := e.nd - 1; depth >= 0; depth-- {
-		if e.w.Len() >= e.budget {
+		if e.bits() >= e.budget {
 			return
 		}
 		bucket := e.lis[depth]
-		kept := bucket[:0]
-		for i := range bucket {
-			s := bucket[i]
-			if s.umax >= thrU {
-				e.w.WriteBit(true)
-				e.descend(&s, depth, thrU, thr)
-			} else {
-				e.w.WriteBit(false)
-				kept = append(kept, s)
+		bt := e.lisT[depth]
+		if e.ac == nil {
+			// Scan the flat top-byte array, not tops[bucket[i]]: the bytes
+			// travel with the entries, so the per-plane sweep is one
+			// vectorized IndexByte per significant entry instead of a random
+			// load per entry.
+			m := len(bucket)
+			i := bytes.IndexByte(bt[:m], p1)
+			if i < 0 {
+				e.w.WriteZeros(m)
+				continue // nothing significant: bucket unchanged
 			}
+			kept := bucket[:i]
+			keptT := bt[:i]
+			run := i // zeros pending before the next significance 1-bit
+			for {
+				// The pending zero run and the 1-bit in a single write.
+				if run <= 63 {
+					e.w.WriteBits(1<<uint(run), uint(run+1))
+				} else {
+					e.w.WriteZeros(run)
+					e.w.WriteBit(true)
+				}
+				node := bucket[i]
+				i++
+				e.descend(node, depth, p1, thr)
+				// Dense planes mostly have run length 0-2 between
+				// significant entries, where IndexByte's call overhead
+				// loses to inline compares; probe a couple of bytes first
+				// and vector-scan only genuinely long runs.
+				j := m
+				for t := i; t < m; t++ {
+					if bt[t] == p1 {
+						j = t
+						break
+					}
+					if t-i == 2 {
+						if off := bytes.IndexByte(bt[t+1:m], p1); off >= 0 {
+							j = t + 1 + off
+						}
+						break
+					}
+				}
+				if j > i {
+					kept = append(kept, bucket[i:j]...)
+					keptT = append(keptT, bt[i:j]...)
+				}
+				if j == m {
+					e.w.WriteZeros(m - i)
+					break
+				}
+				run = j - i
+				i = j
+			}
+			e.lis[depth] = kept
+			e.lisT[depth] = keptT
+		} else {
+			kept := bucket[:0]
+			keptT := bt[:0]
+			for bi, node := range bucket {
+				if bt[bi] == p1 {
+					e.ac.put(sigCtx(depth), true)
+					e.descendAC(node, depth, p1, thr)
+				} else {
+					e.ac.put(sigCtx(depth), false)
+					kept = append(kept, node)
+					keptT = append(keptT, bt[bi])
+				}
+			}
+			e.lis[depth] = kept
+			e.lisT[depth] = keptT
 		}
-		e.lis[depth] = kept
 	}
 }
 
-func (e *intEncoder) descend(s *uset, depth int, thrU uint64, thr float64) {
-	if s.single() {
-		pos := int32(e.dims.Index(int(s.x), int(s.y), int(s.z)))
-		e.w.WriteBit(e.neg[pos])
-		m := e.mags[pos]
-		e.lspNew = append(e.lspNew, pos)
-		e.valNew = append(e.valNew, m-thr) // m in [thr, 2*thr): exact
+// appendSeq appends the n consecutive node ids first, first+1, ... .
+func appendSeq(dst []int32, first int32, n int) []int32 {
+	for j := 0; j < n; j++ {
+		dst = append(dst, first+int32(j))
+	}
+	return dst
+}
+
+// appendSeqT appends the masked top bytes of the n consecutive nodes
+// starting at first — the bytes are L1-hot from the childMask load that
+// just classified them.
+func appendSeqT(dst []uint8, tops []uint8, first int32, n int) []uint8 {
+	for j := 0; j < n; j++ {
+		dst = append(dst, tops[first+int32(j)]&0x7f)
+	}
+	return dst
+}
+
+// childMask returns a bitmask of which of the k contiguous children
+// starting at first have tops equal to p1. Tops values never exceed 53
+// (intPathEligible caps planes at 52), so the eight-byte compare is a
+// carry-free SWAR: equal bytes are exactly the ones that do not carry
+// into bit 7 under +0x7f, and the multiply gathers the eight marker bits
+// into the top byte (exact for all 256 patterns: every product term is a
+// distinct power of two below 2^64 or wraps below bit 56).
+func childMask(tops []uint8, first int32, k int, p1 uint8) uint32 {
+	if int(first)+8 <= len(tops) {
+		b := tops[first : first+8 : first+8]
+		v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		x := (v & 0x7f7f7f7f7f7f7f7f) ^ (0x0101010101010101 * uint64(p1))
+		m := ^(x + 0x7f7f7f7f7f7f7f7f) & 0x8080808080808080
+		return uint32((m*0x0002040810204081)>>56) & (1<<uint(k) - 1)
+	}
+	var mask uint32
+	for j := 0; j < k; j++ {
+		if tops[first+int32(j)]&0x7f == p1 {
+			mask |= 1 << uint(j)
+		}
+	}
+	return mask
+}
+
+// descend is the raw-mode traversal: decision bits go straight to the bit
+// writer with no per-bit mode checks. A child is significant exactly when
+// its top equals p1 — it cannot exceed the parent's, which is p1 — so a
+// whole brood's significance is one SWAR byte-compare mask: runs of
+// insignificant children become batched zero bits and bulk LIS appends,
+// and both the implied-significance shortcut (sole significant last
+// child, whose bit the stream omits) and a significant last child iterate
+// into the child instead of recursing.
+func (e *intEncoder) descend(node int32, depth int, p1 uint8, thr float64) {
+	t := e.tree
+	nd := t.nod[node]
+outer:
+	for !nd.leaf() {
+		first, k := nd.kids()
+		depth++
+		e.ensureDepth(depth)
+		mask := childMask(e.tops, first, k, p1)
+		if mask == 1<<uint(k-1) {
+			// Only the last child is significant; its bit is implied.
+			e.w.WriteZeros(k - 1)
+			e.lis[depth] = appendSeq(e.lis[depth], first, k-1)
+			e.lisT[depth] = appendSeqT(e.lisT[depth], e.tops, first, k-1)
+			node = first + int32(k-1)
+			nd = t.nod[node]
+			continue
+		}
+		i := 0
+		for {
+			rem := mask >> uint(i)
+			if rem == 0 {
+				e.w.WriteZeros(k - i)
+				e.lis[depth] = appendSeq(e.lis[depth], first+int32(i), k-i)
+				e.lisT[depth] = appendSeqT(e.lisT[depth], e.tops, first+int32(i), k-i)
+				return
+			}
+			z := mbits.TrailingZeros32(rem)
+			if z > 0 {
+				e.lis[depth] = appendSeq(e.lis[depth], first+int32(i), z)
+				e.lisT[depth] = appendSeqT(e.lisT[depth], e.tops, first+int32(i), z)
+				i += z
+			}
+			c := first + int32(i)
+			if i == k-1 {
+				// The zero run and the 1-bit in one write (z <= 7).
+				e.w.WriteBits(1<<uint(z), uint(z+1))
+				node = c
+				nd = t.nod[node]
+				continue outer
+			}
+			if cn := t.nod[c]; cn.leaf() {
+				// Zero run, 1-bit, and the leaf's sign bit in one write;
+				// no recursive call for the densest (deepest) level.
+				e.w.WriteBits((1+2*uint64(e.tops[c]>>7))<<uint(z), uint(z+2))
+				e.lsp = append(e.lsp, cn.pos())
+			} else {
+				e.w.WriteBits(1<<uint(z), uint(z+1))
+				e.descend(c, depth, p1, thr)
+			}
+			i++
+		}
+	}
+	// Leaf: the sign rides in the (already hot) tops byte, and everything
+	// else about the pixel is deferred to gatherNew after the pass — the
+	// traversal never waits on a pixel-record load.
+	e.w.WriteBit(e.tops[node]&0x80 != 0)
+	e.lsp = append(e.lsp, nd.pos())
+}
+
+// gatherNew fills in the per-pixel bookkeeping for the positions the
+// sorting pass just discovered — the lsp tail past ulsp's length:
+// quantized magnitude, the float path's exact residual, and the insigE2
+// subtraction, in discovery order (the float path's order, so the
+// accumulation stays bitwise identical). As a dependence-free batch loop
+// the random pixel-record loads overlap instead of stalling the
+// traversal one miss at a time. The speculative parallel pass gathers
+// inline (span merge already appends these), so the tail is empty after
+// it runs.
+func (e *intEncoder) gatherNew(thr float64) {
+	newPos := e.lsp[len(e.ulsp):]
+	for _, pos := range newPos {
+		px := e.pix[pos]
+		m := math.Abs(px.c)
+		e.ulsp = append(e.ulsp, px.u)
+		e.vals = append(e.vals, m-thr) // m in [thr, 2*thr): exact
 		e.insigE2 -= m * m
+	}
+}
+
+// descendAC mirrors descend with decisions routed through the range
+// coder's contexts (SPECK-AC).
+func (e *intEncoder) descendAC(node int32, depth int, p1 uint8, thr float64) {
+	t := e.tree
+	nd := t.nod[node]
+	if nd.leaf() {
+		e.ac.put(ctxSign, e.tops[node]&0x80 != 0)
+		e.lsp = append(e.lsp, nd.pos())
 		return
 	}
-	e.code(s, depth, thrU, thr)
-}
-
-func (e *intEncoder) code(s *uset, depth int, thrU uint64, thr float64) {
-	var children [8]uset
-	k := splitSetU(s, &children)
+	first, k := nd.kids()
 	childDepth := depth + 1
 	e.ensureDepth(childDepth)
 	anySig := false
 	for i := 0; i < k; i++ {
-		c := &children[i]
-		c.umax = e.boxMax(c)
-		sig := c.umax >= thrU
+		c := first + int32(i)
+		sig := e.tops[c]&0x7f == p1
 		if i == k-1 && !anySig {
-			e.descend(c, childDepth, thrU, thr)
+			e.descendAC(c, childDepth, p1, thr)
 			return
 		}
 		if sig {
 			anySig = true
-			e.w.WriteBit(true)
-			e.descend(c, childDepth, thrU, thr)
+			e.ac.put(sigCtx(childDepth), true)
+			e.descendAC(c, childDepth, p1, thr)
 		} else {
-			e.w.WriteBit(false)
-			e.lis[childDepth] = append(e.lis[childDepth], *c)
+			e.ac.put(sigCtx(childDepth), false)
+			e.lis[childDepth] = append(e.lis[childDepth], c)
+			e.lisT[childDepth] = append(e.lisT[childDepth], e.tops[c]&0x7f)
 		}
 	}
 }
 
-// refinementPass emits bit n of every significant magnitude, batched into
-// 64-bit words, and applies the float path's exact residual updates. The
-// float path checks no budget mid-pass, so neither do we.
-func (e *intEncoder) refinementPass(n int, thr float64) {
+// refinementPass emits bit n of the first n0 significant magnitudes —
+// the ones discovered on earlier planes; this plane's discoveries sit
+// past n0 and get their first refinement next plane — batched into
+// 64-bit words in raw mode, and applies the float path's exact residual
+// updates. The magnitudes are read from ulsp — gathered once at discovery
+// — so the pass streams two flat arrays instead of chasing positions into
+// the magnitude volume. The residual update is branch-free: thr*1 and
+// thr*0 are exact, and val-0 returns val unchanged, so the arithmetic is
+// identical to the float path's conditional subtraction. The float path
+// checks no budget mid-pass, so neither do we.
+func (e *intEncoder) refinementPass(n int, thr float64, n0 int) {
 	shift := uint(n)
+	half := thr / 2
+	acc := e.insigE2
+	if e.ac != nil {
+		for i, u := range e.ulsp[:n0] {
+			bit := (u >> shift) & 1
+			e.ac.put(ctxRefine, bit != 0)
+			v := e.vals[i] - thr*float64(bit)
+			e.vals[i] = v
+			r := v - half
+			acc += r * r
+		}
+		e.refErr2, e.refN, e.refFused = acc, n0, true
+		return
+	}
+	// Whole 64-entry blocks with constant inner bounds (no per-bit word
+	// flush check), then the tail.
+	ulsp := e.ulsp[:n0]
+	vals := e.vals[:n0]
+	base := 0
+	for ; base+64 <= n0; base += 64 {
+		var word uint64
+		ub := ulsp[base : base+64 : base+64]
+		vb := vals[base : base+64 : base+64]
+		for k := 0; k < 64; k++ {
+			bit := (ub[k] >> shift) & 1
+			word |= bit << uint(k)
+			v := vb[k] - thr*float64(bit)
+			vb[k] = v
+			r := v - half
+			acc += r * r
+		}
+		e.w.WriteBits(word, 64)
+	}
 	var word uint64
 	var nb uint
-	for i, pos := range e.lsp {
-		bit := (e.umags[pos] >> shift) & 1
+	for i := base; i < n0; i++ {
+		bit := (ulsp[i] >> shift) & 1
 		word |= bit << nb
 		nb++
-		if nb == 64 {
-			e.w.WriteBits(word, 64)
-			word, nb = 0, 0
-		}
-		if bit != 0 {
-			e.vals[i] -= thr // val in [thr, 2*thr): exact
-		}
+		v := vals[i] - thr*float64(bit)
+		vals[i] = v
+		r := v - half
+		acc += r * r
 	}
+	e.refErr2, e.refN, e.refFused = acc, n0, true
 	if nb > 0 {
 		e.w.WriteBits(word, nb)
 	}
-	e.lsp = append(e.lsp, e.lspNew...)
-	e.vals = append(e.vals, e.valNew...)
-	e.lspNew = e.lspNew[:0]
-	e.valNew = e.valNew[:0]
 }

@@ -56,7 +56,7 @@ func TestIntPathMatchesFloatPath(t *testing.T) {
 		}
 
 		ref := encodeFloat(coeffs, tc.dims, tc.q, tc.bits, false, maxMag, planes, &Scratch{})
-		got := encodeInt(coeffs, tc.dims, tc.q, tc.bits, planes, maxMag, &Scratch{})
+		got := encodeInt(coeffs, tc.dims, tc.q, tc.bits, planes, maxMag, false, 1, &Scratch{})
 
 		if got.Bits != ref.Bits || got.NumPlanes != ref.NumPlanes || got.MaxMag != ref.MaxMag {
 			t.Fatalf("case %d: header mismatch: bits %d/%d planes %d/%d max %v/%v",
@@ -111,13 +111,11 @@ func TestIntQuantizeExactFloor(t *testing.T) {
 				coeffs = append(coeffs, float64(int64(next()))/float64(1<<40)*q*1e6)
 			}
 		}
-		e.umags = make([]uint64, len(coeffs))
-		e.mags = make([]float64, len(coeffs))
-		e.neg = make([]bool, len(coeffs))
+		e.pix = make([]cpix, len(coeffs))
 		e.quantize(coeffs)
 		for i, c := range coeffs {
 			m := math.Abs(c)
-			u := e.umags[i]
+			u := e.pix[i].u
 			// Defining property of the exact floor: q*u <= m < q*(u+1),
 			// tested with exact big-float arithmetic.
 			if big := new(bigProd).set(q, u); big.gt(m) {

@@ -103,13 +103,24 @@ type Scratch struct {
 	planeBits []uint64
 	planeErr2 []float64
 	out       []float64
-	// Integer-path pools (see intpath.go).
-	umags    []uint64
-	lisU     [][]uset
+	// Integer-path pools (see intpath.go, intpar.go, intdec.go).
+	pixI     []cpix
+	lisI     [][]int32
+	lisTI    [][]uint8
 	lspI     []int32
+	ulsp     []uint64
 	valsI    []float64
-	lspINew  []int32
-	valsINew []float64
+	negI     []bool
+	negINew  []bool
+	trees    []*octree
+	topsT    []uint8
+	itemsI   []uint64
+	cutsI    []int
+	spansI   []encSpan
+	reconT   []float64
+	// Pooled arithmetic-coder endpoints (see entropy.go).
+	acs   *acSink
+	acsrc *acSource
 	// Replay state of the last integer-path encode (see ReplayScratch).
 	canReplay    bool
 	replayQ      float64
@@ -138,17 +149,26 @@ func (s *Scratch) resetLIS() [][]set {
 // (size-bounded mode); otherwise every bitplane down to threshold q is
 // emitted (quality-bounded mode, max coefficient error q/2 plus dead zone).
 func Encode(coeffs []float64, dims grid.Dims, q float64, maxBits uint64) *Result {
-	return encode(coeffs, dims, q, maxBits, false, nil)
+	return encode(coeffs, dims, q, maxBits, false, 1, nil)
 }
 
 // EncodeScratch is Encode with pooled buffers. The returned Result aliases
 // s (stream, plane records) and is valid until the next use of s. Output
 // is byte-identical to Encode's.
 func EncodeScratch(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, s *Scratch) *Result {
-	return encode(coeffs, dims, q, maxBits, false, s)
+	return encode(coeffs, dims, q, maxBits, false, 1, s)
 }
 
-func encode(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, entropy bool, s *Scratch) *Result {
+// EncodeScratchWorkers is EncodeScratch with up to workers threads
+// driving the octree max fill and the speculative sorting/refinement
+// passes. The stream is byte-identical to the serial coder's at any
+// worker count (the speculative merge is deterministic); extra threads
+// only engage in quality-bounded mode on passes with enough work.
+func EncodeScratchWorkers(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, workers int, s *Scratch) *Result {
+	return encode(coeffs, dims, q, maxBits, false, workers, s)
+}
+
+func encode(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, entropy bool, workers int, s *Scratch) *Result {
 	n := dims.Len()
 	if len(coeffs) != n {
 		panic("speck: coefficient count does not match dims")
@@ -167,8 +187,8 @@ func encode(coeffs []float64, dims grid.Dims, q float64, maxBits uint64, entropy
 		}
 	}
 	planes := NumPlanes(maxMag, q)
-	if !entropy && intPathEligible(q, planes) {
-		return encodeInt(coeffs, dims, q, maxBits, planes, maxMag, s)
+	if intPathEligible(q, planes) && dims.Len() <= maxOctreeLen {
+		return encodeInt(coeffs, dims, q, maxBits, planes, maxMag, entropy, workers, s)
 	}
 	return encodeFloat(coeffs, dims, q, maxBits, entropy, maxMag, planes, s)
 }
@@ -465,20 +485,34 @@ func splitAxis(o, n int32, dst *[2][2]int32) int {
 // progressive reconstruction of a truncated stream); planes must equal the
 // encoder's Result.NumPlanes. The returned slice has dims.Len() entries.
 func Decode(stream []byte, bitsAvail uint64, dims grid.Dims, q float64, planes int) []float64 {
-	return decode(stream, bitsAvail, dims, q, planes, false, nil)
+	return decode(stream, bitsAvail, dims, q, planes, false, 1, nil)
 }
 
 // DecodeScratch is Decode with pooled buffers. The returned slice aliases
 // s and is valid until the next use of s.
 func DecodeScratch(stream []byte, bitsAvail uint64, dims grid.Dims, q float64, planes int, s *Scratch) []float64 {
-	return decode(stream, bitsAvail, dims, q, planes, false, s)
+	return decode(stream, bitsAvail, dims, q, planes, false, 1, s)
 }
 
-func decode(stream []byte, bitsAvail uint64, dims grid.Dims, q float64, planes int, entropy bool, s *Scratch) []float64 {
+// DecodeScratchWorkers is DecodeScratch with up to workers threads
+// splitting the final reconstruction scatter. The result is bit-identical
+// at any worker count (pixel writes are disjoint).
+func DecodeScratchWorkers(stream []byte, bitsAvail uint64, dims grid.Dims, q float64, planes int, workers int, s *Scratch) []float64 {
+	return decode(stream, bitsAvail, dims, q, planes, false, workers, s)
+}
+
+func decode(stream []byte, bitsAvail uint64, dims grid.Dims, q float64, planes int, entropy bool, workers int, s *Scratch) []float64 {
 	if s == nil {
 		s = &Scratch{}
 	}
 	s.canReplay = false // the out buffer is being repurposed
+	if planes > 0 && planes <= 64 && dims.Len() <= maxOctreeLen {
+		// Phase-separated fast path (intdec.go); falls back here for
+		// streams needing partial-pass semantics.
+		if out, ok := decodeFast(stream, bitsAvail, dims, q, planes, entropy, workers, s); ok {
+			return out
+		}
+	}
 	var src source
 	if entropy {
 		src = newACSource(stream)
