@@ -54,6 +54,8 @@ bench-kernels:
 	$(GO) test -run='^$$' -bench='CompressPWE64|CompressPWEIntra64|Decompress64' -benchmem .
 	$(GO) test -run='^$$' -bench='StreamCompress|StreamDecompress' -benchmem .
 	$(GO) test -run='^$$' -bench='RegionCached|RegionUncached' -benchmem ./internal/store/
+	$(GO) test -run='^$$' -bench='AdaptiveSelect' -benchmem .
+	$(GO) test -run='^$$' -bench='ProfileChunk' -benchmem ./internal/codec/
 
 bench-log:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

@@ -1,0 +1,479 @@
+package sperr
+
+// Container-v3 adaptive codec selection: acceptance, golden fixture,
+// determinism, and forged-tag rejection tests. The heterogeneous fixture
+// volume is built so distinct backends win distinct chunks — a constant
+// slab, a smooth low-degree polynomial region, and a turbulent region —
+// with 16^3 chunks so the trial sub-block is the whole chunk and the
+// selection is provably the per-chunk minimum.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// hetField builds the heterogeneous selection volume: x-slabs of constant,
+// smooth polynomial, and turbulent content, tiled so a 16^3 chunking puts
+// each regime in its own chunks. Deterministic for a given seed.
+func hetField(nx, ny, nz int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, nx*ny*nz)
+	i := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				switch {
+				case x < nx/3:
+					// Constant slab: every backend codes this in a few bytes.
+					data[i] = 2.5
+				case x < 2*nx/3:
+					// Smooth quadratic ramp: a predictor-based coder's best case.
+					fx, fy, fz := float64(x)/float64(nx), float64(y)/float64(ny), float64(z)/float64(nz)
+					data[i] = 10*fx*fx + 4*fy - 3*fz + fx*fy
+				default:
+					// Turbulent: broadband sine mixture plus noise.
+					data[i] = 20*math.Sin(0.9*float64(x))*math.Cos(1.1*float64(y))*
+						math.Sin(0.7*float64(z)) + 4*rng.NormFloat64()
+				}
+				i++
+			}
+		}
+	}
+	return data
+}
+
+const adaptiveTol = 1e-3
+
+var adaptiveDims = [3]int{48, 32, 32} // 3x2x2 = 12 chunks of 16^3, one regime per x-slab
+
+func adaptiveOpts() *Options {
+	return &Options{ChunkDims: [3]int{16, 16, 16}, Workers: 2}
+}
+
+// TestAdaptiveSelection is the tentpole acceptance test: on the
+// heterogeneous volume, ModeAdaptive must engage at least two distinct
+// backends, honor the PWE bound everywhere, and produce a stream no
+// larger than the best single-codec run at the same tolerance.
+func TestAdaptiveSelection(t *testing.T) {
+	data := hetField(adaptiveDims[0], adaptiveDims[1], adaptiveDims[2], 11)
+	stream, st, err := CompressAdaptive(data, adaptiveDims, adaptiveTol, adaptiveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.CodecCounts) < 2 {
+		t.Fatalf("adaptive selection engaged %d codec(s) %v, want >= 2", len(st.CodecCounts), st.CodecCounts)
+	}
+	total := 0
+	for _, n := range st.CodecCounts {
+		total += n
+	}
+	if total != st.NumChunks {
+		t.Fatalf("codec counts cover %d chunks, want %d", total, st.NumChunks)
+	}
+
+	rec, dims, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims != adaptiveDims {
+		t.Fatalf("dims %v, want %v", dims, adaptiveDims)
+	}
+	for i := range data {
+		if math.Abs(rec[i]-data[i]) > adaptiveTol*(1+1e-9) {
+			t.Fatalf("PWE violated at %d: %g vs %g", i, rec[i], data[i])
+		}
+	}
+
+	// Size bar: adaptive must not lose to any single-codec stream of the
+	// same volume at the same bound — including the default SPERR v2 path,
+	// which doesn't even pay the per-chunk tag byte.
+	best, bestName := 0, ""
+	for _, name := range []string{"sperr", "sz", "zfp", "tthresh", "mgard"} {
+		opts := adaptiveOpts()
+		if name != "sperr" {
+			opts.Codec = name
+		}
+		single, _, err := CompressPWE(data, adaptiveDims, adaptiveTol, opts)
+		if err != nil {
+			t.Fatalf("single-codec %s: %v", name, err)
+		}
+		if bestName == "" || len(single) < best {
+			best, bestName = len(single), name
+		}
+	}
+	if len(stream) > best {
+		t.Errorf("adaptive stream %d bytes loses to single-codec %s at %d bytes (counts %v)",
+			len(stream), bestName, best, st.CodecCounts)
+	}
+	t.Logf("adaptive %d bytes (codecs %v) vs best single %s %d bytes",
+		len(stream), st.CodecCounts, bestName, best)
+}
+
+// TestGoldenStreamV3 pins the adaptive container-v3 format bit-exactly,
+// the same contract TestGoldenStream pins for v2. Regenerate deliberately:
+//
+//	go test -run TestGoldenStreamV3 -update-golden
+func TestGoldenStreamV3(t *testing.T) {
+	data := hetField(adaptiveDims[0], adaptiveDims[1], adaptiveDims[2], 11)
+	stream, _, err := CompressAdaptive(data, adaptiveDims, adaptiveTol, adaptiveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_adaptive_48x32x32_v3.sperr")
+	if *updateGolden {
+		if err := os.WriteFile(path, stream, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.Sum256(stream)
+		t.Logf("wrote %s (%d bytes, sha256 %s)", path, len(stream), hex.EncodeToString(h[:]))
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden v3 fixture (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(stream, want) {
+		t.Fatalf("adaptive encoder output diverged from golden v3 fixture: %d vs %d bytes",
+			len(stream), len(want))
+	}
+
+	rec, dims, err := Decompress(want)
+	if err != nil {
+		t.Fatalf("golden v3 fixture no longer decodes: %v", err)
+	}
+	if dims != adaptiveDims {
+		t.Fatalf("golden v3 dims %v, want %v", dims, adaptiveDims)
+	}
+	for i := range data {
+		if math.Abs(rec[i]-data[i]) > adaptiveTol*(1+1e-9) {
+			t.Fatalf("golden v3 PWE violated at %d: %g vs %g", i, rec[i], data[i])
+		}
+	}
+
+	info, err := Describe(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 3 || info.Mode != "adaptive" || info.Tolerance != adaptiveTol {
+		t.Fatalf("golden v3 Describe drifted: version=%d mode=%q tol=%g",
+			info.Version, info.Mode, info.Tolerance)
+	}
+	if info.NumChunks != 12 {
+		t.Fatalf("golden v3 chunk count %d, want 12", info.NumChunks)
+	}
+	if len(info.CodecCounts) < 2 {
+		t.Fatalf("golden v3 fixture records %v, want >= 2 codecs", info.CodecCounts)
+	}
+	// The per-chunk codec map must agree with the aggregate histogram.
+	counts := map[string]int{}
+	for _, c := range info.Chunks {
+		counts[c.Codec]++
+	}
+	for name, n := range info.CodecCounts {
+		if counts[name] != n {
+			t.Fatalf("codec map %v disagrees with histogram %v", counts, info.CodecCounts)
+		}
+	}
+}
+
+// TestAdaptiveDeterministicAcrossWorkers: selection and the emitted v3
+// bytes must be identical at every worker count, and the streaming
+// Encoder must reproduce the one-shot stream exactly.
+func TestAdaptiveDeterministicAcrossWorkers(t *testing.T) {
+	data := hetField(adaptiveDims[0], adaptiveDims[1], adaptiveDims[2], 23)
+	one := func(workers int) ([]byte, *Stats) {
+		t.Helper()
+		opts := adaptiveOpts()
+		opts.Workers = workers
+		stream, st, err := CompressAdaptive(data, adaptiveDims, adaptiveTol, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return stream, st
+	}
+	ref, refStats := one(1)
+	for _, workers := range []int{2, 4, 8} {
+		stream, st := one(workers)
+		if !bytes.Equal(stream, ref) {
+			t.Errorf("workers=%d: adaptive stream differs from workers=1 (%d vs %d bytes)",
+				workers, len(stream), len(ref))
+		}
+		if len(st.CodecCounts) != len(refStats.CodecCounts) {
+			t.Errorf("workers=%d: codec counts %v vs %v", workers, st.CodecCounts, refStats.CodecCounts)
+		}
+		for name, n := range refStats.CodecCounts {
+			if st.CodecCounts[name] != n {
+				t.Errorf("workers=%d: codec counts %v vs %v", workers, st.CodecCounts, refStats.CodecCounts)
+			}
+		}
+	}
+
+	// Streaming twin: NewEncoderAdaptive fed in arbitrary granularity must
+	// emit the identical byte stream.
+	var buf bytes.Buffer
+	opts := adaptiveOpts()
+	opts.Workers = 3
+	enc, err := NewEncoderAdaptive(&buf, adaptiveDims, adaptiveTol, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(data); {
+		n := 1000
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		if _, err := enc.Write(data[off : off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), ref) {
+		t.Errorf("streaming adaptive encode differs from one-shot (%d vs %d bytes)",
+			buf.Len(), len(ref))
+	}
+}
+
+// --- v3 frame/footer surgery helpers for the forged-tag tests ---
+
+var testCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// v3Layout locates the index footer pieces of a v3 stream.
+type v3Layout struct {
+	nchunks  int
+	idxOff   int // first index entry
+	mapOff   int // codec map (nchunks bytes)
+	bodyEnd  int // end of entries+map+aggregates (= start of tail)
+	crcOff   int // index CRC inside the tail
+	frameOff []int
+	frameLen []int // payload length (tag byte included)
+}
+
+func parseV3(t *testing.T, stream []byte) v3Layout {
+	t.Helper()
+	if string(stream[:8]) != "SPRRGO03" {
+		t.Fatalf("not a v3 stream: magic %q", stream[:8])
+	}
+	var l v3Layout
+	l.nchunks = int(binary.LittleEndian.Uint32(stream[32:]))
+	l.idxOff = int(binary.LittleEndian.Uint64(stream[len(stream)-16:]))
+	l.mapOff = l.idxOff + 16*l.nchunks
+	l.bodyEnd = len(stream) - 20
+	l.crcOff = len(stream) - 20
+	for i := 0; i < l.nchunks; i++ {
+		e := l.idxOff + 16*i
+		l.frameOff = append(l.frameOff, int(binary.LittleEndian.Uint64(stream[e:])))
+		l.frameLen = append(l.frameLen, int(binary.LittleEndian.Uint32(stream[e+8:])))
+	}
+	return l
+}
+
+// forgeTag rewrites chunk i's codec tag to newTag, recomputing the frame
+// CRC and the index entry CRC so the damage is invisible to checksums.
+// When fixMap is set, the footer codec map byte is rewritten too (and the
+// index CRC always is, so the footer itself verifies).
+func forgeTag(t *testing.T, stream []byte, i int, newTag byte, fixMap bool) []byte {
+	t.Helper()
+	mut := bytes.Clone(stream)
+	l := parseV3(t, mut)
+	pOff := l.frameOff[i] + 4
+	mut[pOff] = newTag
+	crc := crc32.Checksum(mut[pOff:pOff+l.frameLen[i]], testCastagnoli)
+	binary.LittleEndian.PutUint32(mut[pOff+l.frameLen[i]:], crc)
+	binary.LittleEndian.PutUint32(mut[l.idxOff+16*i+12:], crc)
+	if fixMap {
+		mut[l.mapOff+i] = newTag
+	}
+	idxCRC := crc32.Checksum(mut[l.idxOff:l.bodyEnd], testCastagnoli)
+	binary.LittleEndian.PutUint32(mut[l.crcOff:], idxCRC)
+	return mut
+}
+
+// TestForgedCodecTagFails: a codec tag rewritten to disagree with the
+// footer map — even with every checksum recomputed — must fail as
+// ErrCorrupt on every decode surface, and an out-of-range tag must fail
+// even when the footer map is forged to match.
+func TestForgedCodecTagFails(t *testing.T) {
+	data := hetField(adaptiveDims[0], adaptiveDims[1], adaptiveDims[2], 11)
+	stream, st, err := CompressAdaptive(data, adaptiveDims, adaptiveTol, adaptiveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := parseV3(t, stream)
+
+	// Pick a chunk and a different valid codec id to forge.
+	orig := stream[l.frameOff[0]+4]
+	other := byte(0)
+	if orig == 0 {
+		other = 2 // zfp
+	}
+	mustCorrupt := func(name string, mut []byte) {
+		t.Helper()
+		if _, _, err := Decompress(mut); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Decompress err = %v, want ErrCorrupt", name, err)
+		}
+		dec, err := NewDecoder(bytes.NewReader(mut))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Errorf("%s: NewDecoder err = %v, want ErrCorrupt", name, err)
+			}
+			return
+		}
+		if _, _, err := dec.DecodeAll(); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: streaming decode err = %v, want ErrCorrupt", name, err)
+		}
+	}
+
+	// (a) Tag flipped, CRCs patched, footer map left alone: the frame/footer
+	// cross-check must catch the disagreement.
+	mustCorrupt("tag-vs-footer mismatch", forgeTag(t, stream, 0, other, false))
+
+	// (b) Out-of-range tag with footer forged to match: the codec map
+	// validation (and the tagged decode) must reject the unknown id.
+	mustCorrupt("out-of-range tag", forgeTag(t, stream, 0, 99, true))
+
+	// (c) Tag flipped with no checksum repair at all: ordinary CRC failure.
+	raw := bytes.Clone(stream)
+	raw[l.frameOff[1]+4] ^= 0x01
+	mustCorrupt("tag flip without CRC fix", raw)
+
+	// (d) Consistent forgery — tag, footer map, and every checksum rewritten
+	// to a different *valid* codec: the payload now parses under the wrong
+	// backend and must still surface an error rather than silent garbage.
+	// (The backends' streams are self-describing enough to reject each
+	// other's headers.)
+	forged := forgeTag(t, stream, 0, other, true)
+	if _, _, err := Decompress(forged); err == nil {
+		t.Errorf("consistent forgery to codec %d decoded without error", other)
+	}
+	_ = st
+}
+
+// TestSalvageMixedCodecStream: damaging one frame of a v3 adaptive stream
+// must leave every other chunk recoverable — including non-SPERR ones —
+// and Repair must emit a strictly decodable v3 container.
+func TestSalvageMixedCodecStream(t *testing.T) {
+	data := hetField(adaptiveDims[0], adaptiveDims[1], adaptiveDims[2], 11)
+	stream, st, err := CompressAdaptive(data, adaptiveDims, adaptiveTol, adaptiveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.CodecCounts) < 2 {
+		t.Fatalf("fixture not mixed-codec: %v", st.CodecCounts)
+	}
+	l := parseV3(t, stream)
+	victim := 1
+	mut := bytes.Clone(stream)
+	mut[l.frameOff[victim]+4+l.frameLen[victim]/2] ^= 0x10
+
+	rec, dims, rep, err := DecompressSalvage(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims != adaptiveDims {
+		t.Fatalf("dims %v", dims)
+	}
+	if rep.Chunks[victim].Recovered {
+		t.Fatal("damaged chunk reported recovered")
+	}
+	if rep.Recovered != st.NumChunks-1 {
+		t.Fatalf("recovered %d of %d chunks, want all but one", rep.Recovered, st.NumChunks)
+	}
+	want, _, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Chunks[victim]
+	inVictim := func(i int) bool {
+		x := i % dims[0]
+		y := (i / dims[0]) % dims[1]
+		z := i / (dims[0] * dims[1])
+		return x >= c.Origin[0] && x < c.Origin[0]+c.Dims.NX &&
+			y >= c.Origin[1] && y < c.Origin[1]+c.Dims.NY &&
+			z >= c.Origin[2] && z < c.Origin[2]+c.Dims.NZ
+	}
+	for i := range want {
+		if inVictim(i) {
+			if !math.IsNaN(rec[i]) {
+				t.Fatalf("damaged chunk sample %d = %g, want NaN", i, rec[i])
+			}
+		} else if math.Float64bits(rec[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("intact sample %d differs after salvage", i)
+		}
+	}
+
+	fixed, rrep, err := Repair(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.Recovered != st.NumChunks-1 {
+		t.Fatalf("repair recovered %d chunks", rrep.Recovered)
+	}
+	rdata, rdims, err := Decompress(fixed)
+	if err != nil {
+		t.Fatalf("repaired v3 stream rejected by strict decode: %v", err)
+	}
+	if rdims != adaptiveDims {
+		t.Fatalf("repaired dims %v", rdims)
+	}
+	info, err := Describe(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 3 {
+		t.Fatalf("repair downgraded container to v%d", info.Version)
+	}
+	for i := range rdata {
+		if !inVictim(i) && math.Float64bits(rdata[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("repaired sample %d differs", i)
+		}
+	}
+}
+
+// BenchmarkAdaptiveSelect measures the full adaptive encode (profile +
+// trials + final encode) against the SPERR-only baseline on the same
+// volume. The analyzer itself is BenchmarkProfileChunk (internal/codec);
+// the trial overhead scales as (32/chunkEdge)^3 per candidate, so the
+// 32^3-chunk run is the worst case (trials cost five full chunk encodes)
+// and the 64^3-chunk run shows the sampled-trial regime the paper's
+// 256^3 tiling amortizes toward ~1% per candidate. BENCH_KERNELS.json
+// records the measured ratios.
+func BenchmarkAdaptiveSelect(b *testing.B) {
+	dims := [3]int{64, 64, 64}
+	data := demoField(dims[0], dims[1], dims[2], 7)
+	for _, cfg := range []struct {
+		name  string
+		chunk [3]int
+	}{
+		{"exact-trial-32cube-chunks", [3]int{32, 32, 32}},
+		{"sampled-trial-64cube-chunk", [3]int{64, 64, 64}},
+	} {
+		opts := &Options{ChunkDims: cfg.chunk, Workers: 1}
+		b.Run("adaptive/"+cfg.name, func(b *testing.B) {
+			b.SetBytes(int64(len(data) * 8))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := CompressAdaptive(data, dims, 1e-3, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("sperr-only/"+cfg.name, func(b *testing.B) {
+			b.SetBytes(int64(len(data) * 8))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := CompressPWE(data, dims, 1e-3, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

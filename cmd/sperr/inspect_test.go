@@ -1,0 +1,150 @@
+package main
+
+// End-to-end tests of the inspect subcommand and the -codec flag: an
+// adaptive compression through the real binary, its codec map printed
+// without decoding payloads, and the exit-code contract on bad inputs.
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRawF64(t *testing.T, path string, data []float64) {
+	t.Helper()
+	raw := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspectAndCodecFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildSperr(t)
+	dir := t.TempDir()
+
+	// A heterogeneous volume so adaptive selection mixes codecs: a
+	// constant x-slab, a smooth ramp, and an oscillatory region.
+	nx, ny, nz := 24, 8, 8
+	data := make([]float64, nx*ny*nz)
+	i := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				switch {
+				case x < 8:
+					data[i] = 1.5
+				case x < 16:
+					data[i] = 0.1*float64(x) + 0.02*float64(y*z)
+				default:
+					data[i] = 5 * math.Sin(1.7*float64(x)) * math.Cos(2.3*float64(y+z))
+				}
+				i++
+			}
+		}
+	}
+	raw := filepath.Join(dir, "vol.f64")
+	writeRawF64(t, raw, data)
+
+	// Adaptive compress through the binary; stats must report the codec
+	// histogram.
+	packed := filepath.Join(dir, "vol.sperr")
+	out, code := runBin(t, bin, "-c", "-in", raw, "-dims", "24,8,8", "-chunk", "8,8,8",
+		"-tol", "1e-3", "-codec", "adaptive", "-out", packed)
+	if code != 0 {
+		t.Fatalf("adaptive compress exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "codecs") {
+		t.Fatalf("compress stats missing codec histogram:\n%s", out)
+	}
+
+	// inspect: container v3, one line per chunk with a codec name, and the
+	// histogram — no decode, so it must also work instantly.
+	out, code = runBin(t, bin, "inspect", packed)
+	if code != 0 {
+		t.Fatalf("inspect exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"container v3", "mode adaptive", "chunk 0", "codecs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "chunk "); n != 3 {
+		t.Fatalf("inspect printed %d chunk lines, want 3:\n%s", n, out)
+	}
+
+	// Round-trip through the binary: adaptive streams decompress like any
+	// other, honoring the tolerance.
+	rec := filepath.Join(dir, "rec.f64")
+	if out, code := runBin(t, bin, "-d", "-in", packed, "-out", rec); code != 0 {
+		t.Fatalf("decompress exit %d:\n%s", code, out)
+	}
+	rb, err := os.ReadFile(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb) != 8*len(data) {
+		t.Fatalf("reconstruction is %d bytes, want %d", len(rb), 8*len(data))
+	}
+	for i := range data {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(rb[i*8:]))
+		if math.Abs(v-data[i]) > 1e-3*(1+1e-9) {
+			t.Fatalf("PWE violated at %d: %g vs %g", i, v, data[i])
+		}
+	}
+
+	// A pinned single-codec stream: -codec sz writes v3 with every chunk
+	// tagged sz.
+	szOut := filepath.Join(dir, "vol_sz.sperr")
+	if out, code := runBin(t, bin, "-c", "-in", raw, "-dims", "24,8,8", "-chunk", "8,8,8",
+		"-tol", "1e-3", "-codec", "sz", "-out", szOut); code != 0 {
+		t.Fatalf("sz compress exit %d:\n%s", code, out)
+	}
+	out, code = runBin(t, bin, "inspect", szOut)
+	if code != 0 || !strings.Contains(out, "sz:3") {
+		t.Fatalf("inspect of sz stream (exit %d) missing sz:3:\n%s", code, out)
+	}
+
+	// Exit-code contract.
+	garbage := filepath.Join(dir, "garbage.sperr")
+	if err := os.WriteFile(garbage, []byte("not a container"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+		msg  string
+	}{
+		{"inspect-garbage", []string{"inspect", garbage}, 3, "inspect"},
+		{"inspect-missing", []string{"inspect", filepath.Join(dir, "nope")}, 1, "read"},
+		{"inspect-usage", []string{"inspect"}, 2, "exactly one argument"},
+		{"codec-without-tol", []string{"-c", "-in", raw, "-dims", "24,8,8", "-bpp", "2",
+			"-codec", "sz", "-out", filepath.Join(dir, "x")}, 2, "requires -tol"},
+		{"adaptive-without-tol", []string{"-c", "-in", raw, "-dims", "24,8,8", "-bpp", "2",
+			"-codec", "adaptive", "-out", filepath.Join(dir, "x")}, 2, "requires -tol"},
+		{"unknown-codec", []string{"-c", "-in", raw, "-dims", "24,8,8", "-tol", "1e-3",
+			"-codec", "lz4", "-out", filepath.Join(dir, "x")}, 2, ""},
+		{"codec-on-decompress", []string{"-d", "-in", packed, "-codec", "sz",
+			"-out", filepath.Join(dir, "x")}, 2, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, code := runBin(t, bin, tc.args...)
+			if code != tc.want {
+				t.Fatalf("exit code %d, want %d\n%s", code, tc.want, out)
+			}
+			if tc.msg != "" && !strings.Contains(out, tc.msg) {
+				t.Fatalf("output missing %q:\n%s", tc.msg, out)
+			}
+		})
+	}
+}

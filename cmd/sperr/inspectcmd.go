@@ -1,0 +1,53 @@
+package main
+
+// The inspect subcommand: prints a container's per-chunk codec map and
+// frame sizes straight from the fixed header and index footer — no frame
+// payload is decoded, so the cost is independent of the data volume.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"sperr"
+)
+
+func runInspect(args []string) {
+	if len(args) != 1 {
+		usageFatal("inspect takes exactly one argument: sperr inspect FILE")
+	}
+	stream, err := os.ReadFile(args[0])
+	if err != nil {
+		fatal("read %s: %v", args[0], err)
+	}
+	fi, err := sperr.Describe(stream)
+	if err != nil {
+		fatalStream("inspect", err)
+	}
+	fmt.Printf("%s: container v%d, %dx%dx%d in %d chunks, mode %s\n",
+		args[0], fi.Version, fi.Dims[0], fi.Dims[1], fi.Dims[2], fi.NumChunks, fi.Mode)
+	for i, c := range fi.Chunks {
+		fmt.Printf("  chunk %-4d @(%d,%d,%d) %dx%dx%d  %8d bytes  %s\n",
+			i, c.Origin[0], c.Origin[1], c.Origin[2],
+			c.Dims[0], c.Dims[1], c.Dims[2], fi.FrameBytes[i], c.Codec)
+	}
+	fmt.Printf("  codecs     %s\n", formatCodecCounts(fi.CodecCounts))
+}
+
+// formatCodecCounts renders a codec histogram deterministically, sorted
+// by backend name.
+func formatCodecCounts(counts map[string]int) string {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, name := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s:%d", name, counts[name])
+	}
+	return out
+}

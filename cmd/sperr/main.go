@@ -11,8 +11,10 @@
 //	sperr -d -in field.sperr -partial 0.1 -out preview.f64   # 10% prefix
 //	sperr -d -in field.sperr -lowres 2 -out coarse.f64       # 2 levels coarser
 //	sperr -d -in field.sperr -region 0,0,0,64,64,64 -out cut.f64
+//	sperr -c -in field.f64 -dims 256,256,256 -tol 1e-4 -codec adaptive -out field.sperr
 //	sperr fsck field.sperr                    # verify every frame, print damage map
 //	sperr repair damaged.sperr fixed.sperr    # keep verified frames, rebuild index
+//	sperr inspect field.sperr                 # per-chunk codec map, no decode
 //
 // Exit codes: 0 success, 1 I/O or internal error, 2 bad usage, 3 corrupt
 // input (including an fsck that found damage).
@@ -54,6 +56,9 @@ func main() {
 		case "repair":
 			runRepair(os.Args[2:])
 			return
+		case "inspect":
+			runInspect(os.Args[2:])
+			return
 		}
 	}
 	var (
@@ -68,6 +73,7 @@ func main() {
 		rmse       = flag.Float64("rmse", 0, "target root-mean-square error (average-error mode)")
 		psnr       = flag.Float64("psnr", 0, "target PSNR in dB over the data range (average-error mode)")
 		entropy    = flag.Bool("entropy", false, "arithmetic-coded SPECK (PWE mode only)")
+		codecName  = flag.String("codec", "", "coding backend: sperr (default), sz, zfp, tthresh, mgard, or adaptive (per-chunk selection; requires -tol)")
 		partial    = flag.Float64("partial", 0, "decompress from this fraction (0,1] of each chunk's embedded bits")
 		lowres     = flag.Int("lowres", 0, "decompress at a coarser resolution: drop this many wavelet levels")
 		region     = flag.String("region", "", "decompress only x,y,z,nx,ny,nz")
@@ -112,6 +118,14 @@ func main() {
 		if *partial != 0 || *lowres != 0 || *region != "" {
 			usageFatal("-partial, -lowres and -region apply only to -d")
 		}
+		switch *codecName {
+		case "", "sperr", "sz", "zfp", "tthresh", "mgard", "adaptive":
+		default:
+			usageFatal("-codec %s is not a known backend (sperr, sz, zfp, tthresh, mgard, adaptive)", *codecName)
+		}
+		if *codecName != "" && *codecName != "sperr" && !(*tol > 0) {
+			usageFatal("-codec %s requires -tol (PWE mode)", *codecName)
+		}
 	case *decompress:
 		picked := 0
 		for _, set := range []bool{*partial != 0, *lowres != 0, *region != ""} {
@@ -129,8 +143,8 @@ func main() {
 			usageFatal("-lowres must be non-negative, got %d", *lowres)
 		}
 		if *tol != 0 || *bpp != 0 || *rmse != 0 || *psnr != 0 || *entropy ||
-			*dimsStr != "" || *chunkStr != "" || *qfactor != 0 {
-			usageFatal("compression flags (-dims, -tol, -bpp, -rmse, -psnr, -entropy, -chunk, -q) apply only to -c")
+			*dimsStr != "" || *chunkStr != "" || *qfactor != 0 || *codecName != "" {
+			usageFatal("compression flags (-dims, -tol, -bpp, -rmse, -psnr, -entropy, -chunk, -q, -codec) apply only to -c")
 		}
 	}
 	if !*info && (*in == "" || *out == "") {
@@ -151,6 +165,7 @@ func main() {
 			tol: *tol, bpp: *bpp, rmse: *rmse, psnr: *psnr,
 			f32: *f32, chunk: *chunkStr, workers: *workers,
 			qfactor: *qfactor, entropy: *entropy, quiet: *quiet,
+			codec: *codecName,
 		})
 	} else {
 		runDecompress(*in, *out, *f32, *partial, *lowres, *region, *workers, *quiet)
@@ -212,13 +227,16 @@ func runInfo(in string) {
 	fmt.Printf("chunks      %d of up to %dx%dx%d\n", fi.NumChunks,
 		fi.ChunkDims[0], fi.ChunkDims[1], fi.ChunkDims[2])
 	fmt.Printf("mode        %s", fi.Mode)
-	if fi.Mode == "pwe" {
+	if fi.Mode == "pwe" || fi.Mode == "adaptive" {
 		fmt.Printf(" (tolerance %.6g)", fi.Tolerance)
 	}
 	if fi.Entropy {
 		fmt.Printf(", arithmetic-coded")
 	}
 	fmt.Println()
+	if fi.Version >= 3 {
+		fmt.Printf("codecs      %s\n", formatCodecCounts(fi.CodecCounts))
+	}
 	fmt.Printf("size        %d bytes (%.3f bits/point)\n", fi.CompressedBytes,
 		float64(fi.CompressedBytes*8)/float64(n))
 	fmt.Printf("coders      SPECK %d bits, outliers %d bits (pre-lossless)\n",
@@ -227,6 +245,7 @@ func runInfo(in string) {
 
 type compressSpec struct {
 	in, out, dims, chunk string
+	codec                string
 	tol, bpp, rmse, psnr float64
 	qfactor              float64
 	workers              int
@@ -253,7 +272,7 @@ func fatalStream(context string, err error) {
 func usageFatal(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "sperr: "+format+"\n", args...)
 	fmt.Fprintln(os.Stderr, "usage: sperr (-c -dims nx,ny,nz (-tol|-bpp|-rmse|-psnr) | -d [-partial|-lowres|-region] | -info) -in FILE [-out FILE]")
-	fmt.Fprintln(os.Stderr, "       sperr fsck FILE | sperr repair IN OUT")
+	fmt.Fprintln(os.Stderr, "       sperr fsck FILE | sperr repair IN OUT | sperr inspect FILE")
 	fmt.Fprintln(os.Stderr, "run 'sperr -h' for the full flag list")
 	os.Exit(exitUsage)
 }
@@ -317,8 +336,13 @@ func runCompress(c compressSpec) {
 	if c.chunk != "" {
 		opts.ChunkDims = parseDims(c.chunk)
 	}
+	if c.codec != "" && c.codec != "adaptive" {
+		opts.Codec = c.codec
+	}
 	var enc *sperr.Encoder
 	switch {
+	case c.codec == "adaptive":
+		enc, err = sperr.NewEncoderAdaptive(bw, dims, c.tol, opts)
 	case c.tol > 0:
 		enc, err = sperr.NewEncoderPWE(bw, dims, c.tol, opts)
 	case c.bpp > 0:
@@ -379,6 +403,9 @@ func runCompress(c compressSpec) {
 		fmt.Printf("compressed %d points -> %d bytes (%.3f BPP, ratio %.1fx, %d chunks, %d outliers, %v)\n",
 			stats.NumPoints, stats.CompressedBytes, stats.BPP, ratio,
 			stats.NumChunks, stats.NumOutliers, stats.WallTime.Round(1000))
+		if c.codec != "" {
+			fmt.Printf("codecs %s\n", formatCodecCounts(stats.CodecCounts))
+		}
 	}
 }
 

@@ -79,9 +79,47 @@ func FuzzDecompress(f *testing.F) {
 		trunc[len(trunc)-7] ^= 0x42
 		f.Add(trunc)
 	}
+	// Container-v3 coverage: a mixed-codec adaptive stream, forged codec
+	// tags (in-range and out-of-range, with and without the index map
+	// agreeing), and cuts at the tag byte. All must fail as ErrCorrupt or
+	// decode clean — never panic, never mis-dispatch to a wrong backend.
+	adata := demoField(20, 13, 9, 6)
+	av3, _, err := CompressAdaptive(adata, [3]int{20, 13, 9}, 1e-3, &Options{
+		ChunkDims: [3]int{8, 8, 8},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(av3)
+	for _, pos := range []int{40, 41, len(av3) / 2, len(av3) - 30} {
+		if pos >= 0 && pos < len(av3) {
+			mut := append([]byte(nil), av3...)
+			mut[pos] ^= 0x07 // lands on/near a codec tag or index codec map byte
+			f.Add(mut)
+		}
+	}
+	for _, cut := range []int{41, len(av3) / 3, len(av3) - 21, len(av3) - 1} {
+		if cut > 0 && cut < len(av3) {
+			f.Add(av3[:cut])
+		}
+	}
+	if v3, err := os.ReadFile(filepath.Join("testdata", "golden_adaptive_48x32x32_v3.sperr")); err == nil {
+		f.Add(v3)
+		f.Add(v3[:len(v3)/2])
+		// Flip the first frame's codec tag (offset 40: header 36 + length
+		// prefix 4) without repairing the CRC.
+		mut := append([]byte(nil), v3...)
+		mut[40] ^= 0x01
+		f.Add(mut)
+		// And an out-of-range tag.
+		mut2 := append([]byte(nil), v3...)
+		mut2[40] = 0x63
+		f.Add(mut2)
+	}
 	f.Add([]byte{})
 	f.Add([]byte("SPRRGO01garbage"))
 	f.Add([]byte("SPRRGO02garbage"))
+	f.Add([]byte("SPRRGO03garbage"))
 	// The frozen v1 fixture keeps the compatibility decode path in the
 	// fuzz corpus even though the encoder now emits v2.
 	if v1, err := os.ReadFile(filepath.Join("testdata", "golden_pwe_24x17x9.sperr")); err == nil {

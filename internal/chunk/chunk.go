@@ -56,6 +56,9 @@ type Event struct {
 	BytesIn int
 	// BytesOut is the compressed chunk stream size.
 	BytesOut int
+	// Codec identifies the backend that coded this chunk (always
+	// CodecSPERR outside adaptive/fixed-backend v3 streams).
+	Codec codec.CodecID
 	// WallTime covers the chunk's copy-in plus all four codec stages.
 	WallTime time.Duration
 	// ScratchGrows counts arena buffer (re)allocations during this chunk;
@@ -114,6 +117,10 @@ type Stats struct {
 	// ScratchGrows totals arena buffer (re)allocations across all workers;
 	// near zero when the scratch pool is warm.
 	ScratchGrows int
+	// CodecCounts maps backend name to the number of chunks it coded.
+	// Always non-nil after a successful compression; {"sperr": n} outside
+	// adaptive/fixed-backend streams.
+	CodecCounts map[string]int
 }
 
 // BPP returns the achieved container bitrate in bits per point.

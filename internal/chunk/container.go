@@ -4,20 +4,22 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"sperr/internal/codec"
 	"sperr/internal/grid"
 )
 
-// container is a parsed SPERR-Go container stream (format v1 or v2). For
-// v2, payload checksums are deferred to payload(): parse walks only the
-// header and index footer, so random-access consumers (Describe,
+// container is a parsed SPERR-Go container stream (format v1, v2, or v3).
+// For v2+, payload checksums are deferred to payload(): parse walks only
+// the header and index footer, so random-access consumers (Describe,
 // DecompressRegion) never touch the frames they skip.
 type container struct {
 	version   int
 	volDims   grid.Dims
 	chunkDims grid.Dims
 	chunks    []grid.Chunk
-	payloads  [][]byte // one compressed stream per chunk, aliasing the input
-	crcs      []uint32 // v2: expected payload crc32c, verified lazily
+	payloads  [][]byte          // one compressed stream per chunk, aliasing the input
+	crcs      []uint32          // v2+: expected payload crc32c, verified lazily
+	codecs    []codec.CodecID   // v3: per-chunk codec map from the footer
 	agg       aggregates
 	hasAgg    bool
 }
@@ -83,6 +85,8 @@ func parseFixedHeader(stream []byte) (version int, volDims, chunkDims grid.Dims,
 		version = 1
 	case [8]byte(stream[:8]) == magicV2:
 		version = 2
+	case [8]byte(stream[:8]) == magicV3:
+		version = 3
 	default:
 		return 0, volDims, chunkDims, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
@@ -135,19 +139,20 @@ func parseContainer(stream []byte) (*container, error) {
 	return c, nil
 }
 
-// parseV2 indexes a v2 stream from its footer alone: the frames are
+// parseV2 indexes a v2/v3 stream from its footer alone: the frames are
 // located by the index entries, not by walking length prefixes, so this
 // is O(nchunks) in the footer and touches no frame bytes.
 func (c *container) parseV2(stream []byte, nchunks int) error {
-	idxOff, err := locateIndex(stream)
+	idxOff, err := locateIndex(stream, c.version)
 	if err != nil {
 		return err
 	}
-	entries, agg, err := parseIndex(stream[idxOff:], nchunks, idxOff, len(stream))
+	entries, codecs, agg, err := parseIndex(stream[idxOff:], c.version, nchunks, idxOff, len(stream))
 	if err != nil {
 		return err
 	}
 	c.agg, c.hasAgg = agg, true
+	c.codecs = codecs
 	c.payloads = make([][]byte, nchunks)
 	c.crcs = make([]uint32, nchunks)
 	for i, e := range entries {
@@ -160,9 +165,9 @@ func (c *container) parseV2(stream []byte, nchunks int) error {
 }
 
 // payload returns chunk i's compressed stream, verifying its checksum
-// first on v2 containers. Verification happens here — at access time —
+// first on v2+ containers. Verification happens here — at access time —
 // rather than at parse time, so consumers pay only for the frames they
-// actually open.
+// actually open. On v3 the returned bytes include the leading codec tag.
 func (c *container) payload(i int) ([]byte, error) {
 	p := c.payloads[i]
 	if c.crcs != nil {
@@ -171,4 +176,67 @@ func (c *container) payload(i int) ([]byte, error) {
 		}
 	}
 	return p, nil
+}
+
+// decodeTaggedPayload decodes a v3 frame payload — codec tag byte plus
+// backend stream — dispatching on the tag. A tag outside the registry
+// fails as ErrCorrupt; it must never fall through to some backend's
+// decoder.
+func decodeTaggedPayload(payload []byte, dims grid.Dims, s *codec.Scratch, threads int) ([]float64, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("%w: empty frame payload", ErrCorrupt)
+	}
+	b, ok := codec.Lookup(codec.CodecID(payload[0]))
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown codec tag %d", ErrCorrupt, payload[0])
+	}
+	data, err := b.Decode(payload[1:], dims, s, threads)
+	if err != nil {
+		// A CRC-valid frame whose tagged backend rejects the stream is
+		// corruption evidence (e.g. a consistently forged tag): surface it
+		// under the container's error identity, keeping the backend's too.
+		return nil, fmt.Errorf("%w: codec %s: %w", ErrCorrupt, b.Name(), err)
+	}
+	return data, nil
+}
+
+// decodeChunk decodes chunk i of the container with the version-correct
+// dispatch: pre-v3 payloads are SPERR streams; v3 payloads carry a codec
+// tag that must also agree with the footer's codec map.
+func (c *container) decodeChunk(i int, dims grid.Dims, s *codec.Scratch, threads int) ([]float64, error) {
+	payload, err := c.payload(i)
+	if err != nil {
+		return nil, err
+	}
+	if c.version < 3 {
+		return codec.DecodeChunkScratchThreads(payload, dims, s, threads)
+	}
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("%w: chunk %d frame empty", ErrCorrupt, i)
+	}
+	if c.codecs != nil && codec.CodecID(payload[0]) != c.codecs[i] {
+		return nil, fmt.Errorf("%w: chunk %d frame tag %d disagrees with index codec %d",
+			ErrCorrupt, i, payload[0], c.codecs[i])
+	}
+	return decodeTaggedPayload(payload, dims, s, threads)
+}
+
+// sperrPayload returns chunk i's SPERR stream for the progressive-access
+// paths (partial and low-resolution decode), which are SPERR-specific: on
+// a v3 container the chunk must be SPERR-coded and the tag is stripped.
+func (c *container) sperrPayload(i int) ([]byte, error) {
+	payload, err := c.payload(i)
+	if err != nil {
+		return nil, err
+	}
+	if c.version < 3 {
+		return payload, nil
+	}
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("%w: chunk %d frame empty", ErrCorrupt, i)
+	}
+	if id := codec.CodecID(payload[0]); id != codec.CodecSPERR {
+		return nil, fmt.Errorf("chunk: progressive access requires SPERR-coded chunks; chunk %d is %s", i, id)
+	}
+	return payload[1:], nil
 }

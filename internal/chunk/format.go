@@ -39,10 +39,28 @@ import (
 // the container. Format v1 ("SPRRGO01") is the same fixed header followed
 // by bare { payloadLen u32 | payload } frames with no checksums and no
 // footer; it remains fully decodable.
+//
+// Format v3 ("SPRRGO03") carries the multi-backend container: each frame
+// payload is a one-byte codec tag followed by the backend stream (the
+// frame CRC covers the tag), and the footer inserts a codec map — one
+// CodecID byte per chunk, mirroring the frame tags — between the index
+// entries and the aggregates:
+//
+//	index footer v3, at indexOffset:
+//	    nchunks x { frameOffset u64 | payloadLen u32 | crc32c u32 }
+//	    nchunks x codec u8
+//	    aggregates (32 bytes, mode may be ModeAdaptive)
+//	    tail (20 bytes, magic "SPRRIX03")
+//
+// The map lets `sperr inspect` and Describe report the per-chunk codec
+// without opening any frame, and gives readers a cross-check against the
+// frame tags. Everything else is identical to v2.
 var (
-	magicV1 = [8]byte{'S', 'P', 'R', 'R', 'G', 'O', '0', '1'}
-	magicV2 = [8]byte{'S', 'P', 'R', 'R', 'G', 'O', '0', '2'}
-	magicIx = [8]byte{'S', 'P', 'R', 'R', 'I', 'X', '0', '2'}
+	magicV1  = [8]byte{'S', 'P', 'R', 'R', 'G', 'O', '0', '1'}
+	magicV2  = [8]byte{'S', 'P', 'R', 'R', 'G', 'O', '0', '2'}
+	magicV3  = [8]byte{'S', 'P', 'R', 'R', 'G', 'O', '0', '3'}
+	magicIx  = [8]byte{'S', 'P', 'R', 'R', 'I', 'X', '0', '2'}
+	magicIx3 = [8]byte{'S', 'P', 'R', 'R', 'I', 'X', '0', '3'}
 )
 
 const (
@@ -96,14 +114,38 @@ func appendFixedHeader(dst []byte, magic [8]byte, volDims, chunkDims grid.Dims, 
 	return dst
 }
 
-// appendIndex marshals the footer (entries, aggregates, tail) given the
-// byte offset at which the footer will be written.
-func appendIndex(dst []byte, entries []indexEntry, agg aggregates, indexOffset uint64) []byte {
+// indexMagicFor returns the footer end magic of a container version.
+func indexMagicFor(version int) [8]byte {
+	if version >= 3 {
+		return magicIx3
+	}
+	return magicIx
+}
+
+// indexSizeFor returns the exact footer size of a container version: v3
+// inserts the nchunks-byte codec map.
+func indexSizeFor(version, nchunks int) int {
+	size := nchunks*indexEntrySize + aggregateSize + tailSize
+	if version >= 3 {
+		size += nchunks
+	}
+	return size
+}
+
+// appendIndex marshals the footer (entries, v3 codec map, aggregates,
+// tail) given the byte offset at which the footer will be written. codecs
+// must be nil exactly when version < 3.
+func appendIndex(dst []byte, version int, entries []indexEntry, codecs []codec.CodecID, agg aggregates, indexOffset uint64) []byte {
 	start := len(dst)
 	for _, e := range entries {
 		dst = binary.LittleEndian.AppendUint64(dst, e.offset)
 		dst = binary.LittleEndian.AppendUint32(dst, e.length)
 		dst = binary.LittleEndian.AppendUint32(dst, e.crc)
+	}
+	if version >= 3 {
+		for _, id := range codecs {
+			dst = append(dst, byte(id))
+		}
 	}
 	var ab [aggregateSize]byte
 	ab[0] = byte(agg.mode)
@@ -117,31 +159,34 @@ func appendIndex(dst []byte, entries []indexEntry, agg aggregates, indexOffset u
 	crc := crc32.Checksum(dst[start:], castagnoli)
 	dst = binary.LittleEndian.AppendUint32(dst, crc)
 	dst = binary.LittleEndian.AppendUint64(dst, indexOffset)
-	dst = append(dst, magicIx[:]...)
+	magic := indexMagicFor(version)
+	dst = append(dst, magic[:]...)
 	return dst
 }
 
-// parseIndex validates and decodes the footer region of a v2 container.
-// indexBytes must span [indexOffset, end) of the stream; streamLen is the
-// total container length, used to bound the entries.
-func parseIndex(indexBytes []byte, nchunks int, indexOffset uint64, streamLen int) ([]indexEntry, aggregates, error) {
+// parseIndex validates and decodes the footer region of a v2/v3
+// container. indexBytes must span [indexOffset, end) of the stream;
+// streamLen is the total container length, used to bound the entries. The
+// returned codec map is non-nil exactly for v3.
+func parseIndex(indexBytes []byte, version, nchunks int, indexOffset uint64, streamLen int) ([]indexEntry, []codec.CodecID, aggregates, error) {
 	var agg aggregates
-	want := nchunks*indexEntrySize + aggregateSize + tailSize
+	want := indexSizeFor(version, nchunks)
 	if len(indexBytes) != want {
-		return nil, agg, fmt.Errorf("%w: index footer is %d bytes, want %d", ErrCorrupt, len(indexBytes), want)
+		return nil, nil, agg, fmt.Errorf("%w: index footer is %d bytes, want %d", ErrCorrupt, len(indexBytes), want)
 	}
 	tail := indexBytes[len(indexBytes)-tailSize:]
-	for i := range magicIx {
-		if tail[12+i] != magicIx[i] {
-			return nil, agg, fmt.Errorf("%w: bad index magic", ErrCorrupt)
+	magic := indexMagicFor(version)
+	for i := range magic {
+		if tail[12+i] != magic[i] {
+			return nil, nil, agg, fmt.Errorf("%w: bad index magic", ErrCorrupt)
 		}
 	}
 	if got := binary.LittleEndian.Uint64(tail[4:12]); got != indexOffset {
-		return nil, agg, fmt.Errorf("%w: index offset %d, tail says %d", ErrCorrupt, indexOffset, got)
+		return nil, nil, agg, fmt.Errorf("%w: index offset %d, tail says %d", ErrCorrupt, indexOffset, got)
 	}
 	body := indexBytes[:len(indexBytes)-tailSize]
 	if crc := crc32.Checksum(body, castagnoli); crc != binary.LittleEndian.Uint32(tail[:4]) {
-		return nil, agg, fmt.Errorf("%w: index checksum mismatch", ErrCorrupt)
+		return nil, nil, agg, fmt.Errorf("%w: index checksum mismatch", ErrCorrupt)
 	}
 	entries := make([]indexEntry, nchunks)
 	next := uint64(fixedHeaderSize)
@@ -155,39 +200,58 @@ func parseIndex(indexBytes []byte, nchunks int, indexOffset uint64, streamLen in
 		// Frames are contiguous from the fixed header to the footer; any
 		// other arrangement is corruption.
 		if e.offset != next {
-			return nil, agg, fmt.Errorf("%w: frame %d at offset %d, want %d", ErrCorrupt, i, e.offset, next)
+			return nil, nil, agg, fmt.Errorf("%w: frame %d at offset %d, want %d", ErrCorrupt, i, e.offset, next)
 		}
 		end := e.offset + 4 + uint64(e.length) + 4
 		if end > indexOffset || end > uint64(streamLen) {
-			return nil, agg, fmt.Errorf("%w: frame %d overruns index", ErrCorrupt, i)
+			return nil, nil, agg, fmt.Errorf("%w: frame %d overruns index", ErrCorrupt, i)
 		}
 		entries[i] = e
 		next = end
 	}
 	if next != indexOffset {
-		return nil, agg, fmt.Errorf("%w: %d frame bytes unaccounted before index", ErrCorrupt, indexOffset-next)
+		return nil, nil, agg, fmt.Errorf("%w: %d frame bytes unaccounted before index", ErrCorrupt, indexOffset-next)
 	}
+	var codecs []codec.CodecID
 	ab := body[nchunks*indexEntrySize:]
+	if version >= 3 {
+		codecs = make([]codec.CodecID, nchunks)
+		for i := 0; i < nchunks; i++ {
+			id := codec.CodecID(ab[i])
+			if _, ok := codec.Lookup(id); !ok {
+				return nil, nil, agg, fmt.Errorf("%w: unknown codec %d for chunk %d in index", ErrCorrupt, id, i)
+			}
+			codecs[i] = id
+		}
+		ab = ab[nchunks:]
+	}
 	agg.mode = codec.Mode(ab[0])
-	if agg.mode != codec.ModePWE && agg.mode != codec.ModeBPP && agg.mode != codec.ModeRMSE {
-		return nil, agg, fmt.Errorf("%w: unknown mode %d in index", ErrCorrupt, agg.mode)
+	switch agg.mode {
+	case codec.ModePWE, codec.ModeBPP, codec.ModeRMSE:
+	case codec.ModeAdaptive:
+		if version < 3 {
+			return nil, nil, agg, fmt.Errorf("%w: adaptive mode in pre-v3 index", ErrCorrupt)
+		}
+	default:
+		return nil, nil, agg, fmt.Errorf("%w: unknown mode %d in index", ErrCorrupt, agg.mode)
 	}
 	agg.entropy = ab[1]&1 != 0
 	agg.tol = math.Float64frombits(binary.LittleEndian.Uint64(ab[8:]))
 	agg.speckBits = binary.LittleEndian.Uint64(ab[16:])
 	agg.outlierBits = binary.LittleEndian.Uint64(ab[24:])
-	return entries, agg, nil
+	return entries, codecs, agg, nil
 }
 
-// locateIndex reads the fixed tail of a v2 stream and returns the index
-// footer's offset.
-func locateIndex(stream []byte) (uint64, error) {
+// locateIndex reads the fixed tail of a v2/v3 stream and returns the
+// index footer's offset.
+func locateIndex(stream []byte, version int) (uint64, error) {
 	if len(stream) < fixedHeaderSize+tailSize {
 		return 0, fmt.Errorf("%w: stream too short for index tail", ErrCorrupt)
 	}
 	tail := stream[len(stream)-tailSize:]
-	for i := range magicIx {
-		if tail[12+i] != magicIx[i] {
+	magic := indexMagicFor(version)
+	for i := range magic {
+		if tail[12+i] != magic[i] {
 			return 0, fmt.Errorf("%w: missing index magic", ErrCorrupt)
 		}
 	}

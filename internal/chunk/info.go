@@ -9,12 +9,17 @@ import (
 // the "what is in this archive" inspection a downstream user needs before
 // committing to a decode.
 type Info struct {
-	// Version is the container format version (1 or 2).
+	// Version is the container format version (1, 2, or 3).
 	Version    int
 	VolumeDims grid.Dims
 	ChunkDims  grid.Dims
 	NumChunks  int
 	TotalBytes int
+
+	// CodecCounts maps backend name to the number of chunks it coded,
+	// straight from the v3 footer's codec map; pre-v3 containers are all
+	// SPERR. Always non-nil.
+	CodecCounts map[string]int
 
 	// Mode, Tol and Entropy are the container-wide coding parameters (all
 	// chunks of one container share them). SpeckBits and OutlierBits total
@@ -37,6 +42,9 @@ type ChunkInfo struct {
 	// prefix); CompressedBytes its payload size.
 	Offset          int
 	CompressedBytes int
+	// Codec identifies the backend that coded this chunk (from the v3
+	// footer codec map; always CodecSPERR pre-v3).
+	Codec codec.CodecID
 	// Meta is the chunk's coded parameters. Describing a v2 container
 	// reads only the header and index footer — no frame payloads — so
 	// Meta carries just the container-wide fields (Mode, Tol, Entropy);
@@ -56,12 +64,13 @@ func Describe(stream []byte) (*Info, error) {
 		return nil, err
 	}
 	info := &Info{
-		Version:    c.version,
-		VolumeDims: c.volDims,
-		ChunkDims:  c.chunkDims,
-		NumChunks:  len(c.chunks),
-		TotalBytes: len(stream),
-		Chunks:     make([]ChunkInfo, 0, len(c.chunks)),
+		Version:     c.version,
+		VolumeDims:  c.volDims,
+		ChunkDims:   c.chunkDims,
+		NumChunks:   len(c.chunks),
+		TotalBytes:  len(stream),
+		CodecCounts: make(map[string]int, 1),
+		Chunks:      make([]ChunkInfo, 0, len(c.chunks)),
 	}
 	overhead := 4
 	if c.version >= 2 {
@@ -75,9 +84,13 @@ func Describe(stream []byte) (*Info, error) {
 			Offset:          off,
 			CompressedBytes: len(c.payloads[i]),
 		}
+		if c.codecs != nil {
+			ci.Codec = c.codecs[i]
+		}
+		info.CodecCounts[ci.Codec.String()]++
 		off += overhead + len(c.payloads[i])
 		if c.version >= 2 {
-			ci.Meta = codec.StreamMeta{Mode: c.agg.mode, Tol: c.agg.tol, Entropy: c.agg.entropy}
+			ci.Meta = codec.StreamMeta{Codec: ci.Codec, Mode: c.agg.mode, Tol: c.agg.tol, Entropy: c.agg.entropy}
 		} else {
 			meta, err := codec.DescribeChunk(c.payloads[i])
 			if err != nil {

@@ -23,7 +23,7 @@ func DecompressPartial(stream []byte, fraction float64, workers int) (*grid.Volu
 	vol := grid.NewVolume(c.volDims)
 	err = forEachChunkParallel(len(c.chunks), workers, func(i int) error {
 		ch := c.chunks[i]
-		payload, err := c.payload(i)
+		payload, err := c.sperrPayload(i)
 		if err != nil {
 			return err
 		}
@@ -83,7 +83,7 @@ func DecompressLowRes(stream []byte, drop, workers int) (*grid.Volume, error) {
 	vol := grid.NewVolume(coarseVol)
 	err = forEachChunkParallel(len(c.chunks), workers, func(i int) error {
 		ch := c.chunks[i]
-		payload, err := c.payload(i)
+		payload, err := c.sperrPayload(i)
 		if err != nil {
 			return err
 		}

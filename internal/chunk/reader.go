@@ -29,7 +29,7 @@ func maxFrameBytesFor(chunkLen int) int {
 const readChunkMax = 1 << 20
 
 // Reader is the streaming decoder engine: it reads container frames
-// sequentially from any io.Reader (formats v1 and v2), decodes chunks on
+// sequentially from any io.Reader (formats v1, v2, and v3), decodes chunks on
 // a worker pool, and hands each decoded chunk to a callback. Peak decoded
 // data in flight is bounded by workers x chunk size — never the volume.
 type Reader struct {
@@ -78,6 +78,8 @@ func NewReader(r io.Reader, workers int) (*Reader, error) {
 		d.version = 1
 	case [8]byte(hdr[:8]) == magicV2:
 		d.version = 2
+	case [8]byte(hdr[:8]) == magicV3:
+		d.version = 3
 	default:
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
@@ -101,7 +103,7 @@ func (d *Reader) ChunkDims() grid.Dims { return d.chunkDims }
 // NumChunks returns the number of chunks in the container.
 func (d *Reader) NumChunks() int { return len(d.chunks) }
 
-// Version reports the container format version (1 or 2).
+// Version reports the container format version (1, 2, or 3).
 func (d *Reader) Version() int { return d.version }
 
 // SetWorkers adjusts the decode worker budget before ForEach (<= 0 means
@@ -223,7 +225,11 @@ func (d *Reader) ForEach(fn func(index int, ch grid.Chunk, data []float64) error
 						err  error
 					)
 					if job.payload != nil {
-						data, err = codec.DecodeChunkScratchThreads(job.payload, ch.Dims, ws.codec, intra)
+						if d.version >= 3 {
+							data, err = decodeTaggedPayload(job.payload, ch.Dims, ws.codec, intra)
+						} else {
+							data, err = codec.DecodeChunkScratchThreads(job.payload, ch.Dims, ws.codec, intra)
+						}
 					}
 					switch {
 					case job.payload != nil && err == nil:
@@ -283,8 +289,15 @@ func (d *Reader) ForEach(fn func(index int, ch grid.Chunk, data []float64) error
 	}
 
 	// Producer: read frames sequentially, recording what the index footer
-	// must later corroborate (v2).
+	// must later corroborate (v2+): entries always, and for v3 the frame
+	// codec tags the footer's codec map must mirror.
 	entries := make([]indexEntry, len(d.chunks))
+	var tags []codec.CodecID
+	var tagSeen []bool
+	if d.version >= 3 {
+		tags = make([]codec.CodecID, len(d.chunks))
+		tagSeen = make([]bool, len(d.chunks))
+	}
 	off := uint64(fixedHeaderSize)
 	var prefix [4]byte
 	for i := range d.chunks {
@@ -383,6 +396,10 @@ func (d *Reader) ForEach(fn func(index int, ch grid.Chunk, data []float64) error
 		} else {
 			off += 4 + uint64(n)
 		}
+		if d.version >= 3 && len(payload) > 0 {
+			tags[i] = codec.CodecID(payload[0])
+			tagSeen[i] = true
+		}
 		jobs <- decJob{index: i, payload: payload}
 	}
 	close(jobs)
@@ -403,18 +420,24 @@ func (d *Reader) ForEach(fn func(index int, ch grid.Chunk, data []float64) error
 			if framingLost {
 				return fmt.Errorf("%w: footer unreachable after framing loss", ErrCorrupt)
 			}
-			idxLen := len(d.chunks)*indexEntrySize + aggregateSize + tailSize
+			idxLen := indexSizeFor(d.version, len(d.chunks))
 			idx := make([]byte, idxLen)
 			if _, err := io.ReadFull(d.r, idx); err != nil {
 				return fmt.Errorf("%w: truncated index footer: %v", ErrCorrupt, err)
 			}
-			got, _, err := parseIndex(idx, len(d.chunks), off, int(off)+idxLen)
+			got, codecs, _, err := parseIndex(idx, d.version, len(d.chunks), off, int(off)+idxLen)
 			if err != nil {
 				return err
 			}
 			for i := range got {
 				if got[i] != entries[i] {
 					return fmt.Errorf("%w: index entry %d disagrees with frame", ErrCorrupt, i)
+				}
+			}
+			for i := range codecs {
+				if tagSeen[i] && tags[i] != codecs[i] {
+					return fmt.Errorf("%w: index codec %s disagrees with frame %d tag %d",
+						ErrCorrupt, codecs[i], i, tags[i])
 				}
 			}
 			return nil

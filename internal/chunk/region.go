@@ -3,7 +3,6 @@ package chunk
 import (
 	"fmt"
 
-	"sperr/internal/codec"
 	"sperr/internal/grid"
 )
 
@@ -46,14 +45,10 @@ func decompressRegionCounted(stream []byte, x0, y0, z0 int, dims grid.Dims, work
 		}
 	}
 	out := grid.NewVolume(dims)
-	err = forEachChunkParallel(len(hit), workers, func(k int) error {
+	err = forEachChunkScratch(len(hit), workers, func(k int, ws *workerScratch) error {
 		i := hit[k]
 		ch := c.chunks[i]
-		payload, err := c.payload(i)
-		if err != nil {
-			return err
-		}
-		data, err := codec.DecodeChunk(payload, ch.Dims)
+		data, err := c.decodeChunk(i, ch.Dims, ws.codec, 1)
 		if err != nil {
 			return fmt.Errorf("chunk %d: %w", i, err)
 		}

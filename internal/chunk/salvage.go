@@ -67,7 +67,7 @@ type ChunkOutcome struct {
 // recovered, which were lost and why, and which byte ranges of the
 // container could not be attributed to any verified frame.
 type SalvageReport struct {
-	// Version is the container format version (1 or 2).
+	// Version is the container format version (1, 2, or 3).
 	Version int
 	// NumChunks is the container's declared chunk count; Recovered +
 	// Skipped always equals it.
@@ -166,11 +166,20 @@ func frameValidAt(stream []byte, off, maxFrame, version int) (payload []byte, po
 			return nil, 0, false
 		}
 	}
-	meta, err := codec.DescribeChunk(payload)
+	meta, err := describePayload(payload, version)
 	if err != nil {
 		return nil, 0, false
 	}
 	return payload, meta.Points, true
+}
+
+// describePayload parses a frame payload's self-description with the
+// version-correct dispatch: v3 payloads lead with a codec tag.
+func describePayload(payload []byte, version int) (*codec.StreamMeta, error) {
+	if version >= 3 {
+		return codec.DescribeTagged(payload)
+	}
+	return codec.DescribeChunk(payload)
 }
 
 // scanFrames walks the byte range after the fixed header looking for
@@ -268,8 +277,8 @@ func locateFrames(stream []byte, version int, chunks []grid.Chunk, rep *SalvageR
 	maxFrame := maxFrameBytesFor(maxChunkLen)
 
 	if version >= 2 {
-		if idxOff, err := locateIndex(stream); err == nil {
-			if entries, _, err := parseIndex(stream[idxOff:], len(chunks), idxOff, len(stream)); err == nil {
+		if idxOff, err := locateIndex(stream, version); err == nil {
+			if entries, codecIDs, _, err := parseIndex(stream[idxOff:], version, len(chunks), idxOff, len(stream)); err == nil {
 				rep.IndexIntact = true
 				payloads := make([][]byte, len(chunks))
 				for i, e := range entries {
@@ -282,8 +291,9 @@ func locateFrames(stream []byte, version int, chunks []grid.Chunk, rep *SalvageR
 						rep.LostRanges = append(rep.LostRanges, lostRange)
 						continue
 					}
-					meta, err := codec.DescribeChunk(p)
-					if err != nil || (meta.Points != 0 && meta.Points != chunks[i].Dims.Len()) {
+					meta, err := describePayload(p, version)
+					if err != nil || (meta.Points != 0 && meta.Points != chunks[i].Dims.Len()) ||
+						(codecIDs != nil && (len(p) < 1 || codec.CodecID(p[0]) != codecIDs[i])) {
 						rep.Chunks[i].Reason = ReasonBadHeader
 						rep.LostRanges = append(rep.LostRanges, lostRange)
 						continue
@@ -349,7 +359,13 @@ func Salvage(stream []byte, fill float64, workers int) (*grid.Volume, *SalvageRe
 			return nil
 		}
 		ch := chunks[i]
-		data, err := codec.DecodeChunkScratch(payloads[i], ch.Dims, ws.codec)
+		var data []float64
+		var err error
+		if version >= 3 {
+			data, err = decodeTaggedPayload(payloads[i], ch.Dims, ws.codec, 1)
+		} else {
+			data, err = codec.DecodeChunkScratch(payloads[i], ch.Dims, ws.codec)
+		}
 		if err != nil {
 			rep.Chunks[i].Reason = ReasonDecode
 			return nil
@@ -362,14 +378,15 @@ func Salvage(stream []byte, fill float64, workers int) (*grid.Volume, *SalvageRe
 	return vol, rep, nil
 }
 
-// Repair rewrites a damaged container as a clean v2 stream: verified
-// frames are kept byte-for-byte (so their chunks later decode
-// bit-identically), unrecoverable chunks are replaced by placeholder
-// frames encoding all-zero samples, and the index footer is regenerated
-// from scratch. v1 input is upgraded to v2 in the process. The report
-// describes the input's damage (Recovered = frames kept verbatim). Repair
-// fails only when the fixed header is unusable or no frame at all
-// verified (there is nothing to anchor the coding parameters to).
+// Repair rewrites a damaged container as a clean stream: verified frames
+// are kept byte-for-byte (so their chunks later decode bit-identically),
+// unrecoverable chunks are replaced by placeholder frames encoding
+// all-zero samples, and the index footer is regenerated from scratch. v1
+// input is upgraded to v2 in the process; v3 input stays v3, its frame
+// codec tags preserved and placeholders SPERR-coded. The report describes
+// the input's damage (Recovered = frames kept verbatim). Repair fails
+// only when the fixed header is unusable or no frame at all verified
+// (there is nothing to anchor the coding parameters to).
 func Repair(stream []byte) ([]byte, *SalvageReport, error) {
 	version, volDims, chunkDims, chunks, err := parseFixedHeader(stream)
 	if err != nil {
@@ -400,8 +417,8 @@ func Repair(stream []byte) ([]byte, *SalvageReport, error) {
 	var agg aggregates
 	haveAgg := false
 	if rep.IndexIntact {
-		if idxOff, err := locateIndex(stream); err == nil {
-			if _, a, err := parseIndex(stream[idxOff:], len(chunks), idxOff, len(stream)); err == nil {
+		if idxOff, err := locateIndex(stream, version); err == nil {
+			if _, _, a, err := parseIndex(stream[idxOff:], version, len(chunks), idxOff, len(stream)); err == nil {
 				agg, haveAgg = a, true
 			}
 		}
@@ -411,7 +428,7 @@ func Repair(stream []byte) ([]byte, *SalvageReport, error) {
 			if p == nil {
 				continue
 			}
-			if meta, err := codec.DescribeChunk(p); err == nil {
+			if meta, err := describePayload(p, version); err == nil {
 				agg = aggregates{mode: meta.Mode, entropy: meta.Entropy, tol: meta.Tol}
 				haveAgg = true
 				break
@@ -425,7 +442,8 @@ func Repair(stream []byte) ([]byte, *SalvageReport, error) {
 	// Placeholder coding parameters: the mode must match the container's
 	// (Describe and the aggregates are container-wide), the budget barely
 	// matters — placeholders encode constant zero, which costs almost
-	// nothing at any setting.
+	// nothing at any setting. Placeholders are always SPERR-coded, so an
+	// adaptive container's placeholders fall back to plain PWE.
 	params := codec.Params{Mode: agg.mode, Entropy: agg.entropy}
 	switch agg.mode {
 	case codec.ModePWE:
@@ -434,10 +452,26 @@ func Repair(stream []byte) ([]byte, *SalvageReport, error) {
 		params.BitsPerPoint = 1
 	case codec.ModeRMSE:
 		params.TargetRMSE = 1
+	case codec.ModeAdaptive:
+		params.Mode = codec.ModePWE
+		params.Tol = agg.tol
+		if !(params.Tol > 0) {
+			params.Tol = 1
+		}
 	}
 
-	out := appendFixedHeader(make([]byte, 0, len(stream)), magicV2, volDims, chunkDims, len(chunks))
+	outVersion := 2
+	magic := magicV2
+	if version >= 3 {
+		outVersion = 3
+		magic = magicV3
+	}
+	out := appendFixedHeader(make([]byte, 0, len(stream)), magic, volDims, chunkDims, len(chunks))
 	entries := make([]indexEntry, len(chunks))
+	var codecIDs []codec.CodecID
+	if outVersion >= 3 {
+		codecIDs = make([]codec.CodecID, len(chunks))
+	}
 	agg.speckBits, agg.outlierBits = 0, 0
 	off := uint64(fixedHeaderSize)
 	for i, ch := range chunks {
@@ -448,10 +482,16 @@ func Repair(stream []byte) ([]byte, *SalvageReport, error) {
 			if err != nil {
 				return nil, rep, fmt.Errorf("chunk: repair placeholder %d: %w", i, err)
 			}
+			if outVersion >= 3 {
+				payload = append([]byte{byte(codec.CodecSPERR)}, payload...)
+			}
 		} else {
 			rep.Chunks[i].Recovered = true
 		}
-		if meta, err := codec.DescribeChunk(payload); err == nil {
+		if codecIDs != nil {
+			codecIDs[i] = codec.CodecID(payload[0])
+		}
+		if meta, err := describePayload(payload, outVersion); err == nil {
 			agg.speckBits += meta.SpeckBits
 			agg.outlierBits += meta.OutlierBits
 		}
@@ -462,7 +502,7 @@ func Repair(stream []byte) ([]byte, *SalvageReport, error) {
 		entries[i] = indexEntry{offset: off, length: uint32(len(payload)), crc: crc}
 		off += frameOverheadV2 + uint64(len(payload))
 	}
-	out = appendIndex(out, entries, agg, off)
+	out = appendIndex(out, outVersion, entries, codecIDs, agg, off)
 	rep.tally()
 	return out, rep, nil
 }

@@ -50,6 +50,7 @@ type Writer struct {
 	perSlab   int // chunks per z-slab of the tiling
 	params    codec.Params
 	workers   int
+	version   int // container version written: 3 when frames carry codec tags, else 2
 
 	// Producer-side accumulation.
 	fed      int // samples received so far
@@ -85,7 +86,8 @@ type encJob struct {
 
 // encResult is one compressed chunk awaiting its turn in the emitter.
 type encResult struct {
-	frame []byte
+	frame []byte // v3: leading codec tag byte, then the backend stream
+	id    codec.CodecID
 	stats codec.Stats
 	wall  time.Duration
 	grows int
@@ -101,6 +103,7 @@ type frameEmitter struct {
 	off     uint64 // current container write offset
 	pending map[int]encResult
 	entries []indexEntry
+	codecs  []codec.CodecID // per-chunk winners, the v3 footer codec map
 	stats   []codec.Stats
 	walls   []time.Duration
 	grows   []int
@@ -162,6 +165,7 @@ func (em *frameEmitter) writeLocked(i int, res encResult) {
 	}
 	em.entries[i] = indexEntry{offset: em.off, length: uint32(len(res.frame)), crc: crc}
 	em.off += 4 + uint64(len(res.frame)) + 4
+	em.codecs[i] = res.id
 	em.stats[i] = res.stats
 	em.walls[i] = res.wall
 	em.grows[i] = res.grows
@@ -171,6 +175,7 @@ func (em *frameEmitter) writeLocked(i int, res encResult) {
 			Dims:         res.dims,
 			BytesIn:      res.dims.Len() * 8,
 			BytesOut:     len(res.frame),
+			Codec:        res.id,
 			WallTime:     res.wall,
 			ScratchGrows: res.grows,
 			Stats:        res.stats,
@@ -222,6 +227,12 @@ func (cw *Writer) init(w io.Writer, volDims grid.Dims, opts Options) error {
 	cw.closed = false
 	cw.err = nil
 	cw.stats = nil
+	// v3 exists for streams whose frames need codec tags; everything else
+	// keeps emitting v2 byte-for-byte.
+	cw.version = 2
+	if opts.Params.Mode == codec.ModeAdaptive || opts.Params.Codec != codec.CodecSPERR {
+		cw.version = 3
+	}
 	cw.inFlight.Store(0)
 	cw.peakInFlight.Store(0)
 	cw.ctx.Store(nil)
@@ -245,6 +256,7 @@ func (cw *Writer) init(w io.Writer, volDims grid.Dims, opts Options) error {
 		w:       w,
 		pending: make(map[int]encResult),
 		entries: make([]indexEntry, len(cw.chunks)),
+		codecs:  make([]codec.CodecID, len(cw.chunks)),
 		stats:   make([]codec.Stats, len(cw.chunks)),
 		walls:   make([]time.Duration, len(cw.chunks)),
 		grows:   make([]int, len(cw.chunks)),
@@ -252,7 +264,11 @@ func (cw *Writer) init(w io.Writer, volDims grid.Dims, opts Options) error {
 		chunks:  cw.chunks,
 	}
 
-	hdr := appendFixedHeader(make([]byte, 0, fixedHeaderSize), magicV2,
+	magic := magicV2
+	if cw.version >= 3 {
+		magic = magicV3
+	}
+	hdr := appendFixedHeader(make([]byte, 0, fixedHeaderSize), magic,
 		volDims, cw.opts.chunkDims(), len(cw.chunks))
 	if _, err := w.Write(hdr); err != nil {
 		return fmt.Errorf("chunk: write header: %w", err)
@@ -292,20 +308,54 @@ func (cw *Writer) encodeWorker() {
 		job.cutDone.Done()
 		n := int64(job.dims.Len())
 		raisePeak(&cw.peakInFlight, cw.inFlight.Add(n))
-		stream, st, err := codec.EncodeChunkScratch(ws.slab, job.dims, cw.params, ws.codec)
+		frame, id, st, err := cw.encodeChunk(ws.slab, job.dims, ws.codec)
 		cw.inFlight.Add(-n)
 		if err != nil {
 			cw.em.fail(fmt.Errorf("chunk %d %v: %w", job.index, job.dims, err))
 			continue
 		}
 		cw.em.deliver(job.index, encResult{
-			frame: stream,
+			frame: frame,
+			id:    id,
 			stats: *st,
 			wall:  time.Since(t0),
 			grows: ws.codec.Grows() - g0,
 			dims:  job.dims,
 		})
 	}
+}
+
+// encodeChunk runs the version-correct encode of one chunk: the SPERR
+// fast path for v2 streams, and the adaptive or fixed-backend dispatch
+// for v3, where the returned frame carries the codec tag byte.
+func (cw *Writer) encodeChunk(data []float64, dims grid.Dims, s *codec.Scratch) ([]byte, codec.CodecID, *codec.Stats, error) {
+	if cw.version < 3 {
+		stream, st, err := codec.EncodeChunkScratch(data, dims, cw.params, s)
+		return stream, codec.CodecSPERR, st, err
+	}
+	var (
+		id     codec.CodecID
+		stream []byte
+		st     *codec.Stats
+		err    error
+	)
+	if cw.params.Mode == codec.ModeAdaptive {
+		id, stream, st, err = codec.EncodeAdaptive(data, dims, cw.params, s)
+	} else {
+		b, ok := codec.Lookup(cw.params.Codec)
+		if !ok {
+			return nil, 0, nil, fmt.Errorf("chunk: unknown codec id %d", cw.params.Codec)
+		}
+		id = b.ID()
+		stream, st, err = b.Encode(data, dims, cw.params, s)
+	}
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	frame := make([]byte, 1+len(stream))
+	frame[0] = byte(id)
+	copy(frame[1:], stream)
+	return frame, id, st, nil
 }
 
 // slabRange returns the sample offset and length of z-slab s.
@@ -435,18 +485,26 @@ func (cw *Writer) Close() error {
 		agg.speckBits += cw.em.stats[i].SpeckBits
 		agg.outlierBits += cw.em.stats[i].OutlierBits
 	}
-	footer := appendIndex(make([]byte, 0, len(cw.chunks)*indexEntrySize+aggregateSize+tailSize),
-		cw.em.entries, agg, cw.em.off)
+	var codecs []codec.CodecID
+	if cw.version >= 3 {
+		codecs = cw.em.codecs
+	}
+	footer := appendIndex(make([]byte, 0, indexSizeFor(cw.version, len(cw.chunks))),
+		cw.version, cw.em.entries, codecs, agg, cw.em.off)
 	if _, err := cw.w.Write(footer); err != nil {
 		cw.err = fmt.Errorf("chunk: write index: %w", err)
 		return cw.err
 	}
 
 	st := &Stats{
-		Chunks:     cw.em.stats,
-		WallTime:   time.Since(cw.start),
-		TotalBytes: int(cw.em.off) + len(footer),
-		NumPoints:  cw.volDims.Len(),
+		Chunks:      cw.em.stats,
+		WallTime:    time.Since(cw.start),
+		TotalBytes:  int(cw.em.off) + len(footer),
+		NumPoints:   cw.volDims.Len(),
+		CodecCounts: make(map[string]int, 1),
+	}
+	for _, id := range cw.em.codecs {
+		st.CodecCounts[id.String()]++
 	}
 	for i := range cw.em.stats {
 		st.NumOutliers += cw.em.stats[i].NumOutliers

@@ -42,6 +42,13 @@ const (
 	// CDF 9/7 basis makes average-error targeting feasible without extra
 	// inverse transforms. No point-wise guarantee.
 	ModeRMSE
+	// ModeAdaptive bounds the point-wise error by Params.Tol like ModePWE,
+	// but picks the cheapest codec backend per chunk (trial-scored on a
+	// sampled sub-block; see EncodeAdaptive). Requires container v3: each
+	// chunk carries a one-byte codec tag. Never written into a backend's
+	// own chunk header — adaptive chunks are coded under ModePWE by the
+	// winning backend.
+	ModeAdaptive
 )
 
 // DefaultQFactor is the coefficient-coding quantization step expressed in
@@ -83,6 +90,12 @@ type Params struct {
 	// output stream is byte-identical at every value. The chunk pipeline
 	// sets it when there are more workers than pending chunks.
 	Threads int
+
+	// Codec pins every chunk to one backend (see backend.go). The zero
+	// value is CodecSPERR, the pipeline this package implements; any other
+	// backend requires ModePWE and a v3 container. Ignored under
+	// ModeAdaptive, which picks the backend per chunk.
+	Codec CodecID
 }
 
 func (p Params) threads() int {
@@ -109,11 +122,25 @@ func (p Params) Validate() error {
 		if !(p.TargetRMSE > 0) {
 			return errors.New("codec: ModeRMSE requires TargetRMSE > 0")
 		}
+	case ModeAdaptive:
+		if !(p.Tol > 0) {
+			return errors.New("codec: ModeAdaptive requires Tol > 0")
+		}
+		if p.Codec != CodecSPERR {
+			return errors.New("codec: ModeAdaptive picks the codec per chunk; leave Codec unset")
+		}
 	default:
 		return fmt.Errorf("codec: unknown mode %d", p.Mode)
 	}
-	if p.Entropy && p.Mode != ModePWE {
+	if p.Entropy && p.Mode != ModePWE && p.Mode != ModeAdaptive {
 		return errors.New("codec: Entropy requires ModePWE")
+	}
+	if p.Codec != CodecSPERR {
+		b, ok := Lookup(p.Codec)
+		if !ok {
+			return fmt.Errorf("codec: unknown codec id %d", p.Codec)
+		}
+		return b.Validate(p)
 	}
 	return nil
 }
@@ -137,6 +164,10 @@ type Stats struct {
 	OutlierBits uint64
 	HeaderBits  uint64
 	TotalBytes  int // final compressed size, including header and lossless wrapping
+
+	// Codec identifies the backend that produced the chunk (CodecSPERR for
+	// the pipeline above; the per-stage fields below are SPERR-specific).
+	Codec CodecID
 
 	NumOutliers int
 	NumPoints   int
@@ -289,6 +320,9 @@ func EncodeChunkScratch(data []float64, dims grid.Dims, p Params, s *Scratch) ([
 	}
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
+	}
+	if p.Mode == ModeAdaptive || p.Codec != CodecSPERR {
+		return nil, nil, errors.New("codec: EncodeChunkScratch codes SPERR streams only; use EncodeAdaptive or the backend registry")
 	}
 	// Non-finite values cannot be transform-coded and would silently void
 	// the error guarantee (NaN compares false against every threshold, so

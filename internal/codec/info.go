@@ -1,9 +1,17 @@
 package codec
 
-import "sperr/internal/lossless"
+import (
+	"fmt"
+
+	"sperr/internal/lossless"
+)
 
 // StreamMeta describes a coded chunk without decoding it.
 type StreamMeta struct {
+	// Codec identifies the backend that wrote the chunk (CodecSPERR for
+	// streams described by DescribeChunk; the SPERR-specific fields below
+	// are zero for other backends).
+	Codec CodecID
 	// Mode is the termination criterion the chunk was coded with.
 	Mode Mode
 	// Tol is the point-wise tolerance (PWE mode; zero otherwise).
@@ -48,6 +56,7 @@ func DescribeChunk(stream []byte) (*StreamMeta, error) {
 		return nil, err
 	}
 	return &StreamMeta{
+		Codec:         CodecSPERR,
 		Mode:          h.mode,
 		Tol:           h.tol,
 		Q:             h.q,
@@ -58,4 +67,23 @@ func DescribeChunk(stream []byte) (*StreamMeta, error) {
 		Entropy:       h.entropy,
 		Points:        int(h.points),
 	}, nil
+}
+
+// DescribeTagged parses a container-v3 frame payload — a one-byte codec
+// tag followed by the backend stream — without decoding data. An unknown
+// tag fails as ErrCorrupt, never as a misread of another backend's header.
+func DescribeTagged(payload []byte) (*StreamMeta, error) {
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("%w: short tagged payload (%d bytes)", ErrCorrupt, len(payload))
+	}
+	b, ok := Lookup(CodecID(payload[0]))
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown codec tag %d", ErrCorrupt, payload[0])
+	}
+	meta, err := b.Describe(payload[1:])
+	if err != nil {
+		return nil, err
+	}
+	meta.Codec = b.ID()
+	return meta, nil
 }

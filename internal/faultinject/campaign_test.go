@@ -53,6 +53,13 @@ func TestCampaignV1(t *testing.T) {
 	runCampaign(t, "golden_pwe_24x17x9.sperr", 1)
 }
 
+// TestCampaignV3 runs the identical contract over the mixed-codec
+// adaptive fixture: frame damage on non-SPERR chunks must be absorbed,
+// attributed, and repaired exactly like SPERR ones.
+func TestCampaignV3(t *testing.T) {
+	runCampaign(t, "golden_adaptive_48x32x32_v3.sperr", 3)
+}
+
 func runCampaign(t *testing.T, fixture string, version int) {
 	stream := loadFixture(t, fixture)
 	baseline, dims, err := sperr.Decompress(stream)
@@ -135,10 +142,10 @@ func checkMutant(m Mutant, version int, baseline []float64, dims [3]int) error {
 			return fmt.Errorf("intact chunk %d not recovered (report: %+v)", i, rep.Chunks[i])
 		}
 	}
-	// Upper bound (v2): recovering a chunk whose payload bytes were
+	// Upper bound (v2+): recovering a chunk whose payload bytes were
 	// damaged would deliver corrupt samples as good data. v1 has no
 	// checksums, so a body flip is undetectable by design there.
-	if version == 2 {
+	if version >= 2 {
 		payloadOK := map[int]bool{}
 		for _, i := range m.PayloadIntact {
 			payloadOK[i] = true
@@ -189,14 +196,14 @@ func checkMutant(m Mutant, version int, baseline []float64, dims [3]int) error {
 		}
 	}
 
-	// Audit agrees with salvage on what is recoverable (v2: both paths
+	// Audit agrees with salvage on what is recoverable (v2+: both paths
 	// verify payloads against checksums; decode of a verified frame never
 	// fails).
 	arep, err := sperr.Audit(m.Data)
 	if err != nil {
 		return fmt.Errorf("audit errored where salvage succeeded: %v", err)
 	}
-	if version == 2 {
+	if version >= 2 {
 		for i := range arep.Chunks {
 			if arep.Chunks[i].Recovered != recovered[i] {
 				return fmt.Errorf("audit and salvage disagree on chunk %d", i)

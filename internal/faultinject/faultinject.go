@@ -70,13 +70,15 @@ func describe(stream []byte) (*layout, error) {
 		version = 1
 	case "SPRRGO02":
 		version = 2
+	case "SPRRGO03":
+		version = 3
 	default:
 		return nil, fmt.Errorf("faultinject: bad magic %q", stream[:8])
 	}
 	nchunks := int(binary.LittleEndian.Uint32(stream[32:]))
 	l := &layout{version: version, size: len(stream)}
 	overhead := 4
-	if version == 2 {
+	if version >= 2 {
 		overhead = 8
 	}
 	off := 36
@@ -118,7 +120,7 @@ func Campaign(stream []byte) ([]Mutant, error) {
 				}
 			}
 			pEnd := fr[1]
-			if l.version == 2 {
+			if l.version >= 2 {
 				pEnd -= 4
 			}
 			if pEnd <= len(m.Data) && bytes.Equal(m.Data[fr[0]+4:pEnd], stream[fr[0]+4:pEnd]) {
@@ -137,7 +139,7 @@ func Campaign(stream []byte) ([]Mutant, error) {
 		cutSet[fr[0]+4] = true               // after its length prefix
 		cutSet[(fr[0]+fr[1])/2] = true       // mid-payload
 		cutSet[fr[1]] = true                 // after the frame
-		if l.version == 2 && fr[1]-1 >= 0 {  // inside the trailing CRC
+		if l.version >= 2 && fr[1]-1 >= 0 { // inside the trailing CRC
 			cutSet[fr[1]-2] = true
 		}
 	}
@@ -174,7 +176,7 @@ func Campaign(stream []byte) ([]Mutant, error) {
 		flips = append(flips, pos{fr[0], "frame"})     // length prefix
 		flips = append(flips, pos{fr[0] + 4, "frame"}) // first payload byte
 		flips = append(flips, pos{(fr[0] + fr[1]) / 2, "frame"})
-		if l.version == 2 {
+		if l.version >= 2 {
 			flips = append(flips, pos{fr[1] - 5, "frame"}) // last payload byte
 			flips = append(flips, pos{fr[1] - 3, "frame"}) // inside the CRC
 		} else {

@@ -23,14 +23,20 @@ const maxCodeLen = 58
 
 type node struct {
 	freq        uint64
+	seq         int   // tie-break rank: leaves by symbol order, then creation order
 	symbol      int64 // leaf only
 	left, right *node
 }
 
 type nodeHeap []*node
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].freq < h[j].freq }
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].seq < h[j].seq
+}
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
 func (h *nodeHeap) Pop() interface{} {
@@ -42,21 +48,31 @@ func (h *nodeHeap) Pop() interface{} {
 }
 
 // codeLengths computes Huffman code lengths for the given frequencies.
+// Ties (equal frequencies, at both leaf and merge level) break on symbol
+// order and then merge order, so the lengths — and therefore the encoded
+// stream — are a pure function of the input, not of map iteration order.
 func codeLengths(freqs map[int64]uint64) map[int64]int {
 	if len(freqs) == 1 {
 		for s := range freqs {
 			return map[int64]int{s: 1}
 		}
 	}
-	h := make(nodeHeap, 0, len(freqs))
-	for s, f := range freqs {
-		h = append(h, &node{freq: f, symbol: s})
+	symbols := make([]int64, 0, len(freqs))
+	for s := range freqs {
+		symbols = append(symbols, s)
+	}
+	sort.Slice(symbols, func(i, j int) bool { return symbols[i] < symbols[j] })
+	h := make(nodeHeap, 0, len(symbols))
+	for i, s := range symbols {
+		h = append(h, &node{freq: freqs[s], seq: i, symbol: s})
 	}
 	heap.Init(&h)
+	seq := len(symbols)
 	for len(h) > 1 {
 		a := heap.Pop(&h).(*node)
 		b := heap.Pop(&h).(*node)
-		heap.Push(&h, &node{freq: a.freq + b.freq, left: a, right: b})
+		heap.Push(&h, &node{freq: a.freq + b.freq, seq: seq, left: a, right: b})
+		seq++
 	}
 	lengths := make(map[int64]int, len(freqs))
 	var walk func(n *node, depth int)

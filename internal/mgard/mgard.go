@@ -47,6 +47,19 @@ type Params struct {
 	Tol float64
 }
 
+// safeLen computes dims.Len with overflow checking: the extents arrive
+// from the wire as three u32s whose product can overflow int.
+func safeLen(d grid.Dims) (int, bool) {
+	if !d.Valid() {
+		return 0, false
+	}
+	xy := uint64(d.NX) * uint64(d.NY)
+	if xy > math.MaxInt64/uint64(d.NZ) {
+		return 0, false
+	}
+	return int(xy * uint64(d.NZ)), true
+}
+
 type quantizer struct {
 	orig     []float64 // encoder only
 	dec      []float64 // decoder reconstruction
@@ -240,14 +253,18 @@ func Decompress(stream []byte) ([]float64, grid.Dims, error) {
 		NY: int(binary.LittleEndian.Uint32(buf[12:])),
 		NZ: int(binary.LittleEndian.Uint32(buf[16:])),
 	}
-	if !dims.Valid() || !(tol > 0) {
+	npts, ok := safeLen(dims)
+	if !ok || !(tol > 0) || math.IsInf(tol, 0) {
 		return nil, dims, fmt.Errorf("%w: invalid header", ErrCorrupt)
 	}
-	hlen := int(binary.LittleEndian.Uint64(buf[20:]))
+	// Length fields are attacker-controlled: compare in uint64 so a forged
+	// 64-bit value cannot wrap an int bound into a panicking slice index.
 	off := 28
-	if off+hlen > len(buf) {
+	hlen64 := binary.LittleEndian.Uint64(buf[20:])
+	if hlen64 > uint64(len(buf)-off) {
 		return nil, dims, fmt.Errorf("%w: bins truncated", ErrCorrupt)
 	}
+	hlen := int(hlen64)
 	bins, err := huffman.Decode(buf[off : off+hlen])
 	if err != nil {
 		return nil, dims, err
@@ -256,20 +273,33 @@ func Decompress(stream []byte) ([]float64, grid.Dims, error) {
 	if off+8 > len(buf) {
 		return nil, dims, fmt.Errorf("%w: literal count missing", ErrCorrupt)
 	}
-	nlit := int(binary.LittleEndian.Uint64(buf[off:]))
+	nlit64 := binary.LittleEndian.Uint64(buf[off:])
 	off += 8
-	if off+8*nlit > len(buf) {
+	if nlit64 > uint64(len(buf)-off)/8 {
 		return nil, dims, fmt.Errorf("%w: literals truncated", ErrCorrupt)
 	}
+	nlit := int(nlit64)
 	literals := make([]float64, nlit)
 	for i := range literals {
 		literals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8*i:]))
 	}
-	if len(bins) != dims.Len() {
-		return nil, dims, fmt.Errorf("%w: %d bins for %d points", ErrCorrupt, len(bins), dims.Len())
+	if len(bins) != npts {
+		return nil, dims, fmt.Errorf("%w: %d bins for %d points", ErrCorrupt, len(bins), npts)
+	}
+	// The traversal must find exactly one stored literal per literal bin;
+	// forged bins claiming more would otherwise run off the literal slice
+	// mid-walk.
+	wantLit := 0
+	for _, b := range bins {
+		if b == literalBin {
+			wantLit++
+		}
+	}
+	if wantLit != nlit {
+		return nil, dims, fmt.Errorf("%w: %d literal bins for %d stored literals", ErrCorrupt, wantLit, nlit)
 	}
 	qz := &quantizer{
-		dec:      make([]float64, dims.Len()),
+		dec:      make([]float64, npts),
 		bins:     bins,
 		literals: literals,
 	}

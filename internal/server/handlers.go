@@ -102,10 +102,12 @@ func trailerStatus(w *statusWriter) func(error) {
 }
 
 // handleCompress streams raw little-endian floats from the request body
-// through the streaming Encoder into the response as a container-v2
+// through the streaming Encoder into the response as a container
 // stream. Parameters (query or X-Sperr-* header): dims (required,
 // "nx,ny,nz"); exactly one of tol / bpp / rmse; f32; chunk ("cx,cy,cz");
-// workers; q (quantization factor); entropy.
+// workers; q (quantization factor); entropy; codec ("sperr", "sz",
+// "zfp", "tthresh", "mgard", or "adaptive" for per-chunk selection —
+// anything but sperr requires tol and yields a container-v3 stream).
 func (s *Server) handleCompress(w *statusWriter, r *http.Request, st *reqStats) {
 	dims, err := parseTriple(param(r, "dims"))
 	if err != nil {
@@ -129,6 +131,11 @@ func (s *Server) handleCompress(w *statusWriter, r *http.Request, st *reqStats) 
 	}
 	if modes != 1 {
 		badRequest(w, st, errors.New("exactly one of tol, bpp, rmse must be positive"))
+		return
+	}
+	codecName := strings.ToLower(param(r, "codec"))
+	if codecName != "" && codecName != "sperr" && !(tol > 0) {
+		badRequest(w, st, fmt.Errorf("codec %s requires tol (PWE mode)", codecName))
 		return
 	}
 	chunkDims := s.cfg.ChunkDims
@@ -155,9 +162,14 @@ func (s *Server) handleCompress(w *statusWriter, r *http.Request, st *reqStats) 
 		Entropy:    paramBool(r, "entropy"),
 		Instrument: s.chunkInstrument("compress"),
 	}
+	if codecName != "" && codecName != "adaptive" {
+		opts.Codec = codecName
+	}
 	out := bufio.NewWriterSize(w, 256<<10)
 	var enc *sperr.Encoder
 	switch {
+	case codecName == "adaptive":
+		enc, err = sperr.NewEncoderAdaptive(out, dims, tol, opts)
 	case tol > 0:
 		enc, err = sperr.NewEncoderPWE(out, dims, tol, opts)
 	case bpp > 0:
@@ -221,6 +233,9 @@ func (s *Server) handleCompress(w *statusWriter, r *http.Request, st *reqStats) 
 				Observe(float64(bytesIn) / float64(stats.CompressedBytes))
 		}
 		s.reg.Counter("sperrd_outliers_total").Add(int64(stats.NumOutliers))
+		for name, count := range stats.CodecCounts {
+			s.reg.Counter(`sperrd_codec_chunks_total{codec="` + name + `"}`).Add(int64(count))
+		}
 		s.reg.Gauge("sperrd_engine_peak_inflight_samples").RaiseTo(int64(enc.PeakInFlightSamples()))
 	}
 }

@@ -44,6 +44,19 @@ var ErrCorrupt = errors.New("tthresh: corrupt stream")
 // corePrecision is the number of integer bitplanes used for the core.
 const corePrecision = 52
 
+// safeLen computes dims.Len with overflow checking: the extents arrive
+// from the wire as three u32s whose product can overflow int.
+func safeLen(d grid.Dims) (int, bool) {
+	if !d.Valid() {
+		return 0, false
+	}
+	xy := uint64(d.NX) * uint64(d.NY)
+	if xy > math.MaxInt64/uint64(d.NZ) {
+		return 0, false
+	}
+	return int(xy * uint64(d.NZ)), true
+}
+
 // Compress compresses data (row-major, extent dims).
 func Compress(data []float64, dims grid.Dims, p Params) ([]byte, error) {
 	if len(data) != dims.Len() {
@@ -180,29 +193,48 @@ func Decompress(stream []byte) ([]float64, grid.Dims, error) {
 		NY: int(binary.LittleEndian.Uint32(buf[4:])),
 		NZ: int(binary.LittleEndian.Uint32(buf[8:])),
 	}
-	if !dims.Valid() {
+	total, ok := safeLen(dims)
+	if !ok {
 		return nil, dims, fmt.Errorf("%w: invalid dims", ErrCorrupt)
 	}
 	scale := math.Float64frombits(binary.LittleEndian.Uint64(buf[20:]))
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return nil, dims, fmt.Errorf("%w: invalid scale %g", ErrCorrupt, scale)
+	}
 	planes := int(buf[28])
+	if planes < 1 || planes > corePrecision+1 {
+		return nil, dims, fmt.Errorf("%w: %d bitplanes (max %d)", ErrCorrupt, planes, corePrecision+1)
+	}
 	nbits := binary.LittleEndian.Uint64(buf[29:])
 	off := fixed
 	n := [3]int{dims.NX, dims.NY, dims.NZ}
 	factors := make([]*linalg.Matrix, 3)
 	for mode := 0; mode < 3; mode++ {
-		f := linalg.NewMatrix(n[mode], n[mode])
-		need := n[mode] * n[mode] * 4
-		if off+need > len(buf) {
+		// Size the factor matrix in uint64: forged extents can overflow the
+		// n^2 element count; checking against the bytes actually present
+		// also bounds the allocation below.
+		nn := uint64(n[mode]) * uint64(n[mode])
+		if nn > uint64(len(buf)-off)/4 {
 			return nil, dims, fmt.Errorf("%w: factors truncated", ErrCorrupt)
 		}
+		need := int(nn) * 4
+		f := linalg.NewMatrix(n[mode], n[mode])
 		for i := range f.Data {
 			f.Data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4*i:])))
 		}
 		off += need
 		factors[mode] = f
 	}
+	if nbits > uint64(len(buf)-off)*8 {
+		return nil, dims, fmt.Errorf("%w: core stream truncated", ErrCorrupt)
+	}
+	// Every coded plane reads at least one bit per point, so the declared
+	// geometry cannot exceed the core bit budget — this bounds the
+	// decode-side allocations by the stream length.
+	if uint64(total) > nbits {
+		return nil, dims, fmt.Errorf("%w: %d points exceed %d core bits", ErrCorrupt, total, nbits)
+	}
 	r := bits.NewReaderBits(buf[off:], nbits)
-	total := dims.Len()
 	sig := make([]bool, total)
 	negs := make([]bool, total)
 	recon := make([]int64, total)

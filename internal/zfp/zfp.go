@@ -44,6 +44,21 @@ type Params struct {
 // ErrCorrupt reports an undecodable stream.
 var ErrCorrupt = errors.New("zfp: corrupt stream")
 
+// safeLen computes dims.Len with overflow checking: the extents arrive
+// from the wire as three u32s whose product can overflow int.
+func safeLen(d grid.Dims) (int, bool) {
+	if !d.Valid() {
+		return 0, false
+	}
+	xy := uint64(d.NX) * uint64(d.NY)
+	if xy > math.MaxInt64/uint64(d.NZ) {
+		return 0, false
+	}
+	return int(xy * uint64(d.NZ)), true
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
 // guardBits absorbs the L-infinity gain of the inverse transform plus the
 // negabinary truncation error so that fixed-accuracy mode respects the
 // tolerance: dropped bitplanes contribute up to ~2x the cutoff weight per
@@ -504,12 +519,29 @@ func Decompress(stream []byte) ([]float64, grid.Dims, error) {
 		NY: int(binary.LittleEndian.Uint32(stream[4:])),
 		NZ: int(binary.LittleEndian.Uint32(stream[8:])),
 	}
-	if !dims.Valid() {
+	npts, ok := safeLen(dims)
+	if !ok {
 		return nil, dims, fmt.Errorf("%w: invalid dims", ErrCorrupt)
 	}
 	mode := Mode(stream[12])
 	par := math.Float64frombits(binary.LittleEndian.Uint64(stream[13:]))
 	nbits := binary.LittleEndian.Uint64(stream[21:])
+	if nbits > uint64(len(stream)-fixed)*8 {
+		return nil, dims, fmt.Errorf("%w: payload declares %d bits, have %d bytes",
+			ErrCorrupt, nbits, len(stream)-fixed)
+	}
+	// Every block costs at least one bit, so the declared geometry cannot
+	// exceed the bit budget — this bounds the output allocation by the
+	// stream length (64 points per block at most).
+	nblocks := uint64(ceilDiv(dims.NX, 4)) * uint64(ceilDiv(dims.NY, 4))
+	if !dims.Is2D() {
+		nblocks *= uint64(ceilDiv(dims.NZ, 4))
+	} else {
+		nblocks *= uint64(dims.NZ)
+	}
+	if nblocks > nbits {
+		return nil, dims, fmt.Errorf("%w: %d blocks exceed %d payload bits", ErrCorrupt, nblocks, nbits)
+	}
 	r := bits.NewReaderBits(stream[29:], nbits)
 
 	p := Params{Mode: mode}
@@ -529,7 +561,7 @@ func Decompress(stream []byte) ([]float64, grid.Dims, error) {
 			maxbits = 1 + 17
 		}
 	}
-	out := make([]float64, dims.Len())
+	out := make([]float64, npts)
 	block := make([]float64, size)
 	nb := make([]uint64, size)
 	var derr error

@@ -53,6 +53,55 @@ func TestPWEContractOddShapes(t *testing.T) {
 	}
 }
 
+// Property: every coding backend — not just SPERR — must honor the PWE
+// contract MaxErr <= Tol on odd, non-chunk-divisible extents, both when
+// pinned via Options.Codec and when chosen by adaptive selection.
+func TestPWEContractAllBackends(t *testing.T) {
+	shapes := [][3]int{
+		{17, 33, 5}, // odd, non-divisible by the 16^3 chunking
+		{33, 17, 9}, // every axis leaves a remainder chunk
+		{7, 7, 7},   // smaller than one chunk
+	}
+	tols := []float64{1e-1, 1e-3}
+	for _, name := range []string{"sperr", "sz", "zfp", "tthresh", "mgard", "adaptive"} {
+		for _, shape := range shapes {
+			data := demoField(shape[0], shape[1], shape[2], int64(shape[0]+2*shape[1]+3*shape[2]))
+			for _, tol := range tols {
+				opts := &Options{ChunkDims: [3]int{16, 16, 16}, Workers: 2}
+				var stream []byte
+				var err error
+				if name == "adaptive" {
+					stream, _, err = CompressAdaptive(data, shape, tol, opts)
+				} else {
+					if name != "sperr" {
+						opts.Codec = name
+					}
+					stream, _, err = CompressPWE(data, shape, tol, opts)
+				}
+				if err != nil {
+					t.Fatalf("%s %v tol=%g: %v", name, shape, tol, err)
+				}
+				rec, dims, err := Decompress(stream)
+				if err != nil {
+					t.Fatalf("%s %v tol=%g: decode: %v", name, shape, tol, err)
+				}
+				if dims != shape {
+					t.Fatalf("%s %v: decoded dims %v", name, shape, dims)
+				}
+				var worst float64
+				for i := range data {
+					if e := math.Abs(rec[i] - data[i]); e > worst {
+						worst = e
+					}
+				}
+				if worst > tol*(1+1e-9) {
+					t.Errorf("%s %v tol=%g: max error %g exceeds tolerance", name, shape, tol, worst)
+				}
+			}
+		}
+	}
+}
+
 // Property: repeated compressions through the shared arena pool must not
 // bleed state between volumes of different shapes — interleave shapes and
 // verify each round trip independently.

@@ -68,6 +68,12 @@ type Options struct {
 	// decoding. PWE mode only. The paper's SPERR uses the raw-bit layer,
 	// which remains the default.
 	Entropy bool
+	// Codec selects the coding backend for every chunk: "sperr" (or "",
+	// the default), "sz", "zfp", "tthresh", or "mgard". Any value other
+	// than SPERR requires PWE mode and writes a container-v3 stream whose
+	// chunks the progressive (partial / low-res) decoders cannot open.
+	// CompressAdaptive ignores this and picks a backend per chunk.
+	Codec string
 	// Instrument, when non-nil, receives one ChunkEvent per compressed
 	// chunk. Events are delivered in chunk-index order regardless of
 	// Workers (out-of-order completions wait in a reorder buffer), so an
@@ -88,6 +94,9 @@ type ChunkEvent struct {
 	// BytesIn is the uncompressed chunk size (points x 8 bytes);
 	// BytesOut the compressed chunk stream size.
 	BytesIn, BytesOut int
+	// Codec names the backend that coded this chunk ("sperr" outside
+	// adaptive or fixed-backend compressions).
+	Codec string
 	// WallTime covers the chunk's copy-in plus all four codec stages.
 	WallTime time.Duration
 	// TransformTime, SpeckTime, LocateTime and OutlierTime break the
@@ -110,6 +119,15 @@ func (o *Options) chunkOpts(p codec.Params) chunk.Options {
 		co.Params.QFactor = o.QFactor
 		co.Params.DisableLossless = o.DisableLossless
 		co.Params.Entropy = o.Entropy
+		if o.Codec != "" && p.Mode != codec.ModeAdaptive {
+			id, ok := codec.ParseCodecName(o.Codec)
+			if !ok {
+				// An unknown name must fail, not silently fall back to
+				// SPERR; the out-of-range id is rejected by Params.Validate.
+				id = codec.CodecID(0xFF)
+			}
+			co.Params.Codec = id
+		}
 		if hook := o.Instrument; hook != nil {
 			co.Instrument = func(e chunk.Event) {
 				hook(ChunkEvent{
@@ -117,6 +135,7 @@ func (o *Options) chunkOpts(p codec.Params) chunk.Options {
 					Dims:          [3]int{e.Dims.NX, e.Dims.NY, e.Dims.NZ},
 					BytesIn:       e.BytesIn,
 					BytesOut:      e.BytesOut,
+					Codec:         e.Codec.String(),
 					WallTime:      e.WallTime,
 					TransformTime: e.Stats.TransformTime,
 					SpeckTime:     e.Stats.SpeckTime,
@@ -158,6 +177,9 @@ type Stats struct {
 	// ScratchGrows totals scratch-arena buffer (re)allocations across all
 	// workers; near zero in steady state.
 	ScratchGrows int
+	// CodecCounts maps backend name to the number of chunks it coded;
+	// {"sperr": NumChunks} outside adaptive or fixed-backend compressions.
+	CodecCounts map[string]int
 }
 
 func statsFrom(cs *chunk.Stats) *Stats {
@@ -172,6 +194,7 @@ func statsFrom(cs *chunk.Stats) *Stats {
 		WallTime:        cs.WallTime,
 		MaxChunkTime:    cs.MaxChunkTime,
 		ScratchGrows:    cs.ScratchGrows,
+		CodecCounts:     cs.CodecCounts,
 	}
 	for i := range cs.Chunks {
 		c := &cs.Chunks[i]
@@ -223,6 +246,31 @@ func CompressBPP(data []float64, dims [3]int, bitsPerPoint float64, opts *Option
 		return nil, nil, err
 	}
 	co := opts.chunkOpts(codec.Params{Mode: codec.ModeBPP, BitsPerPoint: bitsPerPoint})
+	stream, cs, err := chunk.Compress(vol, co)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stream, statsFrom(cs), nil
+}
+
+// CompressAdaptive compresses data under the point-wise tolerance tol,
+// letting every chunk pick the cheapest coding backend for its content:
+// a fast profile (sampled variance plus a roughness estimate) gates a
+// trial encode of each candidate on a small sub-block, and the chunk is
+// coded by whichever backend won. The output is a container-v3 stream
+// whose chunks record their codec; it decodes with Decompress like any
+// other stream. Every reconstructed value is within tol of the original
+// regardless of the backend chosen. opts may be nil for defaults;
+// Options.Codec is ignored (selection owns the choice).
+func CompressAdaptive(data []float64, dims [3]int, tol float64, opts *Options) ([]byte, *Stats, error) {
+	if !(tol > 0) {
+		return nil, nil, errors.New("sperr: tolerance must be positive")
+	}
+	vol, err := makeVolume(data, dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	co := opts.chunkOpts(codec.Params{Mode: codec.ModeAdaptive, Tol: tol})
 	stream, cs, err := chunk.Compress(vol, co)
 	if err != nil {
 		return nil, nil, err
@@ -341,7 +389,7 @@ func DecompressRegionWorkers(stream []byte, origin, dims [3]int, workers int) ([
 
 // StreamInfo summarizes a compressed stream without decoding its data.
 type StreamInfo struct {
-	// Version is the container format version (1 or 2).
+	// Version is the container format version (1, 2, or 3).
 	Version int
 	// Dims is the volume extent; ChunkDims the chunk tiling.
 	Dims, ChunkDims [3]int
@@ -351,9 +399,13 @@ type StreamInfo struct {
 	CompressedBytes int
 	// FrameBytes is each chunk frame's payload size, in container order.
 	FrameBytes []int
-	// Mode is "pwe", "bpp" or "rmse" (all chunks of one container share a
-	// mode).
+	// Mode is "pwe", "bpp", "rmse" or "adaptive" (all chunks of one
+	// container share a mode).
 	Mode string
+	// CodecCounts maps backend name to the number of chunks it coded,
+	// from the v3 footer's codec map (pre-v3 streams are all "sperr").
+	// Always non-nil.
+	CodecCounts map[string]int
 	// Tolerance is the point-wise error bound in PWE mode (0 otherwise).
 	Tolerance float64
 	// Entropy reports the arithmetic-coded bit layer.
@@ -367,10 +419,13 @@ type StreamInfo struct {
 	Chunks []ChunkBox
 }
 
-// ChunkBox is one chunk's extent in volume coordinates.
+// ChunkBox is one chunk's extent in volume coordinates, plus the backend
+// that coded it.
 type ChunkBox struct {
 	Origin [3]int
 	Dims   [3]int
+	// Codec names the chunk's coding backend ("sperr" pre-v3).
+	Codec string
 }
 
 // Describe inspects a compressed stream — volume geometry, mode,
@@ -393,6 +448,7 @@ func Describe(stream []byte) (*StreamInfo, error) {
 		Entropy:         info.Entropy,
 		SpeckBits:       info.SpeckBits,
 		OutlierBits:     info.OutlierBits,
+		CodecCounts:     info.CodecCounts,
 	}
 	switch info.Mode {
 	case codec.ModePWE:
@@ -402,12 +458,16 @@ func Describe(stream []byte) (*StreamInfo, error) {
 		out.Mode = "bpp"
 	case codec.ModeRMSE:
 		out.Mode = "rmse"
+	case codec.ModeAdaptive:
+		out.Mode = "adaptive"
+		out.Tolerance = info.Tol
 	}
 	for _, c := range info.Chunks {
 		out.FrameBytes = append(out.FrameBytes, c.CompressedBytes)
 		out.Chunks = append(out.Chunks, ChunkBox{
 			Origin: c.Origin,
 			Dims:   [3]int{c.Dims.NX, c.Dims.NY, c.Dims.NZ},
+			Codec:  c.Codec.String(),
 		})
 	}
 	return out, nil

@@ -63,6 +63,18 @@ func NewEncoderBPP(w io.Writer, dims [3]int, bitsPerPoint float64, opts *Options
 	return newEncoder(w, dims, codec.Params{Mode: codec.ModeBPP, BitsPerPoint: bitsPerPoint}, opts)
 }
 
+// NewEncoderAdaptive starts a streaming compression under the point-wise
+// tolerance tol with per-chunk codec selection (the streaming twin of
+// CompressAdaptive): each chunk is coded by whichever backend wins its
+// trial, and the output is a container-v3 stream. opts may be nil;
+// Options.Codec is ignored.
+func NewEncoderAdaptive(w io.Writer, dims [3]int, tol float64, opts *Options) (*Encoder, error) {
+	if !(tol > 0) {
+		return nil, errors.New("sperr: tolerance must be positive")
+	}
+	return newEncoder(w, dims, codec.Params{Mode: codec.ModeAdaptive, Tol: tol}, opts)
+}
+
 // NewEncoderRMSE starts a streaming average-error-targeted compression.
 // opts may be nil.
 func NewEncoderRMSE(w io.Writer, dims [3]int, targetRMSE float64, opts *Options) (*Encoder, error) {
@@ -131,7 +143,7 @@ type DecodedChunk struct {
 }
 
 // Decoder is the streaming decompression engine: it reads container
-// frames sequentially from any io.Reader (formats v1 and v2), decodes
+// frames sequentially from any io.Reader (formats v1, v2, and v3), decodes
 // chunks on a worker pool, and delivers each to a callback. Peak decoded
 // data in flight is bounded by O(workers x chunk size), never the volume.
 type Decoder struct {
@@ -164,7 +176,7 @@ func (d *Decoder) ChunkDims() [3]int {
 // NumChunks returns the number of chunks in the container.
 func (d *Decoder) NumChunks() int { return d.r.NumChunks() }
 
-// FormatVersion reports the container format version (1 or 2).
+// FormatVersion reports the container format version (1, 2, or 3).
 func (d *Decoder) FormatVersion() int { return d.r.Version() }
 
 // SetWorkers adjusts the decode worker budget before ForEachChunk (<= 0
