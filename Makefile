@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race faultinject fuzz bench bench-kernels profile-kernels cover experiments examples serve-smoke clean
+.PHONY: all build vet test test-race faultinject fuzz bench bench-kernels profile-kernels cover experiments examples serve-smoke cluster-smoke clean
 
 all: build vet test
 
@@ -93,6 +93,14 @@ examples:
 # SIGTERM drain with exit status 0.
 serve-smoke:
 	$(GO) run ./scripts/servesmoke
+
+# End-to-end smoke of a three-node sperrd cluster: ingests both golden
+# fixtures, reads cross-shard regions through every coordinator
+# (bit-identical to a single-node decode), SIGKILLs one peer and
+# requires the next read to degrade (fill + trailer) instead of
+# erroring, then drains the survivors.
+cluster-smoke:
+	$(GO) run ./scripts/clustersmoke
 
 clean:
 	$(GO) clean ./...

@@ -6,6 +6,7 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
@@ -79,6 +80,37 @@ func TestInspectAndCodecFlag(t *testing.T) {
 	}
 	if n := strings.Count(out, "chunk "); n != 3 {
 		t.Fatalf("inspect printed %d chunk lines, want 3:\n%s", n, out)
+	}
+
+	// inspect -json: the same facts as a machine-readable document —
+	// placement tooling parses this to map chunks onto a ring without
+	// decoding anything.
+	out, code = runBin(t, bin, "inspect", "-json", packed)
+	if code != 0 {
+		t.Fatalf("inspect -json exit %d:\n%s", code, out)
+	}
+	var doc struct {
+		Version   int    `json:"version"`
+		Dims      [3]int `json:"dims"`
+		NumChunks int    `json:"num_chunks"`
+		Mode      string `json:"mode"`
+		Chunks    []struct {
+			Index int    `json:"index"`
+			Dims  [3]int `json:"dims"`
+			Codec string `json:"codec"`
+		} `json:"chunks"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("inspect -json is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Version != 3 || doc.Dims != [3]int{24, 8, 8} || doc.NumChunks != 3 ||
+		doc.Mode != "adaptive" || len(doc.Chunks) != 3 {
+		t.Fatalf("inspect -json wrong facts: %+v", doc)
+	}
+	for i, c := range doc.Chunks {
+		if c.Index != i || c.Dims != [3]int{8, 8, 8} || c.Codec == "" {
+			t.Fatalf("inspect -json chunk %d malformed: %+v", i, c)
+		}
 	}
 
 	// Round-trip through the binary: adaptive streams decompress like any

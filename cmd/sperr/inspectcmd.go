@@ -3,8 +3,13 @@ package main
 // The inspect subcommand: prints a container's per-chunk codec map and
 // frame sizes straight from the fixed header and index footer — no frame
 // payload is decoded, so the cost is independent of the data volume.
+// With -json the same facts are emitted as a machine-readable document
+// for placement and rebalance tooling (cluster shard planners consume
+// the chunk geometry to compute ring ownership without decoding).
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -12,20 +17,76 @@ import (
 	"sperr"
 )
 
+// inspectDoc is the -json schema: stable lowercase keys, one entry per
+// chunk in container order. Field names are part of the CLI contract.
+type inspectDoc struct {
+	File        string         `json:"file"`
+	Version     int            `json:"version"`
+	Dims        [3]int         `json:"dims"`
+	ChunkDims   [3]int         `json:"chunk_dims"`
+	NumChunks   int            `json:"num_chunks"`
+	Bytes       int            `json:"compressed_bytes"`
+	Mode        string         `json:"mode"`
+	Tolerance   float64        `json:"tolerance,omitempty"`
+	CodecCounts map[string]int `json:"codec_counts"`
+	Chunks      []inspectChunk `json:"chunks"`
+}
+
+type inspectChunk struct {
+	Index  int    `json:"index"`
+	Origin [3]int `json:"origin"`
+	Dims   [3]int `json:"dims"`
+	Bytes  int    `json:"frame_bytes"`
+	Codec  string `json:"codec"`
+}
+
 func runInspect(args []string) {
-	if len(args) != 1 {
-		usageFatal("inspect takes exactly one argument: sperr inspect FILE")
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of the table")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(exitUsage)
 	}
-	stream, err := os.ReadFile(args[0])
+	if fs.NArg() != 1 {
+		usageFatal("inspect takes exactly one argument: sperr inspect [-json] FILE")
+	}
+	file := fs.Arg(0)
+	stream, err := os.ReadFile(file)
 	if err != nil {
-		fatal("read %s: %v", args[0], err)
+		fatal("read %s: %v", file, err)
 	}
 	fi, err := sperr.Describe(stream)
 	if err != nil {
 		fatalStream("inspect", err)
 	}
+	if *asJSON {
+		doc := inspectDoc{
+			File:        file,
+			Version:     fi.Version,
+			Dims:        fi.Dims,
+			ChunkDims:   fi.ChunkDims,
+			NumChunks:   fi.NumChunks,
+			Bytes:       fi.CompressedBytes,
+			Mode:        fi.Mode,
+			Tolerance:   fi.Tolerance,
+			CodecCounts: fi.CodecCounts,
+			Chunks:      make([]inspectChunk, 0, len(fi.Chunks)),
+		}
+		for i, c := range fi.Chunks {
+			doc.Chunks = append(doc.Chunks, inspectChunk{
+				Index: i, Origin: c.Origin, Dims: c.Dims,
+				Bytes: fi.FrameBytes[i], Codec: c.Codec,
+			})
+		}
+		out, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			fatal("encode: %v", err)
+		}
+		fmt.Printf("%s\n", out)
+		return
+	}
 	fmt.Printf("%s: container v%d, %dx%dx%d in %d chunks, mode %s\n",
-		args[0], fi.Version, fi.Dims[0], fi.Dims[1], fi.Dims[2], fi.NumChunks, fi.Mode)
+		file, fi.Version, fi.Dims[0], fi.Dims[1], fi.Dims[2], fi.NumChunks, fi.Mode)
 	for i, c := range fi.Chunks {
 		fmt.Printf("  chunk %-4d @(%d,%d,%d) %dx%dx%d  %8d bytes  %s\n",
 			i, c.Origin[0], c.Origin[1], c.Origin[2],

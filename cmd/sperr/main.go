@@ -15,6 +15,7 @@
 //	sperr fsck field.sperr                    # verify every frame, print damage map
 //	sperr repair damaged.sperr fixed.sperr    # keep verified frames, rebuild index
 //	sperr inspect field.sperr                 # per-chunk codec map, no decode
+//	sperr inspect -json field.sperr           # same facts, machine-readable
 //
 // Exit codes: 0 success, 1 I/O or internal error, 2 bad usage, 3 corrupt
 // input (including an fsck that found damage).
@@ -272,7 +273,7 @@ func fatalStream(context string, err error) {
 func usageFatal(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "sperr: "+format+"\n", args...)
 	fmt.Fprintln(os.Stderr, "usage: sperr (-c -dims nx,ny,nz (-tol|-bpp|-rmse|-psnr) | -d [-partial|-lowres|-region] | -info) -in FILE [-out FILE]")
-	fmt.Fprintln(os.Stderr, "       sperr fsck FILE | sperr repair IN OUT | sperr inspect FILE")
+	fmt.Fprintln(os.Stderr, "       sperr fsck FILE | sperr repair IN OUT | sperr inspect [-json] FILE")
 	fmt.Fprintln(os.Stderr, "run 'sperr -h' for the full flag list")
 	os.Exit(exitUsage)
 }

@@ -24,6 +24,20 @@
 //	                               cache (?region=..., ?f32, ?workers;
 //	                               X-Sperr-Cache: hit|partial|miss)
 //
+// With -peers and -node-id set (on top of -store-dir), the daemon joins
+// a sharded cluster: a volume PUT against any node splits the container
+// at chunk-frame boundaries and ships each peer the frames a consistent
+// hash ring assigns it; a region GET scatter-gathers the owning peers
+// and merges the pieces bit-identically to a single-node read. Peer
+// failure degrades the read (fill value + "degraded" status trailer)
+// instead of failing it. Peers talk over:
+//
+//	PUT    /v1/internal/chunks/{id}  ingest a shard (peer-to-peer)
+//	GET    /v1/internal/chunks/{id}  stream owned chunk∩region frames
+//	DELETE /v1/internal/chunks/{id}  drop the local shard
+//
+// Every response carries X-Sperr-Node naming the answering node.
+//
 //	GET  /metrics        Prometheus text exposition
 //	GET  /debug/vars     expvar (includes the sperrd registry)
 //	GET  /healthz        liveness (503 while draining)
@@ -47,6 +61,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,6 +82,11 @@ func main() {
 		quiet        = flag.Bool("quiet", false, "suppress per-request logs")
 		storeDir     = flag.String("store-dir", "", "content-addressed volume store directory (empty disables /v1/volumes)")
 		cacheMB      = flag.Int64("cache-mb", 0, "decoded-slab cache residency cap, MiB (8 bytes/sample; 0 = budget/4)")
+		nodeID       = flag.String("node-id", "", "this node's name in the cluster roster (required with -peers)")
+		peersStr     = flag.String("peers", "", "cluster roster as comma-separated id=url entries, including this node (enables sharded multi-node mode; requires -node-id and -store-dir)")
+		peerTimeout  = flag.Duration("peer-timeout", 0, "max duration of one peer RPC attempt (0 = 2s)")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "duplicate a slow peer fetch after this long (0 = 250ms, negative disables)")
+		peerRetries  = flag.Int("peer-retries", 0, "extra attempts for a failed peer fetch (0 = 1, negative disables)")
 	)
 	flag.Parse()
 
@@ -78,6 +98,20 @@ func main() {
 		MaxContainerBytes: *maxContainer << 20,
 		StoreDir:          *storeDir,
 		CacheSamples:      *cacheMB << 20 / 8,
+		NodeID:            *nodeID,
+		PeerTimeout:       *peerTimeout,
+		HedgeAfter:        *hedgeAfter,
+		PeerRetries:       *peerRetries,
+	}
+	if *peersStr != "" {
+		for _, p := range strings.Split(*peersStr, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+		if len(cfg.Peers) > 0 && (*nodeID == "" || *storeDir == "") {
+			fatal("-peers requires -node-id and -store-dir")
+		}
 	}
 	if !*quiet {
 		cfg.LogWriter = os.Stderr
@@ -111,6 +145,10 @@ func main() {
 	if *storeDir != "" {
 		fmt.Fprintf(os.Stderr, "sperrd: volume store at %s (%d volumes, cache cap %d samples)\n",
 			*storeDir, s.Store().Len(), s.Store().Cache().Cap())
+	}
+	if len(cfg.Peers) > 0 {
+		fmt.Fprintf(os.Stderr, "sperrd: cluster node %s in a %d-peer roster\n",
+			*nodeID, len(cfg.Peers))
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- s.Serve(ln) }()

@@ -1,0 +1,228 @@
+package cluster
+
+// HTTP peer protocol client. The protocol is three verbs under
+// /v1/internal/chunks/{id}:
+//
+//	PUT    body = shard container        -> 200/201
+//	DELETE                               -> 204 (404 = already gone)
+//	GET    ?region=x,y,z,nx,ny,nz&chunks=i,j,...
+//	       -> stream of frames, one per servable chunk:
+//	          u32 LE chunk index | u32 LE sample count | samples f64 LE
+//
+// The GET response is streamed frame-by-frame so the coordinator can
+// hand each chunk to the assembler the moment it arrives; a peer that
+// cannot serve a requested chunk simply omits its frame (the
+// coordinator retries, then fills). Samples are raw float64 bits, so a
+// gathered region is bit-identical to a local decode.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// chunkFrameHeaderSize is the per-frame prefix: u32 index + u32 count.
+const chunkFrameHeaderSize = 8
+
+func (c *Cluster) chunkURL(peer, id string) string {
+	return c.peers[peer] + "/v1/internal/chunks/" + id
+}
+
+// outcomeOf classifies an RPC error for the per-peer outcome counter.
+func outcomeOf(ctx context.Context, err error) string {
+	if err == nil {
+		return "ok"
+	}
+	if ctx.Err() == context.DeadlineExceeded {
+		return "timeout"
+	}
+	return "error"
+}
+
+// shipShard PUTs a shard to a peer, retrying with capped backoff.
+// Shards can be large, so each attempt gets a generous multiple of the
+// fetch timeout.
+func (c *Cluster) shipShard(ctx context.Context, peer, id string, shard []byte) error {
+	timeout := 5 * c.timeout
+	if timeout < 10*time.Second {
+		timeout = 10 * time.Second
+	}
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if c.hooks.OnRetry != nil {
+				c.hooks.OnRetry(peer)
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if backoff *= 2; backoff > 500*time.Millisecond {
+				backoff = 500 * time.Millisecond
+			}
+		}
+		actx, cancel := context.WithTimeout(ctx, timeout)
+		err := c.putOnce(actx, peer, id, shard)
+		c.onPeerRequest(peer, outcomeOf(actx, err))
+		cancel()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+func (c *Cluster) putOnce(ctx context.Context, peer, id string, shard []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.chunkURL(peer, id), bytes.NewReader(shard))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return httpError(resp)
+	}
+	return nil
+}
+
+// deleteShard removes a shard from a peer; 404 counts as success.
+func (c *Cluster) deleteShard(ctx context.Context, peer, id string) error {
+	actx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodDelete, c.chunkURL(peer, id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	c.onPeerRequest(peer, outcomeOf(actx, err))
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
+		return httpError(resp)
+	}
+	return nil
+}
+
+// fetchChunks GETs the listed chunks' region intersections from a peer
+// and delivers each frame to the sink as it arrives. Returns an error
+// if the stream dies or if any requested chunk is missing from the
+// response (short stream — peer could not serve it).
+func (c *Cluster) fetchChunks(ctx context.Context, peer, id string, hs []chunkHit, sink *chunkSink) (err error) {
+	defer func() { c.onPeerRequest(peer, outcomeOf(ctx, err)) }()
+
+	want := make(map[int]chunkHit, len(hs))
+	var list strings.Builder
+	// The region box sent to the peer is the bounding box of the
+	// requested intersections; the peer re-intersects per chunk, so any
+	// box covering them is equivalent.
+	var bo, bhi [3]int
+	for i, h := range hs {
+		want[h.index] = h
+		if i > 0 {
+			list.WriteByte(',')
+		}
+		list.WriteString(strconv.Itoa(h.index))
+		for a := 0; a < 3; a++ {
+			if i == 0 || h.origin[a] < bo[a] {
+				bo[a] = h.origin[a]
+			}
+			if hi := h.origin[a] + h.dims[a]; i == 0 || hi > bhi[a] {
+				bhi[a] = hi
+			}
+		}
+	}
+	u := fmt.Sprintf("%s?region=%d,%d,%d,%d,%d,%d&chunks=%s", c.chunkURL(peer, id),
+		bo[0], bo[1], bo[2], bhi[0]-bo[0], bhi[1]-bo[1], bhi[2]-bo[2], list.String())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	served := 0
+	var hdr [chunkFrameHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("cluster: peer %s stream: %w", peer, err)
+		}
+		ci := int(binary.LittleEndian.Uint32(hdr[0:4]))
+		n := int(binary.LittleEndian.Uint32(hdr[4:8]))
+		h, ok := want[ci]
+		if !ok {
+			return fmt.Errorf("cluster: peer %s sent unrequested chunk %d", peer, ci)
+		}
+		if wantN := h.dims[0] * h.dims[1] * h.dims[2]; n != wantN {
+			return fmt.Errorf("cluster: peer %s chunk %d: %d samples, want %d", peer, ci, n, wantN)
+		}
+		samples := make([]float64, n)
+		if err := readSamples(br, samples); err != nil {
+			return fmt.Errorf("cluster: peer %s chunk %d: %w", peer, ci, err)
+		}
+		sink.deliver(ChunkPiece{Index: ci, Origin: h.origin, Dims: h.dims, Samples: samples})
+		served++
+	}
+	if served < len(hs) {
+		return fmt.Errorf("cluster: peer %s served %d of %d chunks", peer, served, len(hs))
+	}
+	return nil
+}
+
+// readSamples fills dst with little-endian float64 bits from r. The
+// bit-for-bit round trip is what keeps a gathered region identical to a
+// local decode.
+func readSamples(r io.Reader, dst []float64) error {
+	buf := make([]byte, 8*len(dst))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return nil
+}
+
+// httpError summarizes a non-success peer response, keeping the first
+// line of the body.
+func httpError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	msg := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	return fmt.Errorf("cluster: peer answered %d: %s", resp.StatusCode, msg)
+}
+
+// drainClose discards the remainder of a response body so the
+// connection can be reused, then closes it.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	body.Close()
+}

@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sperr"
+	"sperr/internal/store"
+)
+
+func testField(dims [3]int, seed int64) []float64 {
+	nx, ny, nz := dims[0], dims[1], dims[2]
+	data := make([]float64, nx*ny*nz)
+	rng := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range data {
+		x, y, z := i%nx, (i/nx)%ny, i/(nx*ny)
+		rng = rng*2862933555777941757 + 3037000493
+		data[i] = math.Sin(0.2*float64(x))*math.Cos(0.15*float64(y)) +
+			0.3*math.Sin(0.1*float64(z)) + 0.05*float64(rng>>40)/(1<<24)
+	}
+	return data
+}
+
+func makeContainer(t testing.TB, dims, chunkDims [3]int, seed int64) []byte {
+	t.Helper()
+	stream, _, err := sperr.CompressPWE(testField(dims, seed), dims, 1e-3,
+		&sperr.Options{ChunkDims: chunkDims})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream
+}
+
+// fakePeer is a minimal peer-protocol server backed by a real store —
+// the same wire contract the sperrd handlers speak, reimplemented here
+// so the package tests do not depend on internal/server.
+type fakePeer struct {
+	st  *store.Store
+	srv *httptest.Server
+}
+
+func newFakePeer(t testing.TB) *fakePeer {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{CacheSamples: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	p := &fakePeer{st: st}
+	p.srv = httptest.NewServer(http.HandlerFunc(p.serve))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+func (p *fakePeer) serve(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/internal/chunks/")
+	switch r.Method {
+	case http.MethodPut:
+		body := make([]byte, 0, 1<<20)
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := r.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		if _, _, err := p.st.PutShard(id, body); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodDelete:
+		if err := p.st.Delete(id); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodGet:
+		meta, ok := p.st.Describe(id)
+		if !ok {
+			http.Error(w, "no such volume", http.StatusNotFound)
+			return
+		}
+		var ro, rd [3]int
+		fmt.Sscanf(r.URL.Query().Get("region"), "%d,%d,%d,%d,%d,%d",
+			&ro[0], &ro[1], &ro[2], &rd[0], &rd[1], &rd[2])
+		for _, f := range strings.Split(r.URL.Query().Get("chunks"), ",") {
+			ci, err := strconv.Atoi(f)
+			if err != nil || ci < 0 || ci >= len(meta.Chunks) {
+				http.Error(w, "bad chunk index", http.StatusBadRequest)
+				return
+			}
+			cg := meta.Chunks[ci]
+			o, d, ok := Intersect(ro, rd, cg.Origin, cg.Dims)
+			if !ok {
+				continue
+			}
+			data, _, err := p.st.Region(r.Context(), id, o, d, 1)
+			if err != nil {
+				return // short stream: chunk not servable
+			}
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(ci))
+			binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(data)))
+			w.Write(hdr[:])
+			raw := make([]byte, 8*len(data))
+			for i, v := range data {
+				binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+			}
+			w.Write(raw)
+		}
+	default:
+		http.Error(w, "method", http.StatusMethodNotAllowed)
+	}
+}
+
+// testCluster builds an n-node roster of fake peers and returns one
+// Cluster handle per node.
+func testCluster(t testing.TB, n int) ([]*Cluster, []*fakePeer) {
+	t.Helper()
+	peers := make([]*fakePeer, n)
+	roster := make(map[string]string, n)
+	for i := range peers {
+		peers[i] = newFakePeer(t)
+		roster[fmt.Sprintf("node-%c", 'a'+i)] = peers[i].srv.URL
+	}
+	clusters := make([]*Cluster, n)
+	for i := range clusters {
+		c, err := New(Config{
+			Self:       fmt.Sprintf("node-%c", 'a'+i),
+			Peers:      roster,
+			Timeout:    5 * time.Second,
+			HedgeAfter: time.Second,
+		}, peers[i].st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters[i] = c
+	}
+	return clusters, peers
+}
+
+// gather collects a cluster region read into a row-major buffer for
+// comparison against the single-node decode.
+func gather(t testing.TB, c *Cluster, id string, origin, dims [3]int, fill float64) ([]float64, *RegionReport) {
+	t.Helper()
+	out := make([]float64, dims[0]*dims[1]*dims[2])
+	for i := range out {
+		out[i] = math.Inf(1) // sentinel: every cell must be written exactly once
+	}
+	rep, err := c.Region(context.Background(), id, origin, dims,
+		RegionOptions{Workers: 2, Fill: fill}, func(p ChunkPiece) error {
+			for z := 0; z < p.Dims[2]; z++ {
+				for y := 0; y < p.Dims[1]; y++ {
+					for x := 0; x < p.Dims[0]; x++ {
+						gx, gy, gz := p.Origin[0]+x-origin[0], p.Origin[1]+y-origin[1], p.Origin[2]+z-origin[2]
+						oi := (gz*dims[1]+gy)*dims[0] + gx
+						if !math.IsInf(out[oi], 1) {
+							t.Errorf("cell %d written twice", oi)
+						}
+						out[oi] = p.Samples[(z*p.Dims[1]+y)*p.Dims[0]+x]
+					}
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if math.IsInf(v, 1) {
+			t.Fatalf("cell %d never written", i)
+		}
+	}
+	return out, rep
+}
+
+// TestIngestRegionBitIdentical is the core contract: a 3-node
+// scatter-gather read returns exactly the bytes of a single-node
+// DecompressRegion, from any coordinator, on an odd-dimension volume
+// whose regions straddle chunk boundaries.
+func TestIngestRegionBitIdentical(t *testing.T) {
+	dims := [3]int{21, 13, 7}
+	container := makeContainer(t, dims, [3]int{8, 8, 4}, 5)
+	clusters, _ := testCluster(t, 3)
+
+	meta, created, err := clusters[0].Ingest(context.Background(), container)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("first ingest reported created=false")
+	}
+	id := meta.ID
+
+	// Re-ingest from another coordinator is idempotent.
+	if _, created, err := clusters[1].Ingest(context.Background(), container); err != nil || created {
+		t.Fatalf("re-ingest: created=%v err=%v", created, err)
+	}
+
+	regions := []struct{ o, d [3]int }{
+		{[3]int{0, 0, 0}, dims},           // full volume
+		{[3]int{5, 6, 2}, [3]int{9, 4, 4}}, // straddles x, y and z chunk boundaries
+		{[3]int{7, 7, 3}, [3]int{1, 1, 1}}, // single sample at a corner
+		{[3]int{16, 8, 4}, [3]int{5, 5, 3}}, // tail chunks (odd remainders)
+	}
+	for _, rg := range regions {
+		want, err := sperr.DecompressRegionWorkers(container, rg.o, rg.d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ni, c := range clusters {
+			got, rep := gather(t, c, id, rg.o, rg.d, math.NaN())
+			if len(rep.Skipped) != 0 {
+				t.Fatalf("node %d region %v: degraded %v with all peers up", ni, rg, rep.Skipped)
+			}
+			for k := range want {
+				if math.Float64bits(want[k]) != math.Float64bits(got[k]) {
+					t.Fatalf("node %d region %v sample %d: cluster read differs from single-node", ni, rg, k)
+				}
+			}
+		}
+	}
+}
+
+func TestRegionDegradesWhenPeerDies(t *testing.T) {
+	dims := [3]int{24, 17, 9}
+	container := makeContainer(t, dims, [3]int{16, 16, 16}, 9)
+	clusters, peers := testCluster(t, 3)
+	c := clusters[0]
+	meta, _, err := c.Ingest(context.Background(), container)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a peer that owns at least one chunk and is not the
+	// coordinator, then kill it.
+	victim := -1
+	for ni := 1; ni < 3; ni++ {
+		idn := fmt.Sprintf("node-%c", 'a'+ni)
+		for ci := 0; ci < meta.NumChunks; ci++ {
+			if c.Owner(meta.ID, ci) == idn {
+				victim = ni
+			}
+		}
+	}
+	if victim < 0 {
+		t.Skip("placement put every chunk on the coordinator")
+	}
+	peers[victim].srv.Close()
+
+	fill := math.NaN()
+	got, rep := gather(t, c, meta.ID, [3]int{0, 0, 0}, dims, fill)
+	if len(rep.Skipped) == 0 {
+		t.Fatal("killed an owning peer but nothing degraded")
+	}
+	// Filled cells are NaN; cells from surviving chunks are bit-identical.
+	want, err := sperr.DecompressRegionWorkers(container, [3]int{0, 0, 0}, dims, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := make(map[int]bool)
+	for _, ci := range rep.Skipped {
+		skipped[ci] = true
+	}
+	for k := range want {
+		x, y, z := k%dims[0], (k/dims[0])%dims[1], k/(dims[0]*dims[1])
+		ci := chunkIndexOf(meta, x, y, z)
+		if skipped[ci] {
+			if !math.IsNaN(got[k]) {
+				t.Fatalf("sample %d in skipped chunk %d not filled", k, ci)
+			}
+		} else if math.Float64bits(want[k]) != math.Float64bits(got[k]) {
+			t.Fatalf("sample %d in live chunk %d differs", k, ci)
+		}
+	}
+}
+
+// chunkIndexOf locates the chunk containing voxel (x,y,z).
+func chunkIndexOf(meta *store.Meta, x, y, z int) int {
+	for i, cg := range meta.Chunks {
+		if x >= cg.Origin[0] && x < cg.Origin[0]+cg.Dims[0] &&
+			y >= cg.Origin[1] && y < cg.Origin[1]+cg.Dims[1] &&
+			z >= cg.Origin[2] && z < cg.Origin[2]+cg.Dims[2] {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestDeleteFansOut(t *testing.T) {
+	container := makeContainer(t, [3]int{24, 17, 9}, [3]int{16, 16, 16}, 13)
+	clusters, peers := testCluster(t, 3)
+	meta, _, err := clusters[0].Ingest(context.Background(), container)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range peers {
+		if _, ok := p.st.Describe(meta.ID); !ok {
+			t.Fatalf("peer %d missing shard after ingest", i)
+		}
+	}
+	if err := clusters[0].Delete(context.Background(), meta.ID); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range peers {
+		if _, ok := p.st.Describe(meta.ID); ok {
+			t.Fatalf("peer %d still has shard after delete", i)
+		}
+	}
+	// Idempotent from the remote side; local reports not found.
+	if err := clusters[0].Delete(context.Background(), meta.ID); err == nil {
+		t.Fatal("double delete did not report missing volume")
+	}
+}
+
+func TestIngestRejectsV1(t *testing.T) {
+	clusters, _ := testCluster(t, 2)
+	v1, err := os.ReadFile("../../testdata/golden_pwe_24x17x9.sperr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := clusters[0].Ingest(context.Background(), v1); err == nil {
+		t.Fatal("v1 container accepted for sharding")
+	}
+}

@@ -1,0 +1,129 @@
+// Package cluster distributes a volume's chunks across a set of sperrd
+// peers and gathers them back for region reads.
+//
+// Placement is a pure function of the peer set and the chunk key: a
+// consistent-hash ring with virtual nodes assigns each chunk (keyed by
+// the volume's content address plus the chunk index from the container
+// footer) to exactly one owning peer, with a rendezvous-hash tie-break
+// on the astronomically rare ring-point collision. Because placement is
+// deterministic, no placement map is stored or replicated — any node
+// that knows the peer roster can compute where every chunk lives, and
+// the roster itself is static per-process configuration.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the number of ring points per peer. 64 points
+// keeps the per-peer load imbalance within a few percent for small
+// rosters while the ring stays tiny (a 16-peer ring is 1024 points).
+const DefaultVirtualNodes = 64
+
+// fnv64 is FNV-1a over s. Inlined rather than hash/fnv so ring hashing
+// allocates nothing and can be called per chunk on the read path.
+func fnv64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+type ringPoint struct {
+	hash uint64
+	peer int // index into Ring.peers
+}
+
+// Ring is an immutable consistent-hash ring over a set of peer IDs.
+// Build one with NewRing; methods are safe for concurrent use.
+type Ring struct {
+	peers  []string
+	points []ringPoint
+}
+
+// NewRing builds a ring with vnodes virtual nodes per peer (0 means
+// DefaultVirtualNodes). Peer IDs must be unique and non-empty.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]struct{}, len(peers))
+	r := &Ring{
+		peers:  append([]string(nil), peers...),
+		points: make([]ringPoint, 0, len(peers)*vnodes),
+	}
+	for pi, id := range r.peers {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: empty peer id")
+		}
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = struct{}{}
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: fnv64(fmt.Sprintf("%s#%d", id, v)),
+				peer: pi,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Colliding ring points: rendezvous tie-break. Order the
+		// colliding peers by their combined hash with the ring point so
+		// the winner is stable regardless of roster order, and every
+		// ring that contains both peers agrees on it.
+		return fnv64(fmt.Sprintf("%s|%d", r.peers[a.peer], a.hash)) <
+			fnv64(fmt.Sprintf("%s|%d", r.peers[b.peer], b.hash))
+	})
+	return r, nil
+}
+
+// Peers returns the roster in construction order.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// ChunkKey is the canonical placement key for chunk index ci of the
+// volume with content address id.
+func ChunkKey(id string, ci int) string {
+	return fmt.Sprintf("%s/%d", id, ci)
+}
+
+// Owner returns the peer ID owning key: the first ring point clockwise
+// from the key's hash.
+func (r *Ring) Owner(key string) string {
+	return r.peers[r.ownerIndex(key)]
+}
+
+func (r *Ring) ownerIndex(key string) int {
+	h := fnv64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}
+
+// Placement maps each of n chunks of volume id to its owning peer,
+// returned as peerID -> sorted chunk indices. Peers owning no chunks of
+// this volume are absent from the map.
+func (r *Ring) Placement(id string, n int) map[string][]int {
+	out := make(map[string][]int)
+	for ci := 0; ci < n; ci++ {
+		p := r.peers[r.ownerIndex(ChunkKey(id, ci))]
+		out[p] = append(out[p], ci)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty roster accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty peer id accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate peer id accepted")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := []string{"node-a", "node-b", "node-c"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 3000
+	counts := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(ChunkKey("vol", i))]++
+	}
+	want := keys / len(peers)
+	for _, p := range peers {
+		got := counts[p]
+		if got < want/2 || got > want*2 {
+			t.Fatalf("peer %s owns %d of %d keys (expected near %d): %v", p, got, keys, want, counts)
+		}
+	}
+}
+
+func TestRingStabilityOnPeerRemoval(t *testing.T) {
+	// Removing one peer of three must only move keys that the removed
+	// peer owned — that is the point of consistent hashing.
+	full, err := NewRing([]string{"node-a", "node-b", "node-c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"node-a", "node-c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		k := ChunkKey("vol", i)
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before == "node-b" {
+			continue // had to move
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed peer changed owner", moved)
+	}
+}
+
+func TestRingDeterministicAcrossRosterOrder(t *testing.T) {
+	a, err := NewRing([]string{"n1", "n2", "n3"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3", "n1", "n2"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		k := ChunkKey("deadbeef", i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: owner %s vs %s depending on roster order", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingCollisionTieBreak(t *testing.T) {
+	// Force a hash collision by constructing a ring whose points collide:
+	// we can't easily find colliding FNV inputs, so instead verify the
+	// comparator directly — equal hashes order by rendezvous hash, and
+	// that order is independent of peer slice order.
+	ra := &Ring{peers: []string{"p1", "p2"}}
+	rb := &Ring{peers: []string{"p2", "p1"}}
+	const h = 0x1234_5678_9abc_def0
+	lessA := fnv64(fmt.Sprintf("%s|%d", "p1", uint64(h))) < fnv64(fmt.Sprintf("%s|%d", "p2", uint64(h)))
+	// The same comparison evaluated from rb's perspective must agree.
+	lessB := fnv64(fmt.Sprintf("%s|%d", rb.peers[1], uint64(h))) < fnv64(fmt.Sprintf("%s|%d", rb.peers[0], uint64(h)))
+	if lessA != lessB {
+		t.Fatal("rendezvous tie-break depends on roster order")
+	}
+	_ = ra
+}
+
+func TestPlacementCoversAllChunks(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 37
+	pl := r.Placement("cafebabe", n)
+	seen := make(map[int]bool)
+	for p, chunks := range pl {
+		for i, ci := range chunks {
+			if seen[ci] {
+				t.Fatalf("chunk %d placed twice", ci)
+			}
+			seen[ci] = true
+			if i > 0 && chunks[i-1] >= ci {
+				t.Fatalf("peer %s chunk list not sorted: %v", p, chunks)
+			}
+			if got := r.Owner(ChunkKey("cafebabe", ci)); got != p {
+				t.Fatalf("placement says %s owns chunk %d, Owner says %s", p, ci, got)
+			}
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("placement covers %d of %d chunks", len(seen), n)
+	}
+}

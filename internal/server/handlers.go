@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -297,17 +298,13 @@ func (s *Server) handleDecompress(w *statusWriter, r *http.Request, st *reqStats
 		// response body well-formed, so degraded serving always fills —
 		// skip-chunk would leave holes in the byte stream itself.
 		dec.SetErrorPolicy(sperr.FillChunk)
-		switch fv := strings.ToLower(param(r, "fill")); fv {
-		case "", "nan":
-		case "zero":
-			dec.SetFillValue(0)
-		default:
-			f, err := strconv.ParseFloat(fv, 64)
-			if err != nil {
-				badRequest(w, st, fmt.Errorf("bad fill %q", fv))
-				return
-			}
-			dec.SetFillValue(f)
+		fill, err := parseFill(r)
+		if err != nil {
+			badRequest(w, st, err)
+			return
+		}
+		if !math.IsNaN(fill) { // the decoder's default fill is NaN
+			dec.SetFillValue(fill)
 		}
 	}
 	dims := dec.Dims()

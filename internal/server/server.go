@@ -10,17 +10,21 @@ package server
 
 import (
 	"context"
+	"errors"
 	"expvar"
+	"fmt"
 	"io"
 	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"sperr"
+	"sperr/internal/cluster"
 	"sperr/internal/obs"
 	"sperr/internal/store"
 )
@@ -65,6 +69,22 @@ type Config struct {
 	// the admission budget, so the cache and in-flight decodes share one
 	// ceiling regardless of this cap.
 	CacheSamples int64
+	// NodeID names this node; when set, every response carries it in the
+	// X-Sperr-Node header. Required in cluster mode.
+	NodeID string
+	// Peers, when non-empty, enables cluster mode: the full roster as
+	// "id=url" entries, including this node's own id (its URL is what
+	// other peers dial). Requires StoreDir and NodeID. Volume ingest
+	// shards across the roster and region reads scatter-gather.
+	Peers []string
+	// PeerTimeout bounds one peer RPC attempt (<= 0 defaults to 2s).
+	PeerTimeout time.Duration
+	// HedgeAfter duplicates a peer fetch that has not completed in this
+	// long (0 defaults to 250ms; negative disables hedging).
+	HedgeAfter time.Duration
+	// PeerRetries is how many extra attempts a failed peer fetch gets
+	// (0 defaults to 1; negative disables retries).
+	PeerRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +124,7 @@ type Server struct {
 	mux      *http.ServeMux
 	hs       *http.Server
 	store    *store.Store
+	cluster  *cluster.Cluster
 	draining atomic.Bool
 }
 
@@ -146,6 +167,35 @@ func New(cfg Config) (*Server, error) {
 		s.adm.SetReclaimer(st.Cache().Shed)
 	}
 
+	if len(cfg.Peers) > 0 {
+		if s.store == nil {
+			return nil, errors.New("server: cluster mode requires a store dir")
+		}
+		if cfg.NodeID == "" {
+			return nil, errors.New("server: cluster mode requires a node id")
+		}
+		roster := make(map[string]string, len(cfg.Peers))
+		for _, p := range cfg.Peers {
+			id, u, ok := strings.Cut(p, "=")
+			if !ok || id == "" || u == "" {
+				return nil, fmt.Errorf("server: peer %q: want id=url", p)
+			}
+			roster[id] = u
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:       cfg.NodeID,
+			Peers:      roster,
+			Timeout:    cfg.PeerTimeout,
+			HedgeAfter: cfg.HedgeAfter,
+			Retries:    cfg.PeerRetries,
+			Hooks:      s.clusterHooks(),
+		}, s.store)
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cl
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/compress", s.instrumented("compress", s.handleCompress))
 	s.mux.HandleFunc("POST /v1/decompress", s.instrumented("decompress", s.handleDecompress))
@@ -155,6 +205,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/volumes/{id}", s.instrumented("volume", s.handleVolumeGet))
 	s.mux.HandleFunc("DELETE /v1/volumes/{id}", s.instrumented("volume_delete", s.handleVolumeDelete))
 	s.mux.HandleFunc("GET /v1/volumes/{id}/region", s.instrumented("region_cached", s.handleVolumeRegion))
+	if s.cluster != nil {
+		s.mux.HandleFunc("PUT /v1/internal/chunks/{id}", s.instrumented("peer_ingest", s.handleInternalPut))
+		s.mux.HandleFunc("GET /v1/internal/chunks/{id}", s.instrumented("peer_chunks", s.handleInternalChunks))
+		s.mux.HandleFunc("DELETE /v1/internal/chunks/{id}", s.instrumented("peer_delete", s.handleInternalDelete))
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -194,8 +249,27 @@ func (s *Server) storeHooks() store.Hooks {
 	}
 }
 
+// clusterHooks wires cluster peer traffic into the metrics registry.
+func (s *Server) clusterHooks() cluster.Hooks {
+	retries := s.reg.Counter("sperrd_cluster_retries_total")
+	hedges := s.reg.Counter("sperrd_cluster_hedges_total")
+	filled := s.reg.Counter("sperrd_cluster_filled_chunks_total")
+	return cluster.Hooks{
+		OnPeerRequest: func(peer, outcome string) {
+			s.reg.Counter(`sperrd_cluster_requests_total{peer="` + peer +
+				`",outcome="` + outcome + `"}`).Inc()
+		},
+		OnRetry:  func(string) { retries.Inc() },
+		OnHedge:  func(string) { hedges.Inc() },
+		OnFilled: func(chunks int) { filled.Add(int64(chunks)) },
+	}
+}
+
 // Store exposes the content-addressed volume store (nil when disabled).
 func (s *Server) Store() *store.Store { return s.store }
+
+// Cluster exposes the distribution layer (nil outside cluster mode).
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
 
 // Handler returns the root handler (also usable under httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -305,6 +379,10 @@ func (s *Server) instrumented(endpoint string, h handlerFunc) http.HandlerFunc {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		st := &reqStats{}
+		if s.cfg.NodeID != "" {
+			// Which node answered — operators read placement off this.
+			sw.Header().Set("X-Sperr-Node", s.cfg.NodeID)
+		}
 		inflight.Add(1)
 		cr := &countingReader{r: r.Body}
 		r.Body = struct {

@@ -10,113 +10,149 @@ import (
 	"sperr"
 )
 
-// slabAssembler turns the Decoder's out-of-order chunk deliveries back
-// into an ordered row-major byte stream, so a decompress response can be
-// written to a socket (which cannot seek) without materializing the
-// volume. Chunks land in per-z-slab buffers — a slab is one chunk-height
-// band of the volume, volume XY extent x chunk Z extent — and a slab is
-// flushed the moment its last chunk arrives and every earlier slab is
-// out. Peak buffering is the slabs spanned by the in-flight chunk set
-// (the frame producer reads in index order, so that is ~1-2 slabs plus
-// the decoder's worker arenas), never the volume.
+// regionAssembler turns out-of-order chunk-piece deliveries into an
+// ordered row-major byte stream for an arbitrary region box, so a
+// response can be written to a socket (which cannot seek) without
+// materializing the region. Pieces land in per-z-band buffers — a band
+// is the intersection of the region with one chunk-height row of the
+// volume's chunk grid — and a band is flushed the moment its last piece
+// arrives and every earlier band is out. Peak buffering is the bands
+// spanned by the in-flight piece set, never the region.
 //
-// add is safe for concurrent use by decoder worker goroutines; the float
-// narrowing/serialization into the slab buffer runs outside the lock, in
-// parallel, on disjoint byte ranges.
-type slabAssembler struct {
-	w       io.Writer
-	dims    [3]int
-	cz      int // chunk Z extent (slab height)
-	width   int // output bytes per sample (4 or 8)
-	perSlab int // chunks per slab
-	nSlabs  int
+// The full-volume decompress path is the special case origin = (0,0,0),
+// dims = volume dims (see slabAssembler); the cluster scatter-gather
+// path feeds it chunk∩region intersections as peers answer.
+//
+// add is safe for concurrent use; the float narrowing/serialization
+// into the band buffer runs outside the lock, in parallel, on disjoint
+// byte ranges.
+type regionAssembler struct {
+	w      io.Writer
+	origin [3]int // region box, volume coordinates
+	dims   [3]int
+	cz     int // chunk grid z pitch
+	gz0    int // first grid z cell the region touches
+	width  int // output bytes per sample (4 or 8)
+
+	perBand int // chunk pieces per band (constant for a box region)
+	nBands  int
 
 	mu   sync.Mutex
-	next int // next slab index to flush
+	next int // next band index to flush
 	bufs map[int][]byte
 	left map[int]int
 }
 
-func newSlabAssembler(w io.Writer, dims, chunkDims [3]int, width int) *slabAssembler {
-	cz := chunkDims[2]
-	if cz > dims[2] {
-		cz = dims[2]
+// newRegionAssembler assembles the box origin+dims of a volume tiled by
+// chunkDims over volDims. chunkDims components are clamped to the
+// volume extent, mirroring the engine's tiling.
+func newRegionAssembler(w io.Writer, origin, dims, volDims, chunkDims [3]int, width int) *regionAssembler {
+	var c [3]int
+	for a := 0; a < 3; a++ {
+		c[a] = chunkDims[a]
+		if c[a] > volDims[a] {
+			c[a] = volDims[a]
+		}
 	}
-	cx, cy := chunkDims[0], chunkDims[1]
-	if cx > dims[0] {
-		cx = dims[0]
-	}
-	if cy > dims[1] {
-		cy = dims[1]
-	}
-	return &slabAssembler{
+	cell := func(a, v int) int { return v / c[a] }
+	perBand := (cell(0, origin[0]+dims[0]-1) - cell(0, origin[0]) + 1) *
+		(cell(1, origin[1]+dims[1]-1) - cell(1, origin[1]) + 1)
+	gz0 := cell(2, origin[2])
+	return &regionAssembler{
 		w:       w,
+		origin:  origin,
 		dims:    dims,
-		cz:      cz,
+		cz:      c[2],
+		gz0:     gz0,
 		width:   width,
-		perSlab: ceilDiv(dims[0], cx) * ceilDiv(dims[1], cy),
-		nSlabs:  ceilDiv(dims[2], cz),
+		perBand: perBand,
+		nBands:  cell(2, origin[2]+dims[2]-1) - gz0 + 1,
 		bufs:    make(map[int][]byte),
 		left:    make(map[int]int),
 	}
 }
 
-func ceilDiv(a, b int) int { return (a + b - 1) / b }
+// bandBounds returns band b's z range within the region.
+func (ra *regionAssembler) bandBounds(b int) (zlo, zhi int) {
+	zlo = (ra.gz0 + b) * ra.cz
+	if o := ra.origin[2]; o > zlo {
+		zlo = o
+	}
+	zhi = (ra.gz0 + b + 1) * ra.cz
+	if e := ra.origin[2] + ra.dims[2]; e < zhi {
+		zhi = e
+	}
+	return zlo, zhi
+}
 
-// add serializes one decoded chunk into its slab and flushes any slabs
+// add serializes one chunk piece (origin o, extent d, samples x-fastest,
+// already clipped to the region) into its band and flushes any bands
 // that just became contiguous with the output cursor.
-func (sa *slabAssembler) add(ch sperr.DecodedChunk) error {
-	s := ch.Origin[2] / sa.cz
-	slabZ0 := s * sa.cz
-	slabNZ := sa.cz
-	if slabZ0+slabNZ > sa.dims[2] {
-		slabNZ = sa.dims[2] - slabZ0
-	}
-	sa.mu.Lock()
-	buf, ok := sa.bufs[s]
+func (ra *regionAssembler) add(o, d [3]int, samples []float64) error {
+	b := o[2]/ra.cz - ra.gz0
+	zlo, zhi := ra.bandBounds(b)
+
+	ra.mu.Lock()
+	buf, ok := ra.bufs[b]
 	if !ok {
-		buf = make([]byte, sa.dims[0]*sa.dims[1]*slabNZ*sa.width)
-		sa.bufs[s] = buf
-		sa.left[s] = sa.perSlab
+		buf = make([]byte, ra.dims[0]*ra.dims[1]*(zhi-zlo)*ra.width)
+		ra.bufs[b] = buf
+		ra.left[b] = ra.perBand
 	}
-	sa.mu.Unlock()
+	ra.mu.Unlock()
 
-	nx, ny := ch.Dims[0], ch.Dims[1]
-	for z := 0; z < ch.Dims[2]; z++ {
-		zl := ch.Origin[2] - slabZ0 + z
+	nx, ny := d[0], d[1]
+	for z := 0; z < d[2]; z++ {
+		zl := o[2] + z - zlo
 		for y := 0; y < ny; y++ {
-			row := ch.Data[(z*ny+y)*nx : (z*ny+y+1)*nx]
-			off := ((zl*sa.dims[1]+ch.Origin[1]+y)*sa.dims[0] + ch.Origin[0]) * sa.width
-			putRow(buf[off:], row, sa.width)
+			row := samples[(z*ny+y)*nx : (z*ny+y+1)*nx]
+			off := ((zl*ra.dims[1]+o[1]+y-ra.origin[1])*ra.dims[0] + o[0] - ra.origin[0]) * ra.width
+			putRow(buf[off:], row, ra.width)
 		}
 	}
 
-	sa.mu.Lock()
-	defer sa.mu.Unlock()
-	sa.left[s]--
-	for sa.next < sa.nSlabs && sa.left[sa.next] == 0 {
-		if _, ok := sa.bufs[sa.next]; !ok {
-			break // zero count but never allocated: not this slab yet
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	ra.left[b]--
+	for ra.next < ra.nBands && ra.left[ra.next] == 0 {
+		if _, ok := ra.bufs[ra.next]; !ok {
+			break // zero count but never allocated: not this band yet
 		}
-		if _, err := sa.w.Write(sa.bufs[sa.next]); err != nil {
+		if _, err := ra.w.Write(ra.bufs[ra.next]); err != nil {
 			return err
 		}
-		delete(sa.bufs, sa.next)
-		delete(sa.left, sa.next)
-		sa.next++
+		delete(ra.bufs, ra.next)
+		delete(ra.left, ra.next)
+		ra.next++
 	}
 	return nil
 }
 
-// done verifies every slab was flushed.
-func (sa *slabAssembler) done() error {
-	sa.mu.Lock()
-	defer sa.mu.Unlock()
-	if sa.next != sa.nSlabs {
-		return fmt.Errorf("server: %d of %d output slabs unflushed", sa.nSlabs-sa.next, sa.nSlabs)
+// done verifies every band was flushed.
+func (ra *regionAssembler) done() error {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	if ra.next != ra.nBands {
+		return fmt.Errorf("server: %d of %d output bands unflushed", ra.nBands-ra.next, ra.nBands)
 	}
 	return nil
 }
+
+// slabAssembler is the full-volume specialization of regionAssembler,
+// fed by the streaming Decoder's out-of-order chunk deliveries.
+type slabAssembler struct {
+	ra *regionAssembler
+}
+
+func newSlabAssembler(w io.Writer, dims, chunkDims [3]int, width int) *slabAssembler {
+	return &slabAssembler{ra: newRegionAssembler(w, [3]int{}, dims, dims, chunkDims, width)}
+}
+
+func (sa *slabAssembler) add(ch sperr.DecodedChunk) error {
+	return sa.ra.add(ch.Origin, ch.Dims, ch.Data)
+}
+
+func (sa *slabAssembler) done() error { return sa.ra.done() }
 
 // putRow serializes a row of samples as little-endian floats of the given
 // width (4 narrows to float32).

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"sperr/internal/cluster"
+)
+
+// TestRegionAssemblerOrdersBands feeds chunk∩region pieces to the
+// assembler in a deliberately hostile order (reverse) over an
+// odd-dimension region straddling chunk boundaries, and asserts the
+// output is exactly the row-major region bytes.
+func TestRegionAssemblerOrdersBands(t *testing.T) {
+	volDims := [3]int{21, 13, 7}
+	chunkDims := [3]int{8, 8, 4}
+	origin := [3]int{3, 5, 1}
+	dims := [3]int{15, 7, 6}
+
+	// Synthetic volume: value = linear index, so any misplacement shows.
+	value := func(x, y, z int) float64 {
+		return float64((z*volDims[1]+y)*volDims[0] + x)
+	}
+
+	// Enumerate chunk boxes exactly as the engine tiles (z-major grid).
+	var pieces []struct {
+		o, d [3]int
+		data []float64
+	}
+	for cz := 0; cz < volDims[2]; cz += chunkDims[2] {
+		for cy := 0; cy < volDims[1]; cy += chunkDims[1] {
+			for cx := 0; cx < volDims[0]; cx += chunkDims[0] {
+				cd := [3]int{
+					min(chunkDims[0], volDims[0]-cx),
+					min(chunkDims[1], volDims[1]-cy),
+					min(chunkDims[2], volDims[2]-cz),
+				}
+				o, d, ok := cluster.Intersect(origin, dims, [3]int{cx, cy, cz}, cd)
+				if !ok {
+					continue
+				}
+				data := make([]float64, d[0]*d[1]*d[2])
+				for z := 0; z < d[2]; z++ {
+					for y := 0; y < d[1]; y++ {
+						for x := 0; x < d[0]; x++ {
+							data[(z*d[1]+y)*d[0]+x] = value(o[0]+x, o[1]+y, o[2]+z)
+						}
+					}
+				}
+				pieces = append(pieces, struct {
+					o, d [3]int
+					data []float64
+				}{o, d, data})
+			}
+		}
+	}
+	if len(pieces) < 4 {
+		t.Fatalf("region only touches %d chunks; want a real straddle", len(pieces))
+	}
+
+	var out bytes.Buffer
+	ra := newRegionAssembler(&out, origin, dims, volDims, chunkDims, 8)
+	for i := len(pieces) - 1; i >= 0; i-- { // reverse order: nothing flushable until the end
+		if err := ra.add(pieces[i].o, pieces[i].d, pieces[i].data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ra.done(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := dims[0] * dims[1] * dims[2] * 8
+	if out.Len() != want {
+		t.Fatalf("assembled %d bytes, want %d", out.Len(), want)
+	}
+	raw := out.Bytes()
+	for z := 0; z < dims[2]; z++ {
+		for y := 0; y < dims[1]; y++ {
+			for x := 0; x < dims[0]; x++ {
+				i := (z*dims[1]+y)*dims[0] + x
+				got := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+				if want := value(origin[0]+x, origin[1]+y, origin[2]+z); got != want {
+					t.Fatalf("sample (%d,%d,%d): got %v, want %v", x, y, z, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRegionAssemblerDoneCatchesShortfall pins that a missing piece is
+// an error, not silent truncation.
+func TestRegionAssemblerDoneCatchesShortfall(t *testing.T) {
+	var out bytes.Buffer
+	ra := newRegionAssembler(&out, [3]int{0, 0, 0}, [3]int{16, 8, 8}, [3]int{16, 8, 8}, [3]int{8, 8, 8}, 8)
+	data := make([]float64, 8*8*8)
+	if err := ra.add([3]int{0, 0, 0}, [3]int{8, 8, 8}, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.done(); err == nil {
+		t.Fatal("done() accepted a half-assembled region")
+	}
+}

@@ -40,6 +40,10 @@ func (s *Server) handleVolumePut(w *statusWriter, r *http.Request, st *reqStats)
 		s.storeUnavailable(w, st)
 		return
 	}
+	if s.cluster != nil {
+		s.handleClusterPut(w, r, st)
+		return
+	}
 	body, ok := s.readContainer(w, r, st)
 	if !ok {
 		return
@@ -94,6 +98,10 @@ func (s *Server) handleVolumeDelete(w *statusWriter, r *http.Request, st *reqSta
 		s.storeUnavailable(w, st)
 		return
 	}
+	if s.cluster != nil {
+		s.handleClusterDelete(w, r, st)
+		return
+	}
 	err := s.store.Delete(r.PathValue("id"))
 	switch {
 	case errors.Is(err, store.ErrNotFound):
@@ -119,6 +127,10 @@ func (s *Server) handleVolumeDelete(w *statusWriter, r *http.Request, st *reqSta
 func (s *Server) handleVolumeRegion(w *statusWriter, r *http.Request, st *reqStats) {
 	if s.store == nil {
 		s.storeUnavailable(w, st)
+		return
+	}
+	if s.cluster != nil {
+		s.handleClusterRegion(w, r, st)
 		return
 	}
 	id := r.PathValue("id")

@@ -1,0 +1,155 @@
+package store
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"sperr"
+)
+
+// TestPutShardRoundTrip covers the cluster ingest contract: a shard
+// stored under the whole volume's address serves its owned chunks
+// bit-identically and records ownership in the manifest, surviving a
+// store reopen.
+func TestPutShardRoundTrip(t *testing.T) {
+	dims := [3]int{24, 17, 9}
+	container := makeContainer(t, dims, [3]int{16, 16, 16}, 1e-3, 7)
+	id, info, err := AddressOf(container)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumChunks != 4 {
+		t.Fatalf("fixture has %d chunks, want 4", info.NumChunks)
+	}
+	keep := func(ci int) bool { return ci == 1 || ci == 3 }
+	shard, err := sperr.SliceShard(container, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CacheSamples: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, created, err := s.PutShard(id, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("first PutShard reported created=false")
+	}
+	if got, want := meta.Owned, []int{1, 3}; len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("owned = %v, want %v", got, want)
+	}
+	if meta.OwnsChunk(0) || !meta.OwnsChunk(1) {
+		t.Fatal("OwnsChunk disagrees with owned set")
+	}
+
+	// Idempotent re-ingest.
+	if _, created, err := s.PutShard(id, shard); err != nil || created {
+		t.Fatalf("re-ingest: created=%v err=%v", created, err)
+	}
+
+	// An owned chunk reads bit-identically to the single-node path.
+	ci := info.Chunks[3]
+	want, err := sperr.DecompressRegionWorkers(container, ci.Origin, ci.Dims, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.Region(context.Background(), id, ci.Origin, ci.Dims, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if math.Float64bits(want[k]) != math.Float64bits(got[k]) {
+			t.Fatalf("sample %d differs", k)
+		}
+	}
+
+	// Ownership survives reopen.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	m2, ok := s2.Describe(id)
+	if !ok {
+		t.Fatal("shard missing after reopen")
+	}
+	if m2.Owned == nil || len(m2.Owned) != 2 {
+		t.Fatalf("owned set after reopen: %v", m2.Owned)
+	}
+	mustClean(t, s2)
+}
+
+func TestPutShardRejects(t *testing.T) {
+	dims := [3]int{24, 17, 9}
+	container := makeContainer(t, dims, [3]int{16, 16, 16}, 1e-3, 11)
+	id, _, err := AddressOf(container)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := sperr.SliceShard(container, func(ci int) bool { return ci == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := openTestStore(t, Options{})
+
+	if _, _, err := s.PutShard("not-a-content-address", shard); err == nil {
+		t.Fatal("bogus id accepted")
+	}
+	// Damage an owned frame (first frame payload starts after the 36-byte
+	// header's 4-byte length prefix): no longer a stub, must be rejected.
+	bad := append([]byte(nil), shard...)
+	bad[36+4] ^= 0xff
+	if _, _, err := s.PutShard(id, bad); err == nil {
+		t.Fatal("shard with damaged owned frame accepted")
+	}
+}
+
+// TestPutShardZeroOwned pins that a peer owning no chunks still stores
+// the geometry, with an empty-but-present owned set distinct from a
+// complete volume.
+func TestPutShardZeroOwned(t *testing.T) {
+	container := makeContainer(t, [3]int{20, 11, 6}, [3]int{8, 8, 8}, 1e-3, 3)
+	id, _, err := AddressOf(container)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := sperr.SliceShard(container, func(int) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, _, err := s.PutShard(id, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Owned == nil || len(meta.Owned) != 0 {
+		t.Fatalf("zero-owned shard: Owned = %v, want empty non-nil", meta.Owned)
+	}
+	if meta.OwnsChunk(0) {
+		t.Fatal("zero-owned shard claims a chunk")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	m2, _ := s2.Describe(id)
+	if m2 == nil || m2.Owned == nil {
+		t.Fatalf("zero-owned set did not survive reopen: %+v", m2)
+	}
+}

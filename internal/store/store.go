@@ -89,8 +89,28 @@ type Meta struct {
 	NumChunks int    `json:"num_chunks"`
 	// Chunks lists each chunk's box in container order.
 	Chunks []ChunkGeom `json:"chunks"`
+	// Owned, when non-nil, marks this volume as a cluster shard: only the
+	// listed chunk indices carry real frames (the rest are stubs). nil
+	// means a complete volume — every chunk is resident. No omitempty:
+	// an empty-but-present set (a peer owning zero chunks) must survive
+	// the manifest round-trip distinct from nil.
+	Owned []int `json:"owned"`
 	// Ingested is the ingest wall-clock time (UTC).
 	Ingested time.Time `json:"ingested"`
+}
+
+// OwnsChunk reports whether chunk index ci is backed by a real frame in
+// this volume (always true for complete volumes).
+func (m *Meta) OwnsChunk(ci int) bool {
+	if m.Owned == nil {
+		return true
+	}
+	for _, o := range m.Owned {
+		if o == ci {
+			return true
+		}
+	}
+	return false
 }
 
 // paramsTag renders the compression contract as a canonical string; it is
@@ -282,6 +302,21 @@ func verify(container []byte) (*sperr.StreamInfo, error) {
 	return info, nil
 }
 
+// AddressOf runs the full ingest-time integrity gate on a complete
+// container and returns the content address it would be stored under,
+// along with its description. This is how a cluster coordinator names a
+// volume before slicing it into per-peer shards: every shard is stored
+// under the whole container's address, so placement and lookup agree on
+// one id cluster-wide.
+func AddressOf(container []byte) (string, *sperr.StreamInfo, error) {
+	info, err := verify(container)
+	if err != nil {
+		return "", nil, err
+	}
+	sum := sha256.Sum256(container)
+	return contentID(sum, paramsTag(info)), info, nil
+}
+
 // Put ingests a container: verify integrity, write the blob (atomic
 // temp-file rename, synced), and flush the manifest entry through the
 // batcher. It blocks until the entry is durable. Re-ingesting an
@@ -296,8 +331,82 @@ func (s *Store) Put(container []byte) (*Meta, bool, error) {
 		return nil, false, err
 	}
 	sum := sha256.Sum256(container)
-	id := contentID(sum, paramsTag(info))
+	return s.commit(contentID(sum, paramsTag(info)), container, sum, info, nil)
+}
 
+// verifyShard is the relaxed integrity gate for cluster shards: the
+// container must describe, carry an intact v2+ index footer with clean
+// framing, and every chunk must either checksum clean (an owned frame)
+// or be a deliberate stub no longer than StubFrameMaxLen. Anything
+// between — a non-stub frame that fails its checksum — is damage and is
+// rejected exactly as Put would. Returns the sorted owned chunk set.
+func verifyShard(shard []byte) (*sperr.StreamInfo, []int, error) {
+	info, err := sperr.Describe(shard)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if info.Version < 2 {
+		return nil, nil, fmt.Errorf("%w: shard must be a v2+ container", ErrCorrupt)
+	}
+	rep, err := sperr.Audit(shard)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if !rep.IndexIntact || rep.Resynced {
+		return nil, nil, fmt.Errorf("%w: shard index footer does not corroborate frames", ErrCorrupt)
+	}
+	owned := make([]int, 0, len(rep.Chunks))
+	for i := range rep.Chunks {
+		co := &rep.Chunks[i]
+		switch {
+		case co.Recovered:
+			owned = append(owned, i)
+		case co.Length <= sperr.StubFrameMaxLen:
+			// Deliberate stub: present, checksummed, not decodable.
+		default:
+			return nil, nil, fmt.Errorf("%w: chunk %d damaged (%s)", ErrCorrupt, i, co.Reason)
+		}
+	}
+	return info, owned, nil
+}
+
+// PutShard ingests a cluster shard under an explicit content address
+// (the whole volume's address, computed by the coordinator via
+// AddressOf). Verification accepts stub frames but still proves every
+// owned frame intact; the manifest entry records the owned chunk set so
+// region planning can tell local frames from remote ones. Re-ingesting
+// a resident shard id is an idempotent no-op — cluster re-ingest ships
+// byte-identical shards, so the resident copy is already correct.
+func (s *Store) PutShard(id string, shard []byte) (*Meta, bool, error) {
+	if len(id) != 64 || !isHex(id) {
+		return nil, false, fmt.Errorf("%w: shard id must be a 64-char hex content address", ErrCorrupt)
+	}
+	info, owned, err := verifyShard(shard)
+	if err != nil {
+		if s.opts.Hooks.OnReject != nil {
+			s.opts.Hooks.OnReject()
+		}
+		return nil, false, err
+	}
+	sum := sha256.Sum256(shard)
+	return s.commit(id, shard, sum, info, owned)
+}
+
+// isHex reports whether s is lowercase-or-uppercase hex.
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// commit is the shared tail of Put and PutShard: idempotence check, blob
+// write, manifest flush. owned == nil marks a complete volume; non-nil
+// (possibly empty) marks a shard with that owned chunk set.
+func (s *Store) commit(id string, container []byte, sum [sha256.Size]byte, info *sperr.StreamInfo, owned []int) (*Meta, bool, error) {
 	unlock := s.ids.lock(id)
 	defer unlock()
 
@@ -331,7 +440,11 @@ func (s *Store) Put(container []byte) (*Meta, bool, error) {
 		ChunkDims: info.ChunkDims,
 		NumChunks: info.NumChunks,
 		Chunks:    make([]ChunkGeom, len(info.Chunks)),
+		Owned:     owned,
 		Ingested:  time.Now().UTC(),
+	}
+	if owned != nil && meta.Owned == nil {
+		meta.Owned = []int{} // keep "shard with zero chunks" distinct from "complete"
 	}
 	for i, c := range info.Chunks {
 		meta.Chunks[i] = ChunkGeom{Origin: c.Origin, Dims: c.Dims}

@@ -1,0 +1,459 @@
+// Command clustersmoke is the `make cluster-smoke` harness: it builds
+// the sperrd binary, boots a three-node cluster on kernel-assigned
+// localhost ports, ingests both golden fixtures (container v2 and v3)
+// through different coordinators, reads cross-shard regions through
+// every node and requires the bytes to be bit-identical to a
+// single-node in-process decode, then SIGKILLs one peer mid-cluster and
+// requires the next read to degrade (200 + fill value + "degraded"
+// status trailer) instead of failing, with the cluster counters on
+// /metrics recording the casualty. Exit status 0 means the cluster
+// shards, gathers, degrades, and measures.
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"sperr"
+	"sperr/internal/cluster"
+	"sperr/internal/rawio"
+)
+
+var nodeIDs = []string{"node-a", "node-b", "node-c"}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "cluster-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("cluster-smoke: OK")
+}
+
+type node struct {
+	id   string
+	url  string
+	cmd  *exec.Cmd
+	done chan error
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "sperrd-cluster-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "sperrd")
+
+	fmt.Println("cluster-smoke: building sperrd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sperrd")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build sperrd: %w", err)
+	}
+
+	// The roster must be known before any peer boots, so reserve three
+	// kernel-assigned ports up front and release them just before use.
+	addrs, err := reservePorts(len(nodeIDs))
+	if err != nil {
+		return err
+	}
+	roster := make([]string, len(nodeIDs))
+	for i, id := range nodeIDs {
+		roster[i] = fmt.Sprintf("%s=http://%s", id, addrs[i])
+	}
+	peersFlag := strings.Join(roster, ",")
+
+	nodes := make([]*node, len(nodeIDs))
+	for i, id := range nodeIDs {
+		n, err := startNode(bin, tmp, id, addrs[i], peersFlag)
+		if err != nil {
+			return err
+		}
+		nodes[i] = n
+		defer n.cmd.Process.Kill()
+	}
+	for _, n := range nodes {
+		if err := waitHealthy(n); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("cluster-smoke: %d peers up (%s)\n", len(nodes), peersFlag)
+
+	// Ingest both golden fixtures — a v2 PWE container and a v3 adaptive
+	// container — through different coordinators, and read cross-shard
+	// regions back through every node. Each read must match an
+	// in-process single-node decode byte for byte.
+	fixtures := []struct {
+		path        string
+		coordinator int
+	}{
+		{"testdata/golden_pwe_24x17x9_v2.sperr", 0},
+		{"testdata/golden_adaptive_48x32x32_v3.sperr", 1},
+	}
+	var v3id string
+	var v3info *sperr.StreamInfo
+	for _, fx := range fixtures {
+		container, err := os.ReadFile(fx.path)
+		if err != nil {
+			return fmt.Errorf("read fixture: %w", err)
+		}
+		info, err := sperr.Describe(container)
+		if err != nil {
+			return fmt.Errorf("describe %s: %w", fx.path, err)
+		}
+		id, err := ingest(nodes[fx.coordinator].url, container)
+		if err != nil {
+			return fmt.Errorf("ingest %s via %s: %w", fx.path, nodes[fx.coordinator].id, err)
+		}
+		fmt.Printf("cluster-smoke: ingested %s as %s.. via %s (%d chunks)\n",
+			filepath.Base(fx.path), id[:12], nodes[fx.coordinator].id, info.NumChunks)
+		if strings.Contains(fx.path, "_v3") {
+			v3id, v3info = id, info
+		}
+
+		// Two regions per fixture: the full volume (touches every chunk,
+		// so certainly cross-shard) and an interior box straddling chunk
+		// boundaries on every axis.
+		regions := [][2][3]int{
+			{{0, 0, 0}, info.Dims},
+			{{1, 2, 3}, {info.Dims[0] - 2, info.Dims[1] - 4, info.Dims[2] - 4}},
+		}
+		for _, reg := range regions {
+			origin, dims := reg[0], reg[1]
+			want, err := sperr.DecompressRegion(container, origin, dims)
+			if err != nil {
+				return fmt.Errorf("reference decode: %w", err)
+			}
+			wantRaw, err := rawio.EncodeFloats(want, 8)
+			if err != nil {
+				return err
+			}
+			for _, n := range nodes {
+				url := fmt.Sprintf("%s/v1/volumes/%s/region?region=%d,%d,%d,%d,%d,%d",
+					n.url, id, origin[0], origin[1], origin[2], dims[0], dims[1], dims[2])
+				got, trailer, answeredBy, err := getRegion(url)
+				if err != nil {
+					return fmt.Errorf("region via %s: %w", n.id, err)
+				}
+				if trailer != "ok" {
+					return fmt.Errorf("region via %s: trailer %q, want ok", n.id, trailer)
+				}
+				if answeredBy != n.id {
+					return fmt.Errorf("region via %s: X-Sperr-Node says %q", n.id, answeredBy)
+				}
+				if !bytes.Equal(got, wantRaw) {
+					return fmt.Errorf("region %v+%v via %s: %d bytes differ from single-node decode",
+						origin, dims, n.id, len(got))
+				}
+			}
+		}
+		fmt.Printf("cluster-smoke: %s reads bit-identical through all %d coordinators\n",
+			filepath.Base(fx.path), len(nodes))
+	}
+
+	// Every coordinator has done remote fetches by now; its per-peer
+	// request counters must show them.
+	metrics, err := scrape(nodes[0].url)
+	if err != nil {
+		return err
+	}
+	for _, peer := range nodeIDs[1:] {
+		series := fmt.Sprintf(`sperrd_cluster_requests_total{peer="%s",outcome="ok"}`, peer)
+		if !strings.Contains(metrics, series) {
+			return fmt.Errorf("node-a /metrics missing %s", series)
+		}
+	}
+
+	// Kill one peer with SIGKILL — no drain, no goodbye — and require
+	// the next cross-shard read to degrade instead of erroring. The
+	// victim is a non-coordinator owner of at least one v3 chunk,
+	// computed from the same ring the daemons use (placement is a pure
+	// function of roster + content address).
+	ring, err := cluster.NewRing(nodeIDs, 0)
+	if err != nil {
+		return err
+	}
+	placement := ring.Placement(v3id, v3info.NumChunks)
+	victim := -1
+	for i := 1; i < len(nodes); i++ { // never the coordinator we read through
+		if len(placement[nodes[i].id]) > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		return fmt.Errorf("no non-coordinator peer owns v3 chunks (placement %v)", placement)
+	}
+	lost := placement[nodes[victim].id]
+	fmt.Printf("cluster-smoke: SIGKILL %s (owns v3 chunks %v)\n", nodes[victim].id, lost)
+	if err := nodes[victim].cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("kill %s: %w", nodes[victim].id, err)
+	}
+	<-nodes[victim].done
+
+	url := fmt.Sprintf("%s/v1/volumes/%s/region?region=0,0,0,%d,%d,%d",
+		nodes[0].url, v3id, v3info.Dims[0], v3info.Dims[1], v3info.Dims[2])
+	got, trailer, _, err := getRegion(url)
+	if err != nil {
+		return fmt.Errorf("degraded read must not fail: %w", err)
+	}
+	if !strings.HasPrefix(trailer, "degraded: skipped ") {
+		return fmt.Errorf("post-kill read trailer %q, want degraded status", trailer)
+	}
+	skipped := parseSkipped(trailer)
+	if len(skipped) == 0 {
+		return fmt.Errorf("degraded trailer names no chunks: %q", trailer)
+	}
+	for _, ci := range skipped {
+		if !contains(lost, ci) {
+			return fmt.Errorf("skipped chunk %d is not owned by the killed peer (owns %v)", ci, lost)
+		}
+	}
+
+	// The fill policy marks lost cells NaN; cells of surviving chunks
+	// must still match the reference decode exactly.
+	container, err := os.ReadFile(fixtures[1].path)
+	if err != nil {
+		return err
+	}
+	want, err := sperr.DecompressRegion(container, [3]int{0, 0, 0}, v3info.Dims)
+	if err != nil {
+		return err
+	}
+	nans, mismatches := 0, 0
+	for i := range want {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(got[i*8:]))
+		inLost := contains(skipped, chunkIndexOf(i, v3info.Dims, v3info.ChunkDims))
+		switch {
+		case inLost && math.IsNaN(v):
+			nans++
+		case inLost:
+			return fmt.Errorf("sample %d in a skipped chunk is %v, want NaN", i, v)
+		case v != want[i]:
+			mismatches++
+		}
+	}
+	if nans == 0 {
+		return fmt.Errorf("degraded read filled no samples")
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d surviving samples differ from the single-node decode", mismatches)
+	}
+	fmt.Printf("cluster-smoke: degraded read ok (%d chunks skipped, %d samples NaN-filled, survivors bit-identical)\n",
+		len(skipped), nans)
+
+	// The casualty must be visible on the coordinator's metrics surface.
+	metrics, err = scrape(nodes[0].url)
+	if err != nil {
+		return err
+	}
+	if v := metricValue(metrics, "sperrd_cluster_degraded_total"); v < 1 {
+		return fmt.Errorf("sperrd_cluster_degraded_total is %g, want >= 1", v)
+	}
+	if v := metricValue(metrics, "sperrd_cluster_filled_chunks_total"); v < float64(len(skipped)) {
+		return fmt.Errorf("sperrd_cluster_filled_chunks_total is %g, want >= %d", v, len(skipped))
+	}
+	failSeries := []string{
+		fmt.Sprintf(`sperrd_cluster_requests_total{peer="%s",outcome="error"}`, nodes[victim].id),
+		fmt.Sprintf(`sperrd_cluster_requests_total{peer="%s",outcome="timeout"}`, nodes[victim].id),
+	}
+	if !strings.Contains(metrics, failSeries[0]) && !strings.Contains(metrics, failSeries[1]) {
+		return fmt.Errorf("/metrics missing a failed-peer outcome counter for %s", nodes[victim].id)
+	}
+	fmt.Println("cluster-smoke: cluster counters account for the killed peer")
+
+	// The survivors drain cleanly.
+	for i, n := range nodes {
+		if i == victim {
+			continue
+		}
+		if err := n.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return fmt.Errorf("signal %s: %w", n.id, err)
+		}
+		select {
+		case err := <-n.done:
+			if err != nil {
+				return fmt.Errorf("%s exited non-zero after SIGTERM: %v", n.id, err)
+			}
+		case <-time.After(15 * time.Second):
+			return fmt.Errorf("%s did not exit within 15s of SIGTERM", n.id)
+		}
+	}
+	fmt.Println("cluster-smoke: graceful shutdown ok")
+	return nil
+}
+
+// reservePorts grabs n kernel-assigned localhost ports and releases
+// them, returning the addresses for the daemons to re-bind. The tiny
+// reuse race is acceptable in a smoke harness.
+func reservePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+func startNode(bin, tmp, id, addr, peers string) (*node, error) {
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-store-dir", filepath.Join(tmp, "store-"+id),
+		"-node-id", id,
+		"-peers", peers,
+		"-peer-timeout", "2s",
+		"-hedge-after", "100ms",
+		"-budget-mb", "64",
+		"-quiet")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", id, err)
+	}
+	n := &node{id: id, url: "http://" + addr, cmd: cmd, done: make(chan error, 1)}
+	go func() { n.done <- cmd.Wait() }()
+	return n, nil
+}
+
+func waitHealthy(n *node) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case err := <-n.done:
+			return fmt.Errorf("%s exited before healthy: %v", n.id, err)
+		default:
+		}
+		res, err := http.Get(n.url + "/healthz")
+		if err == nil {
+			res.Body.Close()
+			if res.StatusCode == 200 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s never became healthy", n.id)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func ingest(base string, container []byte) (string, error) {
+	req, err := http.NewRequest("PUT", base+"/v1/volumes", bytes.NewReader(container))
+	if err != nil {
+		return "", err
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer res.Body.Close()
+	out, _ := io.ReadAll(res.Body)
+	if res.StatusCode != 201 && res.StatusCode != 200 {
+		return "", fmt.Errorf("status %d: %s", res.StatusCode, out)
+	}
+	id := res.Header.Get("X-Sperr-Volume-Id")
+	if id == "" {
+		return "", fmt.Errorf("missing X-Sperr-Volume-Id header")
+	}
+	return id, nil
+}
+
+// getRegion fetches a region URL, returning the body, the X-Sperr-Status
+// trailer, and the X-Sperr-Node header.
+func getRegion(url string) (body []byte, trailer, nodeID string, err error) {
+	res, err := http.Get(url)
+	if err != nil {
+		return nil, "", "", err
+	}
+	defer res.Body.Close()
+	out, err := io.ReadAll(res.Body)
+	if err != nil {
+		return nil, "", "", err
+	}
+	if res.StatusCode != 200 {
+		return nil, "", "", fmt.Errorf("status %d: %s", res.StatusCode, out)
+	}
+	ts := res.Trailer.Get("X-Sperr-Status")
+	if ts == "" {
+		ts = res.Header.Get("X-Sperr-Status")
+	}
+	return out, ts, res.Header.Get("X-Sperr-Node"), nil
+}
+
+func scrape(base string) (string, error) {
+	res, err := http.Get(base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer res.Body.Close()
+	text, err := io.ReadAll(res.Body)
+	return string(text), err
+}
+
+// metricValue extracts one series' value from scraped metrics text
+// (zero when absent).
+func metricValue(metrics, name string) float64 {
+	for _, line := range strings.Split(metrics, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			var v float64
+			fmt.Sscanf(fields[1], "%g", &v)
+			return v
+		}
+	}
+	return 0
+}
+
+// parseSkipped pulls the chunk indices out of a
+// "degraded: skipped 3,7,12" trailer.
+func parseSkipped(trailer string) []int {
+	list := strings.TrimPrefix(trailer, "degraded: skipped ")
+	var out []int
+	for _, f := range strings.Split(list, ",") {
+		var ci int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &ci); err == nil {
+			out = append(out, ci)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// chunkIndexOf maps a row-major sample index of the full volume to its
+// chunk index in the engine's z-major chunk grid.
+func chunkIndexOf(i int, dims, chunkDims [3]int) int {
+	x := i % dims[0]
+	y := i / dims[0] % dims[1]
+	z := i / (dims[0] * dims[1])
+	nxc := (dims[0] + chunkDims[0] - 1) / chunkDims[0]
+	nyc := (dims[1] + chunkDims[1] - 1) / chunkDims[1]
+	return (z/chunkDims[2]*nyc+y/chunkDims[1])*nxc + x/chunkDims[0]
+}

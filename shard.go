@@ -1,0 +1,22 @@
+package sperr
+
+import "sperr/internal/chunk"
+
+// StubFrameMaxLen is the largest payload a cluster shard's stub frame
+// may carry (the v3 codec tag byte). A non-recoverable chunk whose
+// indexed payload is longer than this is damage, not deliberate
+// slicing — the shard store uses the bound to tell the two apart.
+const StubFrameMaxLen = chunk.StubFrameMaxLen
+
+// SliceShard rebuilds a v2/v3 container keeping only the frames of the
+// chunks for which keep returns true; every other frame shrinks to a
+// checksummed stub and the index footer is regenerated around the new
+// offsets. The shard is a valid container describing the full volume's
+// geometry, its kept chunks decode bit-identically to the original, and
+// keeping every chunk reproduces the input byte for byte. This is the
+// unit of placement for a sperrd cluster: each peer receives the shard
+// holding exactly the frames it owns. v1 containers have no index
+// footer to slice and are rejected.
+func SliceShard(stream []byte, keep func(int) bool) ([]byte, error) {
+	return chunk.SliceShard(stream, keep)
+}
