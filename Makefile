@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race faultinject fuzz bench bench-kernels profile-kernels cover experiments examples serve-smoke cluster-smoke clean
+.PHONY: all build vet test test-race faultinject fuzz bench bench-kernels profile-kernels cover experiments examples serve-smoke cluster-smoke chaos-smoke clean
 
 all: build vet test
 
@@ -27,7 +27,10 @@ test-race:
 # Deterministic corruption campaign over the golden fixtures: every
 # frame-boundary truncation plus stratified byte flips and zeroed runs,
 # asserting no panic, bounded time and allocation, and exact salvage
-# recovery of the checksum-intact chunks.
+# recovery of the checksum-intact chunks. The same campaign also runs
+# over stub-shard containers, asserting damaged frames never pass the
+# ownership audit and that shard damage on one peer never corrupts a
+# full-cluster read while a clean replica exists.
 faultinject:
 	$(GO) test -race -count=1 -v -run 'TestCampaign' ./internal/faultinject/
 
@@ -101,6 +104,17 @@ serve-smoke:
 # erroring, then drains the survivors.
 cluster-smoke:
 	$(GO) run ./scripts/clustersmoke
+
+# Chaos smoke of the replicated cluster: boots three peers with
+# -replicas=2 and a fast scrubber, SIGKILLs a primary owner with reads
+# in flight (reads must stay 200 / non-degraded / bit-identical),
+# restarts the victim with an empty store and requires scrubber-driven
+# rejoin convergence, then corrupts a shard blob on disk and requires
+# the anti-entropy scrubber to heal it within the deadline — witnessed
+# by sperrd_replica_* and sperrd_scrub_* counters. Logs each act's
+# convergence time.
+chaos-smoke:
+	$(GO) run ./scripts/chaossmoke
 
 clean:
 	$(GO) clean ./...

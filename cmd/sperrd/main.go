@@ -28,13 +28,20 @@
 // a sharded cluster: a volume PUT against any node splits the container
 // at chunk-frame boundaries and ships each peer the frames a consistent
 // hash ring assigns it; a region GET scatter-gathers the owning peers
-// and merges the pieces bit-identically to a single-node read. Peer
-// failure degrades the read (fill value + "degraded" status trailer)
-// instead of failing it. Peers talk over:
+// and merges the pieces bit-identically to a single-node read. Each
+// chunk lives on -replicas distinct peers (default 2), so a read
+// survives a node loss by failing over to the next replica in ring
+// order, and a background anti-entropy scrubber (-scrub-interval)
+// re-fetches damaged or missing chunks from surviving replicas. Only
+// when every replica is gone does a read degrade (fill value +
+// "degraded" status trailer naming the unreachable peers) instead of
+// failing. Peers talk over:
 //
 //	PUT    /v1/internal/chunks/{id}  ingest a shard (peer-to-peer)
 //	GET    /v1/internal/chunks/{id}  stream owned chunk∩region frames
 //	DELETE /v1/internal/chunks/{id}  drop the local shard
+//	POST   /v1/internal/repair/{id}  answer a shard of locally-intact chunks
+//	GET    /v1/internal/manifest     list resident volumes (id, chunk count)
 //
 // Every response carries X-Sperr-Node naming the answering node.
 //
@@ -87,6 +94,8 @@ func main() {
 		peerTimeout  = flag.Duration("peer-timeout", 0, "max duration of one peer RPC attempt (0 = 2s)")
 		hedgeAfter   = flag.Duration("hedge-after", 0, "duplicate a slow peer fetch after this long (0 = 250ms, negative disables)")
 		peerRetries  = flag.Int("peer-retries", 0, "extra attempts for a failed peer fetch (0 = 1, negative disables)")
+		replicas     = flag.Int("replicas", 0, "distinct peers owning each chunk (0 = 2, clamped to roster size); with 2+, reads survive a node loss undegraded")
+		scrubEvery   = flag.Duration("scrub-interval", 0, "pause between anti-entropy scrub passes (0 = 30s, negative disables the scrubber)")
 	)
 	flag.Parse()
 
@@ -102,6 +111,8 @@ func main() {
 		PeerTimeout:       *peerTimeout,
 		HedgeAfter:        *hedgeAfter,
 		PeerRetries:       *peerRetries,
+		Replicas:          *replicas,
+		ScrubInterval:     *scrubEvery,
 	}
 	if *peersStr != "" {
 		for _, p := range strings.Split(*peersStr, ",") {
@@ -147,8 +158,8 @@ func main() {
 			*storeDir, s.Store().Len(), s.Store().Cache().Cap())
 	}
 	if len(cfg.Peers) > 0 {
-		fmt.Fprintf(os.Stderr, "sperrd: cluster node %s in a %d-peer roster\n",
-			*nodeID, len(cfg.Peers))
+		fmt.Fprintf(os.Stderr, "sperrd: cluster node %s in a %d-peer roster (%d replicas per chunk)\n",
+			*nodeID, len(cfg.Peers), s.Cluster().Replicas())
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- s.Serve(ln) }()

@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -31,6 +32,23 @@ import (
 
 // chunkFrameHeaderSize is the per-frame prefix: u32 index + u32 count.
 const chunkFrameHeaderSize = 8
+
+// sharedTransport is the single pooled transport every Cluster dials
+// peers through unless Config.Client overrides it. Peer RPCs are small,
+// frequent, and aimed at a handful of hosts, so connection reuse with
+// capped per-host pools beats http.DefaultTransport's unbounded dials —
+// especially under the scrubber, whose background fetches would
+// otherwise compete with reads for fresh connections.
+var sharedTransport = &http.Transport{
+	MaxIdleConns:        128,
+	MaxIdleConnsPerHost: 16,
+	MaxConnsPerHost:     64,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// sharedClient wraps sharedTransport; timeouts come from per-attempt
+// contexts, never from the client itself.
+var sharedClient = &http.Client{Transport: sharedTransport}
 
 func (c *Cluster) chunkURL(peer, id string) string {
 	return c.peers[peer] + "/v1/internal/chunks/" + id
@@ -207,6 +225,70 @@ func readSamples(r io.Reader, dst []float64) error {
 		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
 	}
 	return nil
+}
+
+// fetchRepair POSTs a repair request to a peer and returns the shard
+// container it answers with: a valid shard of volume id holding the
+// intersection of the requested chunks with what the peer has intact.
+// The caller merges that shard into its own store frame-by-frame, so a
+// partial answer still heals every chunk it does carry.
+func (c *Cluster) fetchRepair(ctx context.Context, peer, id string, chunks []int) ([]byte, error) {
+	var list strings.Builder
+	for i, ci := range chunks {
+		if i > 0 {
+			list.WriteByte(',')
+		}
+		list.WriteString(strconv.Itoa(ci))
+	}
+	actx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	u := c.peers[peer] + "/v1/internal/repair/" + id + "?chunks=" + list.String()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	c.onPeerRequest(peer, outcomeOf(actx, err))
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// ManifestEntry is one volume in a peer's manifest listing.
+type ManifestEntry struct {
+	ID        string `json:"id"`
+	NumChunks int    `json:"num_chunks"`
+}
+
+// fetchManifest lists the volumes a peer knows about. A rejoining or
+// replacement node discovers what it should own by unioning its peers'
+// manifests, then repairs itself chunk by chunk.
+func (c *Cluster) fetchManifest(ctx context.Context, peer string) ([]ManifestEntry, error) {
+	actx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, c.peers[peer]+"/v1/internal/manifest", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	c.onPeerRequest(peer, outcomeOf(actx, err))
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var out []ManifestEntry
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("cluster: peer %s manifest: %w", peer, err)
+	}
+	return out, nil
 }
 
 // httpError summarizes a non-success peer response, keeping the first

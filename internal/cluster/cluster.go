@@ -19,7 +19,8 @@ import (
 // Every field may be nil; callbacks run on request goroutines.
 type Hooks struct {
 	// OnPeerRequest fires once per peer RPC attempt with the peer id and
-	// an outcome of "ok", "error" or "timeout".
+	// an outcome of "ok", "error", "timeout" or "open" (refused by the
+	// peer's circuit breaker without an attempt).
 	OnPeerRequest func(peer, outcome string)
 	// OnRetry fires when a failed peer fetch is retried.
 	OnRetry func(peer string)
@@ -28,6 +29,20 @@ type Hooks struct {
 	// OnFilled fires after a degraded region read with the number of
 	// chunks that had to be filled.
 	OnFilled func(chunks int)
+	// OnFailover fires when chunks are served by a replica other than
+	// their primary owner (the read survived a peer, but not unscathed).
+	OnFailover func(chunks int)
+	// OnBreakerOpen fires when a peer's circuit breaker opens after
+	// consecutive failures.
+	OnBreakerOpen func(peer string)
+	// OnScrubRun fires once per anti-entropy scrub pass.
+	OnScrubRun func()
+	// OnScrubDamaged fires per scrub pass with the number of owned chunks
+	// found missing or damaged locally.
+	OnScrubDamaged func(chunks int)
+	// OnScrubRepaired fires per scrub pass with the number of chunks
+	// re-fetched intact from replicas.
+	OnScrubRepaired func(chunks int)
 }
 
 // Config describes one node's view of the cluster. Every node runs with
@@ -48,12 +63,23 @@ type Config struct {
 	// Retries is how many additional attempts a failed peer fetch gets
 	// (0 = 1; negative disables retries).
 	Retries int
-	// Client is the HTTP client for peer RPCs (nil = a fresh client;
-	// timeouts come from contexts, not the client).
+	// Replicas is how many distinct peers own each chunk (0 =
+	// DefaultReplicas; clamped to the roster size). With Replicas > 1 a
+	// single peer death costs no data: reads fail over to the next
+	// replica in ring order and stay bit-identical and non-degraded.
+	Replicas int
+	// Client is the HTTP client for peer RPCs (nil = a client over the
+	// shared pooled transport; timeouts come from contexts, not the
+	// client).
 	Client *http.Client
 	// Hooks observes peer traffic (metrics).
 	Hooks Hooks
 }
+
+// DefaultReplicas is the replica count used when Config.Replicas is 0:
+// two copies of every chunk, so any single disk or node loss is
+// survivable without degradation.
+const DefaultReplicas = 2
 
 // Cluster coordinates a sharded volume namespace: it slices ingested
 // containers across the peer roster by consistent hashing, and gathers
@@ -69,7 +95,11 @@ type Cluster struct {
 	timeout    time.Duration
 	hedgeAfter time.Duration
 	retries    int
+	replicas   int
 	hooks      Hooks
+
+	brMu     sync.Mutex
+	breakers map[string]*breaker
 }
 
 // New validates the roster and builds the ring. The store holds this
@@ -92,7 +122,9 @@ func New(cfg Config, st *store.Store) (*Cluster, error) {
 		timeout:    cfg.Timeout,
 		hedgeAfter: cfg.HedgeAfter,
 		retries:    cfg.Retries,
+		replicas:   cfg.Replicas,
 		hooks:      cfg.Hooks,
+		breakers:   make(map[string]*breaker),
 	}
 	for id, u := range cfg.Peers {
 		u = strings.TrimRight(u, "/")
@@ -109,7 +141,7 @@ func New(cfg Config, st *store.Store) (*Cluster, error) {
 	}
 	c.ring = ring
 	if c.client == nil {
-		c.client = &http.Client{}
+		c.client = sharedClient
 	}
 	if c.timeout <= 0 {
 		c.timeout = 2 * time.Second
@@ -123,6 +155,15 @@ func New(cfg Config, st *store.Store) (*Cluster, error) {
 	if c.retries < 0 {
 		c.retries = 0
 	}
+	if c.replicas == 0 {
+		c.replicas = DefaultReplicas
+	}
+	if c.replicas < 0 {
+		c.replicas = 1
+	}
+	if c.replicas > len(c.order) {
+		c.replicas = len(c.order)
+	}
 	return c, nil
 }
 
@@ -133,10 +174,19 @@ func (c *Cluster) Self() string { return c.self }
 // with it; it is immutable).
 func (c *Cluster) Ring() *Ring { return c.ring }
 
-// Owner returns the peer owning chunk ci of volume id.
+// Owner returns the peer primarily owning chunk ci of volume id.
 func (c *Cluster) Owner(id string, ci int) string {
 	return c.ring.Owner(ChunkKey(id, ci))
 }
+
+// Owners returns the ordered replica set for chunk ci of volume id: the
+// primary owner first, then the failover order reads follow.
+func (c *Cluster) Owners(id string, ci int) []string {
+	return c.ring.Owners(ChunkKey(id, ci), c.replicas)
+}
+
+// Replicas returns the effective per-chunk replica count.
+func (c *Cluster) Replicas() int { return c.replicas }
 
 func (c *Cluster) onPeerRequest(peer, outcome string) {
 	if c.hooks.OnPeerRequest != nil {
@@ -145,13 +195,15 @@ func (c *Cluster) onPeerRequest(peer, outcome string) {
 }
 
 // Ingest shards a complete container across the roster: verify and
-// address it once, slice one shard per peer along frame boundaries, and
-// ship each shard (the local one through the store, remote ones over
-// the peer protocol, with retries). Every peer receives a shard even if
-// it owns no chunks — the footer gives every node the volume's full
-// geometry, so any node can coordinate reads. Ingest is all-or-nothing
-// in its error report but idempotent in effect: shards are byte-stable
-// for a given roster, so retrying a partially failed ingest converges.
+// address it once, slice one shard per peer along frame boundaries with
+// each chunk's frames going to all of its replica owners, and ship each
+// shard (the local one through the store, remote ones over the peer
+// protocol, with retries). Every peer receives a shard even if it owns
+// no chunks — the footer gives every node the volume's full geometry,
+// so any node can coordinate reads. Ingest is all-or-nothing in its
+// error report but idempotent in effect: shards are byte-stable for a
+// given roster and the store merges re-ingested shards frame-by-frame,
+// so retrying a partially failed ingest converges.
 func (c *Cluster) Ingest(ctx context.Context, container []byte) (*store.Meta, bool, error) {
 	id, info, err := store.AddressOf(container)
 	if err != nil {
@@ -162,7 +214,7 @@ func (c *Cluster) Ingest(ctx context.Context, container []byte) (*store.Meta, bo
 		// container the store cannot vouch for.
 		return nil, false, fmt.Errorf("%w: cannot shard a v%d container (no index footer); repack with a current encoder", store.ErrCorrupt, info.Version)
 	}
-	placement := c.ring.Placement(id, info.NumChunks)
+	placement := c.ring.PlacementReplicas(id, info.NumChunks, c.replicas)
 
 	var (
 		meta    *store.Meta
@@ -254,11 +306,20 @@ type ChunkPiece struct {
 // RegionReport summarizes a scatter-gather read.
 type RegionReport struct {
 	// Chunks is the number of chunks intersecting the region; Remote how
-	// many were owned by other peers.
+	// many were primarily owned by other peers.
 	Chunks int
 	Remote int
 	// Skipped lists the chunk indices that degraded to fill, sorted.
 	Skipped []int
+	// FailedOver is how many chunks were served by a replica other than
+	// their primary owner. A non-zero count with an empty Skipped list is
+	// the replicated cluster absorbing a fault: the read stayed
+	// bit-identical and non-degraded.
+	FailedOver int
+	// Unreachable lists the peers that failed every fetch directed at
+	// them during this read, sorted. Empty for a clean read; named in the
+	// degraded trailer so operators can see which node to look at.
+	Unreachable []string
 }
 
 // RegionOptions tunes a scatter-gather read.
@@ -274,10 +335,14 @@ type RegionOptions struct {
 // the volume's chunk geometry (known locally — every shard carries the
 // full footer), fan out to owning peers, and emit each chunk's
 // intersection as it arrives. emit may be called concurrently; each
-// intersecting chunk is emitted exactly once. Peer failure degrades the
-// affected chunks to the fill value after retries and hedging — the
-// read itself only fails for a local reason (unknown volume, bad box,
-// canceled context, or an emit error).
+// intersecting chunk is emitted exactly once. Peer failure fails the
+// affected chunks over to the next replica in ring order; only after
+// every replica has been exhausted (across retries and hedging) does a
+// chunk degrade to the fill value — with Replicas > 1 a single dead
+// peer therefore costs nothing but latency, and the gathered bytes stay
+// identical to a single-node decode. The read itself only fails for a
+// local reason (unknown volume, bad box, canceled context, or an emit
+// error).
 func (c *Cluster) Region(ctx context.Context, id string, origin, dims [3]int, opts RegionOptions, emit func(ChunkPiece) error) (*RegionReport, error) {
 	meta, ok := c.st.Describe(id)
 	if !ok {
@@ -298,53 +363,118 @@ func (c *Cluster) Region(ctx context.Context, id string, origin, dims [3]int, op
 		return rep, nil
 	}
 
-	var local []chunkHit
-	remote := make(map[string][]chunkHit)
-	for _, h := range hits {
-		owner := c.Owner(id, h.index)
-		if owner == c.self {
-			local = append(local, h)
-		} else {
-			remote[owner] = append(remote[owner], h)
+	owners := make([][]string, len(hits))
+	for i, h := range hits {
+		owners[i] = c.Owners(id, h.index)
+		if owners[i][0] != c.self {
 			rep.Remote++
 		}
 	}
 
 	sink := newChunkSink(emit)
-	var wg sync.WaitGroup
-
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = 1
 	}
 	sem := make(chan struct{}, workers)
-	for _, h := range local {
-		wg.Add(1)
-		go func(h chunkHit) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			data, _, err := c.st.Region(ctx, id, h.origin, h.dims, 1)
-			if err != nil {
-				return // degrades to fill below (damaged local frame)
+
+	// Peers whose every fetch failed, minus those that later answered.
+	var (
+		peerMu    sync.Mutex
+		failedPrs = make(map[string]bool)
+		okPrs     = make(map[string]bool)
+	)
+	markPeer := func(peer string, ok bool) {
+		peerMu.Lock()
+		if ok {
+			okPrs[peer] = true
+		} else {
+			failedPrs[peer] = true
+		}
+		peerMu.Unlock()
+	}
+
+	// The failover sweep: rank 0 asks each missing chunk's primary owner,
+	// rank r its r-th replica, grouping chunks by peer so one RPC carries
+	// a peer's whole batch. Each full sweep is one attempt; failed chunks
+	// get retried sweeps with capped backoff before degrading to fill.
+	backoff := 50 * time.Millisecond
+	const backoffCap = 500 * time.Millisecond
+sweep:
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				break sweep
 			}
-			sink.deliver(ChunkPiece{Index: h.index, Origin: h.origin, Dims: h.dims, Samples: data})
-		}(h)
+			if backoff *= 2; backoff > backoffCap {
+				backoff = backoffCap
+			}
+		}
+		for rank := 0; rank < c.replicas; rank++ {
+			groups := make(map[string][]chunkHit)
+			for i, h := range hits {
+				if sink.has(h.index) {
+					continue
+				}
+				if rank < len(owners[i]) {
+					groups[owners[i][rank]] = append(groups[owners[i][rank]], h)
+				}
+			}
+			if len(groups) == 0 {
+				break sweep
+			}
+			var wg sync.WaitGroup
+			for peer, hs := range groups {
+				wg.Add(1)
+				if peer == c.self {
+					go func(hs []chunkHit) {
+						defer wg.Done()
+						c.decodeLocal(ctx, id, hs, sem, sink)
+					}(hs)
+					continue
+				}
+				go func(peer string, hs []chunkHit) {
+					defer wg.Done()
+					if attempt > 0 && c.hooks.OnRetry != nil {
+						c.hooks.OnRetry(peer)
+					}
+					markPeer(peer, c.fetchGuarded(ctx, peer, id, hs, sink))
+				}(peer, hs)
+			}
+			wg.Wait()
+			if rank > 0 {
+				// Anything a non-primary rank delivered is a failover save.
+				for _, hs := range groups {
+					for _, h := range hs {
+						if sink.has(h.index) {
+							rep.FailedOver++
+						}
+					}
+				}
+			}
+			if ctx.Err() != nil {
+				break sweep
+			}
+		}
 	}
-	for peer, hs := range remote {
-		wg.Add(1)
-		go func(peer string, hs []chunkHit) {
-			defer wg.Done()
-			c.fetchWithRetry(ctx, peer, id, hs, sink)
-		}(peer, hs)
-	}
-	wg.Wait()
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if err := sink.emitErr(); err != nil {
 		return nil, err
+	}
+
+	for peer := range failedPrs {
+		if !okPrs[peer] {
+			rep.Unreachable = append(rep.Unreachable, peer)
+		}
+	}
+	sort.Strings(rep.Unreachable)
+	if rep.FailedOver > 0 && c.hooks.OnFailover != nil {
+		c.hooks.OnFailover(rep.FailedOver)
 	}
 
 	// Whatever is still missing degrades to the fill value — the cluster
@@ -373,39 +503,45 @@ func (c *Cluster) Region(ctx context.Context, id string, origin, dims [3]int, op
 	return rep, nil
 }
 
-// fetchWithRetry drives one peer's chunk fetch to completion: hedged
-// attempts, then capped-backoff retries covering only the chunks not
-// yet delivered.
-func (c *Cluster) fetchWithRetry(ctx context.Context, peer, id string, hs []chunkHit, sink *chunkSink) {
-	backoff := 50 * time.Millisecond
-	const backoffCap = 500 * time.Millisecond
-	for attempt := 0; attempt <= c.retries; attempt++ {
-		missing := hs[:0:0]
-		for _, h := range hs {
-			if !sink.has(h.index) {
-				missing = append(missing, h)
-			}
-		}
-		if len(missing) == 0 {
-			return
-		}
-		if attempt > 0 {
-			if c.hooks.OnRetry != nil {
-				c.hooks.OnRetry(peer)
-			}
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
+// decodeLocal serves chunk hits from this node's own shard, bounded by
+// the worker semaphore. A chunk whose local frame is damaged or stubbed
+// simply stays undelivered — the failover sweep asks its next replica.
+func (c *Cluster) decodeLocal(ctx context.Context, id string, hs []chunkHit, sem chan struct{}, sink *chunkSink) {
+	var wg sync.WaitGroup
+	for _, h := range hs {
+		wg.Add(1)
+		go func(h chunkHit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			data, _, err := c.st.Region(ctx, id, h.origin, h.dims, 1)
+			if err != nil {
 				return
 			}
-			if backoff *= 2; backoff > backoffCap {
-				backoff = backoffCap
-			}
-		}
-		if c.fetchHedged(ctx, peer, id, missing, sink) {
-			return
-		}
+			sink.deliver(ChunkPiece{Index: h.index, Origin: h.origin, Dims: h.dims, Samples: data})
+		}(h)
 	}
+	wg.Wait()
+}
+
+// fetchGuarded runs one hedged fetch attempt against a peer behind its
+// circuit breaker: an open breaker refuses immediately (outcome "open")
+// so the sweep short-circuits to the chunk's next replica instead of
+// burning a timeout on a peer that is almost certainly still down.
+func (c *Cluster) fetchGuarded(ctx context.Context, peer, id string, hs []chunkHit, sink *chunkSink) bool {
+	br := c.breakerFor(peer)
+	if !br.allow(time.Now()) {
+		c.onPeerRequest(peer, "open")
+		return false
+	}
+	if c.fetchHedged(ctx, peer, id, hs, sink) {
+		br.success()
+		return true
+	}
+	if br.failure(time.Now()) && c.hooks.OnBreakerOpen != nil {
+		c.hooks.OnBreakerOpen(peer)
+	}
+	return false
 }
 
 // fetchHedged runs one (possibly duplicated) fetch attempt against a

@@ -3,11 +3,13 @@ package cluster
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -62,6 +64,46 @@ func newFakePeer(t testing.TB) *fakePeer {
 }
 
 func (p *fakePeer) serve(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/internal/manifest" {
+		var out []ManifestEntry
+		for _, m := range p.st.List() {
+			out = append(out, ManifestEntry{ID: m.ID, NumChunks: m.NumChunks})
+		}
+		json.NewEncoder(w).Encode(out)
+		return
+	}
+	if rid := strings.TrimPrefix(r.URL.Path, "/v1/internal/repair/"); rid != r.URL.Path {
+		_, blob, err := p.st.Get(rid)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		want := make(map[int]bool)
+		if raw := r.URL.Query().Get("chunks"); raw != "" {
+			for _, f := range strings.Split(raw, ",") {
+				ci, _ := strconv.Atoi(f)
+				want[ci] = true
+			}
+		}
+		intact, err := sperr.OwnedChunks(blob)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		keep := make(map[int]bool)
+		for _, ci := range intact {
+			if want[ci] {
+				keep[ci] = true
+			}
+		}
+		shard, err := sperr.SliceShard(blob, func(ci int) bool { return keep[ci] })
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Write(shard)
+		return
+	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/internal/chunks/")
 	switch r.Method {
 	case http.MethodPut:
@@ -125,8 +167,13 @@ func (p *fakePeer) serve(w http.ResponseWriter, r *http.Request) {
 }
 
 // testCluster builds an n-node roster of fake peers and returns one
-// Cluster handle per node.
+// Cluster handle per node (default replica count).
 func testCluster(t testing.TB, n int) ([]*Cluster, []*fakePeer) {
+	return testClusterR(t, n, 0)
+}
+
+// testClusterR is testCluster with an explicit replica count.
+func testClusterR(t testing.TB, n, replicas int) ([]*Cluster, []*fakePeer) {
 	t.Helper()
 	peers := make([]*fakePeer, n)
 	roster := make(map[string]string, n)
@@ -141,6 +188,7 @@ func testCluster(t testing.TB, n int) ([]*Cluster, []*fakePeer) {
 			Peers:      roster,
 			Timeout:    5 * time.Second,
 			HedgeAfter: time.Second,
+			Replicas:   replicas,
 		}, peers[i].st)
 		if err != nil {
 			t.Fatal(err)
@@ -235,8 +283,11 @@ func TestIngestRegionBitIdentical(t *testing.T) {
 
 func TestRegionDegradesWhenPeerDies(t *testing.T) {
 	dims := [3]int{24, 17, 9}
-	container := makeContainer(t, dims, [3]int{16, 16, 16}, 9)
-	clusters, peers := testCluster(t, 3)
+	container := makeContainer(t, dims, [3]int{8, 8, 4}, 9)
+	// Pinned to one replica: this is the pre-replication degradation
+	// contract (fill value, never an error) that still holds when a chunk
+	// has no surviving copy anywhere.
+	clusters, peers := testClusterR(t, 3, 1)
 	c := clusters[0]
 	meta, _, err := c.Ingest(context.Background(), container)
 	if err != nil {
@@ -321,6 +372,213 @@ func TestDeleteFansOut(t *testing.T) {
 	// Idempotent from the remote side; local reports not found.
 	if err := clusters[0].Delete(context.Background(), meta.ID); err == nil {
 		t.Fatal("double delete did not report missing volume")
+	}
+}
+
+// TestRegionFailoverSurvivesPeerDeath is the replication acceptance pin
+// at the cluster layer: with two replicas per chunk, killing a peer that
+// primarily owns chunks yields a read that is non-degraded and
+// bit-identical to the single-node decode — failover, not fill.
+func TestRegionFailoverSurvivesPeerDeath(t *testing.T) {
+	dims := [3]int{24, 17, 9}
+	container := makeContainer(t, dims, [3]int{8, 8, 4}, 11)
+	clusters, peers := testClusterR(t, 3, 2)
+	c := clusters[0]
+	meta, _, err := c.Ingest(context.Background(), container)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every chunk must live on exactly two peers after a replicated ingest.
+	for ci := 0; ci < meta.NumChunks; ci++ {
+		holders := 0
+		for _, p := range peers {
+			if m, ok := p.st.Describe(meta.ID); ok && m.OwnsChunk(ci) {
+				holders++
+			}
+		}
+		if holders != 2 {
+			t.Fatalf("chunk %d resident on %d peers, want 2", ci, holders)
+		}
+	}
+
+	// Kill a non-coordinator peer that is the primary owner of at least
+	// one chunk, so the read must actually fail over.
+	victim := -1
+	for ci := 0; ci < meta.NumChunks && victim < 0; ci++ {
+		for ni := 1; ni < 3; ni++ {
+			if c.Owner(meta.ID, ci) == fmt.Sprintf("node-%c", 'a'+ni) {
+				victim = ni
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		t.Skip("placement made the coordinator primary for every chunk")
+	}
+	peers[victim].srv.Close()
+
+	want, err := sperr.DecompressRegionWorkers(container, [3]int{0, 0, 0}, dims, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep := gather(t, c, meta.ID, [3]int{0, 0, 0}, dims, math.NaN())
+	if len(rep.Skipped) != 0 {
+		t.Fatalf("read degraded (skipped %v) with a surviving replica for every chunk", rep.Skipped)
+	}
+	if rep.FailedOver == 0 {
+		t.Fatal("killed a primary owner but FailedOver = 0")
+	}
+	victimID := fmt.Sprintf("node-%c", 'a'+victim)
+	found := false
+	for _, p := range rep.Unreachable {
+		if p == victimID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Unreachable %v does not name the killed peer %s", rep.Unreachable, victimID)
+	}
+	for k := range want {
+		if math.Float64bits(want[k]) != math.Float64bits(got[k]) {
+			t.Fatalf("sample %d differs from single-node decode after failover", k)
+		}
+	}
+}
+
+// corruptOwnedFrame flips bytes inside the payload region of a shard
+// blob on disk (between the fixed header and the index footer), i.e.
+// bit rot in an owned frame, and returns true if the file changed.
+func corruptOwnedFrame(t *testing.T, st *store.Store, id string) {
+	t.Helper()
+	path := filepath.Join(st.Dir(), "volumes", id+".sperr")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stay clear of the 36-byte header and the index footer at the tail;
+	// the bulk of the middle is compressed frame payload.
+	off := len(blob) / 2
+	blob[off] ^= 0xff
+	blob[off+1] ^= 0xff
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrubHealsBitRot: corrupt an owned frame in one peer's shard blob
+// on disk, run one anti-entropy pass on that peer, and the damaged
+// chunk is re-fetched intact from its surviving replica — no client
+// read involved.
+func TestScrubHealsBitRot(t *testing.T) {
+	dims := [3]int{24, 17, 9}
+	container := makeContainer(t, dims, [3]int{8, 8, 4}, 17)
+	clusters, peers := testClusterR(t, 3, 2)
+	meta, _, err := clusters[0].Ingest(context.Background(), container)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a peer that owns at least one chunk.
+	victim := -1
+	for i, p := range peers {
+		if m, ok := p.st.Describe(meta.ID); ok && len(m.Owned) > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no peer owns any chunk")
+	}
+	desired := clusters[victim].desiredChunks(meta.ID, meta.NumChunks)
+
+	corruptOwnedFrame(t, peers[victim].st, meta.ID)
+
+	// The corruption is visible before the scrub...
+	_, blob, err := peers[victim].st.Get(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preOwned, preErr := sperr.OwnedChunks(blob)
+	if preErr == nil && len(preOwned) == len(desired) {
+		t.Skip("corruption landed outside every owned frame")
+	}
+
+	rep := clusters[victim].ScrubOnce(context.Background())
+	if rep.Damaged == 0 || rep.Repaired == 0 {
+		t.Fatalf("scrub pass: damaged=%d repaired=%d errors=%v, want both > 0", rep.Damaged, rep.Repaired, rep.Errors)
+	}
+
+	// ...and gone after: the blob proves every ring-owned chunk intact.
+	_, blob, err = peers[victim].st.Get(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned, err := sperr.OwnedChunks(blob)
+	if err != nil {
+		t.Fatalf("healed blob unparseable: %v", err)
+	}
+	ownedSet := make(map[int]bool)
+	for _, ci := range owned {
+		ownedSet[ci] = true
+	}
+	for _, ci := range desired {
+		if !ownedSet[ci] {
+			t.Fatalf("chunk %d still missing after scrub", ci)
+		}
+	}
+	// And the healed frames are byte-faithful: a full read from the
+	// coordinator is bit-identical with no degradation.
+	want, err := sperr.DecompressRegionWorkers(container, [3]int{0, 0, 0}, dims, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rrep := gather(t, clusters[0], meta.ID, [3]int{0, 0, 0}, dims, math.NaN())
+	if len(rrep.Skipped) != 0 {
+		t.Fatalf("post-heal read degraded: %v", rrep.Skipped)
+	}
+	for k := range want {
+		if math.Float64bits(want[k]) != math.Float64bits(got[k]) {
+			t.Fatalf("sample %d differs after heal", k)
+		}
+	}
+}
+
+// TestScrubRejoinConverges: a peer that lost its entire local copy of a
+// volume (replacement node, wiped disk) converges back to full
+// ownership through manifest discovery plus repair — no ingest replay.
+func TestScrubRejoinConverges(t *testing.T) {
+	dims := [3]int{24, 17, 9}
+	container := makeContainer(t, dims, [3]int{8, 8, 4}, 23)
+	clusters, peers := testClusterR(t, 3, 2)
+	meta, _, err := clusters[0].Ingest(context.Background(), container)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wipe node-c's copy entirely.
+	if err := peers[2].st.Delete(meta.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := clusters[2].ScrubOnce(context.Background())
+	if rep.Discovered != 1 {
+		t.Fatalf("discovered %d volumes, want 1 (errors: %v)", rep.Discovered, rep.Errors)
+	}
+	m, ok := peers[2].st.Describe(meta.ID)
+	if !ok {
+		t.Fatal("volume still unknown after rejoin scrub")
+	}
+	desired := clusters[2].desiredChunks(meta.ID, meta.NumChunks)
+	for _, ci := range desired {
+		if !m.OwnsChunk(ci) {
+			t.Fatalf("chunk %d not owned after rejoin scrub (owned %v, want %v)", ci, m.Owned, desired)
+		}
+	}
+	// Idempotent: a second pass finds nothing to do.
+	rep = clusters[2].ScrubOnce(context.Background())
+	if rep.Discovered != 0 || rep.Damaged != 0 || rep.Repaired != 0 {
+		t.Fatalf("second pass not clean: %+v", rep)
 	}
 }
 

@@ -116,14 +116,54 @@ func (r *Ring) ownerIndex(key string) int {
 	return r.points[i].peer
 }
 
+// Owners returns the ordered replica set for key: the first n distinct
+// peers encountered walking the ring clockwise from the key's hash. The
+// first entry is Owner(key); n is clamped to the roster size. The walk
+// order is a pure function of the roster and the key, so every node
+// computes the same replica set and the same failover order — and
+// because successive ring points belong to independent virtual nodes,
+// removing a peer that is not in the set never changes the set, while
+// removing a member shifts only the members after it (consistent
+// hashing, extended to replica lists).
+func (r *Ring) Owners(key string, n int) []string {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	h := fnv64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for step := 0; step < len(r.points) && len(out) < n; step++ {
+		p := r.points[(start+step)%len(r.points)].peer
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, r.peers[p])
+	}
+	return out
+}
+
 // Placement maps each of n chunks of volume id to its owning peer,
 // returned as peerID -> sorted chunk indices. Peers owning no chunks of
 // this volume are absent from the map.
 func (r *Ring) Placement(id string, n int) map[string][]int {
+	return r.PlacementReplicas(id, n, 1)
+}
+
+// PlacementReplicas maps each of n chunks of volume id to its ordered
+// replica set of r distinct peers, returned as peerID -> sorted chunk
+// indices. With replicas > 1 a chunk appears under every member of its
+// replica set; peers owning no chunks of this volume are absent.
+func (r *Ring) PlacementReplicas(id string, n, replicas int) map[string][]int {
 	out := make(map[string][]int)
 	for ci := 0; ci < n; ci++ {
-		p := r.peers[r.ownerIndex(ChunkKey(id, ci))]
-		out[p] = append(out[p], ci)
+		for _, p := range r.Owners(ChunkKey(id, ci), replicas) {
+			out[p] = append(out[p], ci)
+		}
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -97,6 +98,166 @@ func TestRingCollisionTieBreak(t *testing.T) {
 		t.Fatal("rendezvous tie-break depends on roster order")
 	}
 	_ = ra
+}
+
+// TestOwnersProperties is the replica-set property test: for every key,
+// Owners(key, r) must be r distinct live peers (clamped to the roster),
+// led by Owner(key), with a stable prefix order — Owners(key, r) is a
+// prefix of Owners(key, r+1) — and under roster churn the set may only
+// change where the churned peer was a member.
+func TestOwnersProperties(t *testing.T) {
+	rosters := [][]string{
+		{"a"},
+		{"node-a", "node-b"},
+		{"node-a", "node-b", "node-c"},
+		{"n1", "n2", "n3", "n4", "n5"},
+	}
+	for _, roster := range rosters {
+		r, err := NewRing(roster, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			k := ChunkKey("feedface", i)
+			for want := 1; want <= len(roster)+2; want++ {
+				owners := r.Owners(k, want)
+				eff := want
+				if eff > len(roster) {
+					eff = len(roster)
+				}
+				if len(owners) != eff {
+					t.Fatalf("roster %v: Owners(%s,%d) has %d entries, want %d", roster, k, want, len(owners), eff)
+				}
+				if owners[0] != r.Owner(k) {
+					t.Fatalf("Owners(%s,%d)[0] = %s, Owner = %s", k, want, owners[0], r.Owner(k))
+				}
+				seen := make(map[string]bool)
+				for _, p := range owners {
+					if seen[p] {
+						t.Fatalf("Owners(%s,%d) repeats peer %s: %v", k, want, p, owners)
+					}
+					seen[p] = true
+				}
+				// Prefix stability: a larger replica request never reorders
+				// the smaller one (failover order is well-defined).
+				if want > 1 {
+					prev := r.Owners(k, want-1)
+					for j := range prev {
+						if owners[j] != prev[j] {
+							t.Fatalf("Owners(%s,%d) is not a prefix of Owners(%s,%d)", k, want-1, k, want)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Churn: removing a peer that is NOT in a key's replica set leaves
+	// the set unchanged (consistent hashing extended to replica lists).
+	full, err := NewRing([]string{"node-a", "node-b", "node-c", "node-d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := make(map[string]*Ring)
+	for _, gone := range []string{"node-a", "node-b", "node-c", "node-d"} {
+		var rest []string
+		for _, p := range []string{"node-a", "node-b", "node-c", "node-d"} {
+			if p != gone {
+				rest = append(rest, p)
+			}
+		}
+		without[gone], err = NewRing(rest, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		k := ChunkKey("cafed00d", i)
+		set := full.Owners(k, 2)
+		member := map[string]bool{set[0]: true, set[1]: true}
+		for gone, reduced := range without {
+			if member[gone] {
+				continue
+			}
+			after := reduced.Owners(k, 2)
+			if after[0] != set[0] || after[1] != set[1] {
+				t.Fatalf("key %s: removing non-member %s changed replica set %v -> %v", k, gone, set, after)
+			}
+		}
+	}
+}
+
+// TestRingConcurrentChurnHammer races in-flight placement lookups on
+// live rings against continuous ring construction over churned rosters
+// (the roster is immutable per Ring, so the only safety question is
+// reads racing reads, and fresh rings racing their own construction).
+// Run with -race; correctness check is that concurrent lookups agree
+// with a sequential lookup on the same ring.
+func TestRingConcurrentChurnHammer(t *testing.T) {
+	base := []string{"node-a", "node-b", "node-c", "node-d", "node-e"}
+	shared, err := NewRing(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]string, 200)
+	for i := range want {
+		want[i] = shared.Owners(ChunkKey("deadbeef", i), 3)
+	}
+
+	var churners, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Churners: continuously build rings over shifting rosters and do
+	// lookups on them (a node rebuilding its view during a rolling
+	// restart while serving).
+	for g := 0; g < 4; g++ {
+		churners.Add(1)
+		go func(g int) {
+			defer churners.Done()
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				roster := append([]string(nil), base[:2+(g+round)%4]...)
+				r, err := NewRing(roster, 16)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < 50; i++ {
+					o := r.Owners(ChunkKey("deadbeef", i), 2)
+					if len(o) == 0 || len(o) > 2 {
+						t.Errorf("churned ring returned %v", o)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Readers: hammer the shared ring and pin determinism against the
+	// sequential answers.
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for round := 0; round < 200; round++ {
+				for i := range want {
+					got := shared.Owners(ChunkKey("deadbeef", i), 3)
+					for j := range want[i] {
+						if got[j] != want[i][j] {
+							t.Errorf("concurrent lookup diverged for key %d", i)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	// Readers finish on their own; then release the churners.
+	readers.Wait()
+	close(stop)
+	churners.Wait()
 }
 
 func TestPlacementCoversAllChunks(t *testing.T) {

@@ -1,0 +1,117 @@
+package faultinject
+
+// The shard campaign extends the corruption contract to the cluster's
+// unit of placement: a stub-shard container living on one peer. Every
+// mutant of a shard must (a) never pass damaged frames through the
+// ownership audit the scrubber relies on, and (b) never corrupt a
+// full-cluster read while a clean replica of every chunk exists — the
+// store's merge-or-replace convergence step must always produce a
+// container that strict-decodes bit-identical to the baseline.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"sperr"
+)
+
+func TestCampaignShardV2(t *testing.T) {
+	runShardCampaign(t, "golden_pwe_24x17x9_v2.sperr")
+}
+
+func TestCampaignShardV3(t *testing.T) {
+	runShardCampaign(t, "golden_adaptive_48x32x32_v3.sperr")
+}
+
+func runShardCampaign(t *testing.T, fixture string) {
+	stream := loadFixture(t, fixture)
+	baseline, dims, err := sperr.Decompress(stream)
+	if err != nil {
+		t.Fatalf("baseline decode: %v", err)
+	}
+	// The shard under attack holds the even chunks; the clean replica is
+	// the full container (every chunk has an intact copy elsewhere).
+	shard, err := sperr.SliceShard(stream, func(i int) bool { return i%2 == 0 })
+	if err != nil {
+		t.Fatalf("slice shard: %v", err)
+	}
+	shardOwned, err := sperr.OwnedChunks(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts, err := Campaign(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s: %d shard mutants over %d owned chunks", fixture, len(muts), len(shardOwned))
+
+	for _, m := range muts {
+		m := m
+		done := make(chan error, 1)
+		go func() {
+			var err error
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("panic: %v", r)
+				}
+				done <- err
+			}()
+			err = checkShardMutant(m, stream, baseline, dims)
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("%s: %v", m.Name, err)
+			}
+		case <-time.After(mutantDeadline):
+			t.Fatalf("%s: exceeded %v deadline (hang)", m.Name, mutantDeadline)
+		}
+	}
+}
+
+// checkShardMutant emulates the store's shard convergence step exactly:
+// a parseable resident shard merges with the incoming clean replica, an
+// unparseable one is replaced wholesale. Either way the healed bytes
+// must strict-decode bit-identical to the baseline — damage on one peer
+// must never survive contact with a clean replica.
+func checkShardMutant(m Mutant, clean []byte, baseline []float64, dims [3]int) error {
+	owned, auditErr := sperr.OwnedChunks(m.Data)
+	if auditErr == nil {
+		// Upper bound on the audit: a chunk whose payload bytes were
+		// touched must never be reported as owned — the scrubber would
+		// skip re-fetching it and the damage would become permanent.
+		payloadOK := map[int]bool{}
+		for _, i := range m.PayloadIntact {
+			payloadOK[i] = true
+		}
+		for _, i := range owned {
+			if !payloadOK[i] {
+				return fmt.Errorf("damaged chunk %d passed the ownership audit", i)
+			}
+		}
+	}
+
+	healed := clean // wholesale replace of an unparseable resident
+	if auditErr == nil {
+		if merged, err := sperr.MergeShards(m.Data, clean); err == nil {
+			healed = merged
+		}
+		// A merge refusal (mutated geometry) leaves the clean replica as
+		// the only trusted copy — same outcome as replacement.
+	}
+	data, gotDims, err := sperr.Decompress(healed)
+	if err != nil {
+		return fmt.Errorf("healed container failed strict decode: %v", err)
+	}
+	if gotDims != dims {
+		return fmt.Errorf("healed dims %v, want %v", gotDims, dims)
+	}
+	for i := range baseline {
+		if math.Float64bits(data[i]) != math.Float64bits(baseline[i]) {
+			return fmt.Errorf("healed sample %d differs from baseline", i)
+		}
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sperr"
 	"sperr/internal/cluster"
 	"sperr/internal/store"
 )
@@ -157,7 +158,13 @@ func (s *Server) handleClusterRegion(w *statusWriter, r *http.Request, st *reqSt
 	}
 	if len(rep.Skipped) > 0 {
 		s.reg.Counter("sperrd_cluster_degraded_total").Inc()
-		w.Header().Set("X-Sperr-Status", "degraded: skipped "+intList(rep.Skipped))
+		status := "degraded: skipped " + intList(rep.Skipped)
+		if len(rep.Unreachable) > 0 {
+			// Name the peers that failed every fetch, so the trailer answers
+			// "which node do I go look at" and not just "what did I lose".
+			status += "; unreachable " + strings.Join(rep.Unreachable, ",")
+		}
+		w.Header().Set("X-Sperr-Status", status)
 		return
 	}
 	finish(nil)
@@ -294,6 +301,74 @@ func (s *Server) handleInternalChunks(w *statusWriter, r *http.Request, st *reqS
 		return
 	}
 	finish(nil)
+}
+
+// handleInternalRepair answers an anti-entropy repair request: slice
+// this node's resident container down to the intersection of the
+// requested chunks with what is locally intact, and return that shard.
+// The response is itself a valid container, so the requester heals by
+// merging it through its own verified PutShard path. An empty
+// intersection still returns the stub skeleton — that is how a
+// rejoining peer acquires a volume's geometry before owning a byte of
+// it. Intactness is proven per frame here (sperr.OwnedChunks), so a
+// damaged local frame is never propagated to the peer trying to heal.
+func (s *Server) handleInternalRepair(w *statusWriter, r *http.Request, st *reqStats) {
+	id := r.PathValue("id")
+	meta, blob, err := s.store.Get(id)
+	if err != nil {
+		notFound(w, st, store.ErrNotFound)
+		return
+	}
+	want := make(map[int]bool)
+	if raw := param(r, "chunks"); raw != "" {
+		for _, f := range strings.Split(raw, ",") {
+			ci, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || ci < 0 || ci >= meta.NumChunks {
+				badRequest(w, st, fmt.Errorf("bad chunk index %q", f))
+				return
+			}
+			want[ci] = true
+		}
+	}
+	intact, err := sperr.OwnedChunks(blob)
+	if err != nil {
+		// This node's own copy is too damaged to vouch for anything; the
+		// requester falls through to the next replica.
+		st.err = err
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	keep := make(map[int]bool, len(intact))
+	for _, ci := range intact {
+		if want[ci] {
+			keep[ci] = true
+		}
+	}
+	shard, err := sperr.SliceShard(blob, func(ci int) bool { return keep[ci] })
+	if err != nil {
+		st.err = err
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := w.Write(shard); err != nil {
+		st.err = err
+	}
+}
+
+// handleInternalManifest lists this node's volumes (id and chunk count)
+// so a rejoining or replacement peer can discover what the cluster
+// holds and scrub itself back to full ownership.
+func (s *Server) handleInternalManifest(w *statusWriter, r *http.Request, st *reqStats) {
+	vols := s.store.List()
+	out := make([]cluster.ManifestEntry, 0, len(vols))
+	for _, m := range vols {
+		out = append(out, cluster.ManifestEntry{ID: m.ID, NumChunks: m.NumChunks})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		st.err = err
+	}
 }
 
 // handleInternalDelete is the peer side of cluster delete.

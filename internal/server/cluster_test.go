@@ -206,15 +206,18 @@ func TestClusterOddDimsStraddle(t *testing.T) {
 	}
 }
 
-// TestClusterPeerDeathDegrades is the fault acceptance pin: killing an
-// owning peer mid-service yields a 200 with the salvage fill policy and
-// the degraded trailer — never a 500 — and the loss is visible in the
-// cluster metrics.
+// TestClusterPeerDeathDegrades is the fault acceptance pin: with a
+// single replica per chunk, killing an owning peer mid-service yields a
+// 200 with the salvage fill policy and the degraded trailer — never a
+// 500 — and the loss is visible in the cluster metrics. (With the
+// default 2 replicas the same fault is absorbed undegraded; see
+// TestClusterFailoverSurvivesPeerDeath.)
 func TestClusterPeerDeathDegrades(t *testing.T) {
 	nodes := newClusterNodes(t, 3, func(i int, cfg *Config) {
 		cfg.PeerTimeout = 500 * time.Millisecond
 		cfg.HedgeAfter = 100 * time.Millisecond
 		cfg.PeerRetries = 1
+		cfg.Replicas = 1
 	})
 	container := readFixture(t, "../../testdata/golden_adaptive_48x32x32_v3.sperr")
 	info, err := sperr.Describe(container)
@@ -270,7 +273,15 @@ func TestClusterPeerDeathDegrades(t *testing.T) {
 		t.Fatalf("degraded response has %d samples, want %d", len(got), len(want))
 	}
 	skipped := make(map[int]bool)
-	for _, f := range strings.Split(strings.TrimPrefix(tr, "degraded: skipped "), ",") {
+	list := strings.TrimPrefix(tr, "degraded: skipped ")
+	if i := strings.IndexByte(list, ';'); i >= 0 {
+		// "; unreachable <peers>" suffix names the dead peer(s).
+		if !strings.Contains(list[i:], nodes[victim].id) {
+			t.Fatalf("trailer %q does not name the killed peer %s", tr, nodes[victim].id)
+		}
+		list = list[:i]
+	}
+	for _, f := range strings.Split(list, ",") {
 		var ci int
 		fmt.Sscanf(f, "%d", &ci)
 		skipped[ci] = true
@@ -313,6 +324,72 @@ func TestClusterPeerDeathDegrades(t *testing.T) {
 	}
 	if !strings.Contains(m, "sperrd_cluster_filled_chunks_total") {
 		t.Fatal("metrics missing filled-chunks counter")
+	}
+}
+
+// TestClusterFailoverSurvivesPeerDeath pins the replication acceptance
+// criterion end-to-end: with the default 2 replicas per chunk, killing
+// a peer that primary-owns chunks leaves a full-volume read 200, NOT
+// degraded, and byte-identical to the single-node decode — and the
+// failover is visible in sperrd_replica_failover_chunks_total.
+func TestClusterFailoverSurvivesPeerDeath(t *testing.T) {
+	nodes := newClusterNodes(t, 3, func(i int, cfg *Config) {
+		cfg.PeerTimeout = 500 * time.Millisecond
+		cfg.HedgeAfter = 100 * time.Millisecond
+		cfg.PeerRetries = 1
+	})
+	container := readFixture(t, "../../testdata/golden_adaptive_48x32x32_v3.sperr")
+	info, err := sperr.Describe(container)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ingest(t, nodes[0].ts, container, http.StatusCreated)
+
+	// Victim: a non-coordinator peer that primary-owns at least one
+	// chunk, so the read MUST fail over to a surviving replica.
+	cl := nodes[0].s.Cluster()
+	victim := -1
+	for ci := 0; ci < info.NumChunks && victim < 0; ci++ {
+		primary := cl.Owners(id, ci)[0]
+		for i := 1; i < len(nodes); i++ {
+			if primary == nodes[i].id {
+				victim = i
+			}
+		}
+	}
+	if victim < 0 {
+		t.Fatal("placement put every primary on the coordinator")
+	}
+	nodes[victim].ts.Close()
+
+	want, err := sperr.DecompressRegionWorkers(container, [3]int{0, 0, 0}, info.Dims, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRaw, err := rawio.EncodeFloats(want, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := fmt.Sprintf("0,0,0,%d,%d,%d", info.Dims[0], info.Dims[1], info.Dims[2])
+	res, body := getClusterRegion(t, nodes[0], id, spec, "&workers=2")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("failover read answered %d: %s", res.StatusCode, body)
+	}
+	if tr := res.Trailer.Get("X-Sperr-Status"); tr != "ok" {
+		t.Fatalf("trailer %q, want ok (read must not degrade with a live replica)", tr)
+	}
+	if string(body) != string(wantRaw) {
+		t.Fatal("failover read differs from single-node decode")
+	}
+
+	_, metrics := do(t, "GET", nodes[0].url+"/metrics", nil)
+	m := string(metrics)
+	if !strings.Contains(m, "sperrd_replica_failover_chunks_total") ||
+		strings.Contains(m, "sperrd_replica_failover_chunks_total 0") {
+		t.Fatal("metrics missing a non-zero sperrd_replica_failover_chunks_total")
+	}
+	if !strings.Contains(m, "sperrd_cluster_degraded_total 0") {
+		t.Fatal("failover read must not count as degraded")
 	}
 }
 

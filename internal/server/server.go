@@ -85,6 +85,13 @@ type Config struct {
 	// PeerRetries is how many extra attempts a failed peer fetch gets
 	// (0 defaults to 1; negative disables retries).
 	PeerRetries int
+	// Replicas is how many distinct peers own each chunk (0 defaults to
+	// cluster.DefaultReplicas; clamped to the roster size).
+	Replicas int
+	// ScrubInterval is the pause between anti-entropy scrub passes in
+	// cluster mode (0 defaults to cluster.DefaultScrubInterval; negative
+	// disables the scrubber).
+	ScrubInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -123,9 +130,10 @@ type Server struct {
 	log      *slog.Logger
 	mux      *http.ServeMux
 	hs       *http.Server
-	store    *store.Store
-	cluster  *cluster.Cluster
-	draining atomic.Bool
+	store     *store.Store
+	cluster   *cluster.Cluster
+	stopScrub func()
+	draining  atomic.Bool
 }
 
 // New builds a Server from cfg. The error is non-nil only when the
@@ -188,12 +196,26 @@ func New(cfg Config) (*Server, error) {
 			Timeout:    cfg.PeerTimeout,
 			HedgeAfter: cfg.HedgeAfter,
 			Retries:    cfg.PeerRetries,
+			Replicas:   cfg.Replicas,
 			Hooks:      s.clusterHooks(),
 		}, s.store)
 		if err != nil {
 			return nil, err
 		}
 		s.cluster = cl
+		if cfg.ScrubInterval >= 0 {
+			s.stopScrub = cl.StartScrubber(cfg.ScrubInterval, func(r *cluster.ScrubReport) {
+				if r.Damaged == 0 && r.Repaired == 0 && r.Discovered == 0 && len(r.Errors) == 0 {
+					return // clean pass: counted by the metric, not the log
+				}
+				s.log.Info("scrub",
+					"volumes", r.Volumes,
+					"damaged", r.Damaged,
+					"repaired", r.Repaired,
+					"discovered", r.Discovered,
+					"errors", len(r.Errors))
+			})
+		}
 	}
 
 	s.mux = http.NewServeMux()
@@ -209,6 +231,8 @@ func New(cfg Config) (*Server, error) {
 		s.mux.HandleFunc("PUT /v1/internal/chunks/{id}", s.instrumented("peer_ingest", s.handleInternalPut))
 		s.mux.HandleFunc("GET /v1/internal/chunks/{id}", s.instrumented("peer_chunks", s.handleInternalChunks))
 		s.mux.HandleFunc("DELETE /v1/internal/chunks/{id}", s.instrumented("peer_delete", s.handleInternalDelete))
+		s.mux.HandleFunc("POST /v1/internal/repair/{id}", s.instrumented("peer_repair", s.handleInternalRepair))
+		s.mux.HandleFunc("GET /v1/internal/manifest", s.instrumented("peer_manifest", s.handleInternalManifest))
 	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -250,18 +274,31 @@ func (s *Server) storeHooks() store.Hooks {
 }
 
 // clusterHooks wires cluster peer traffic into the metrics registry.
+// Every counter is created here at startup so it reports 0 before its
+// first event — the chaos harness polls some of these as witnesses.
 func (s *Server) clusterHooks() cluster.Hooks {
 	retries := s.reg.Counter("sperrd_cluster_retries_total")
 	hedges := s.reg.Counter("sperrd_cluster_hedges_total")
+	s.reg.Counter("sperrd_cluster_degraded_total")
 	filled := s.reg.Counter("sperrd_cluster_filled_chunks_total")
+	failover := s.reg.Counter("sperrd_replica_failover_chunks_total")
+	breakerOpens := s.reg.Counter("sperrd_cluster_breaker_opens_total")
+	scrubRuns := s.reg.Counter("sperrd_scrub_runs_total")
+	scrubDamaged := s.reg.Counter("sperrd_scrub_damaged_chunks_total")
+	scrubRepaired := s.reg.Counter("sperrd_scrub_repaired_chunks_total")
 	return cluster.Hooks{
 		OnPeerRequest: func(peer, outcome string) {
 			s.reg.Counter(`sperrd_cluster_requests_total{peer="` + peer +
 				`",outcome="` + outcome + `"}`).Inc()
 		},
-		OnRetry:  func(string) { retries.Inc() },
-		OnHedge:  func(string) { hedges.Inc() },
-		OnFilled: func(chunks int) { filled.Add(int64(chunks)) },
+		OnRetry:         func(string) { retries.Inc() },
+		OnHedge:         func(string) { hedges.Inc() },
+		OnFilled:        func(chunks int) { filled.Add(int64(chunks)) },
+		OnFailover:      func(chunks int) { failover.Add(int64(chunks)) },
+		OnBreakerOpen:   func(string) { breakerOpens.Inc() },
+		OnScrubRun:      func() { scrubRuns.Inc() },
+		OnScrubDamaged:  func(chunks int) { scrubDamaged.Add(int64(chunks)) },
+		OnScrubRepaired: func(chunks int) { scrubRepaired.Add(int64(chunks)) },
 	}
 }
 
@@ -300,6 +337,10 @@ func (s *Server) Serve(ln net.Listener) error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.adm.Drain()
+	if s.stopScrub != nil {
+		s.stopScrub()
+		s.stopScrub = nil
+	}
 	var err error
 	if s.hs != nil {
 		err = s.hs.Shutdown(ctx)
@@ -315,6 +356,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Close releases server resources without the HTTP drain — the teardown
 // path for handler-only (httptest) servers.
 func (s *Server) Close() error {
+	if s.stopScrub != nil {
+		s.stopScrub()
+		s.stopScrub = nil
+	}
 	if s.store != nil {
 		return s.store.Close()
 	}

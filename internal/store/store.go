@@ -29,6 +29,7 @@
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -375,8 +376,11 @@ func verifyShard(shard []byte) (*sperr.StreamInfo, []int, error) {
 // AddressOf). Verification accepts stub frames but still proves every
 // owned frame intact; the manifest entry records the owned chunk set so
 // region planning can tell local frames from remote ones. Re-ingesting
-// a resident shard id is an idempotent no-op — cluster re-ingest ships
-// byte-identical shards, so the resident copy is already correct.
+// a resident shard id merges frame-by-frame: the resident copy keeps
+// its intact frames, gains any it was missing, and loses damaged ones
+// to clean incoming replicas — so replicated re-ingest, anti-entropy
+// repair, and rejoin convergence are all the same idempotent operation.
+// A byte-identical re-ingest is a no-op.
 func (s *Store) PutShard(id string, shard []byte) (*Meta, bool, error) {
 	if len(id) != 64 || !isHex(id) {
 		return nil, false, fmt.Errorf("%w: shard id must be a 64-char hex content address", ErrCorrupt)
@@ -418,6 +422,11 @@ func (s *Store) commit(id string, container []byte, sum [sha256.Size]byte, info 
 		return nil, false, ErrClosed
 	}
 	if have {
+		if owned != nil && existing.Owned != nil {
+			return s.mergeShard(existing, container)
+		}
+		// Complete volumes are immutable by address, and a shard arriving
+		// where the complete volume already lives adds nothing.
 		if s.opts.Hooks.OnIngest != nil {
 			s.opts.Hooks.OnIngest(existing.Bytes, false)
 		}
@@ -456,6 +465,61 @@ func (s *Store) commit(id string, container []byte, sum [sha256.Size]byte, info 
 		s.opts.Hooks.OnIngest(meta.Bytes, true)
 	}
 	return meta, true, nil
+}
+
+// mergeShard folds an incoming (already verified) shard into the
+// resident one under the same address: keep every intact resident
+// frame, take incoming frames the resident copy is missing or holds
+// damaged, rewrite the blob atomically, and refresh the manifest entry's
+// owned set, size and digest. A resident blob that is lost or
+// unparseable is replaced wholesale by the verified incoming shard —
+// that is the scrubber's bit-rot recovery path. Runs under the per-id
+// lock held by commit.
+func (s *Store) mergeShard(existing *Meta, shard []byte) (*Meta, bool, error) {
+	ingested := func(m *Meta) (*Meta, bool, error) {
+		if s.opts.Hooks.OnIngest != nil {
+			s.opts.Hooks.OnIngest(m.Bytes, false)
+		}
+		return m, false, nil
+	}
+
+	merged := shard
+	cur, rerr := os.ReadFile(s.blobPath(existing.ID))
+	if rerr == nil {
+		if _, aerr := sperr.OwnedChunks(cur); aerr == nil {
+			m, err := sperr.MergeShards(cur, shard)
+			if err != nil {
+				// Same address, irreconcilable geometry: refuse rather than
+				// clobber what is already proven resident.
+				return nil, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			if bytes.Equal(m, cur) {
+				return ingested(existing)
+			}
+			merged = m
+		}
+		// Unparseable resident blob: fall through and replace it with the
+		// verified incoming shard.
+	}
+
+	mergedOwned, err := sperr.OwnedChunks(merged)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: merged shard: %v", ErrCorrupt, err)
+	}
+	if err := writeFileAtomic(s.blobPath(existing.ID), merged); err != nil {
+		return nil, false, err
+	}
+	sum := sha256.Sum256(merged)
+	meta := *existing
+	meta.SHA256 = hex.EncodeToString(sum[:])
+	meta.Bytes = int64(len(merged))
+	meta.Owned = mergedOwned
+	if err := s.bat.submit(manifestOp{put: &meta}); err != nil {
+		return nil, false, err
+	}
+	// Drop any cached slabs decoded from frames the merge replaced.
+	s.cache.Invalidate(meta.ID)
+	return ingested(&meta)
 }
 
 // Get returns a volume's manifest entry and its container bytes.

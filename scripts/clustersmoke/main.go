@@ -324,6 +324,10 @@ func startNode(bin, tmp, id, addr, peers string) (*node, error) {
 		"-peer-timeout", "2s",
 		"-hedge-after", "100ms",
 		"-budget-mb", "64",
+		// This smoke pins the single-replica degradation contract; the
+		// replicated failover path has its own harness (chaossmoke).
+		"-replicas", "1",
+		"-scrub-interval", "-1s",
 		"-quiet")
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -427,6 +431,10 @@ func metricValue(metrics, name string) float64 {
 // "degraded: skipped 3,7,12" trailer.
 func parseSkipped(trailer string) []int {
 	list := strings.TrimPrefix(trailer, "degraded: skipped ")
+	// A "; unreachable <peers>" suffix may name the dead peers.
+	if i := strings.IndexByte(list, ';'); i >= 0 {
+		list = list[:i]
+	}
 	var out []int
 	for _, f := range strings.Split(list, ",") {
 		var ci int

@@ -20,3 +20,24 @@ const StubFrameMaxLen = chunk.StubFrameMaxLen
 func SliceShard(stream []byte, keep func(int) bool) ([]byte, error) {
 	return chunk.SliceShard(stream, keep)
 }
+
+// MergeShards combines two shards of the same volume into one container
+// holding, per chunk, the first intact frame found in (a, b) order;
+// chunks intact in neither stay stubs. Frames are copied byte-verbatim,
+// so merged chunks decode bit-identically to the original container. A
+// damaged frame in either input loses to an intact copy from the other
+// — the primitive behind replicated re-ingest convergence and the
+// anti-entropy scrubber's self-healing graft. Shards of different
+// volumes (or the same volume under different contracts) refuse to
+// merge with ErrCorrupt.
+func MergeShards(a, b []byte) ([]byte, error) {
+	return chunk.MergeShards(a, b)
+}
+
+// OwnedChunks returns the sorted indices of the chunks whose frames in a
+// v2/v3 container are real and checksum-intact — a shard's owned set as
+// evidenced by its bytes, independent of any manifest. Stubs and damaged
+// frames are both excluded.
+func OwnedChunks(shard []byte) ([]int, error) {
+	return chunk.OwnedChunks(shard)
+}
